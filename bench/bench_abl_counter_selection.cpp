@@ -1,0 +1,133 @@
+// Experiment A1 — counter-selection ablation. The paper's conclusion: "only
+// consider the generic counters is not necessarily the most reliable
+// solution leading to high errors. This is why we plan to improve our
+// learning algorithm by using the Spearman rank correlation for finding
+// automatically the most correlated ones." We implement that future work and
+// measure it: fixed 3 generic counters vs Spearman-selected top-k vs all 10
+// counters vs the CPU-load baseline, on a mixed out-of-training workload.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/cpuload_model.h"
+#include "harness.h"
+#include "mathx/feature_selection.h"
+#include "model/trainer.h"
+#include "workloads/spec2006.h"
+#include "workloads/specjbb.h"
+#include "workloads/stress.h"
+
+using namespace powerapi;
+
+namespace {
+
+std::vector<baselines::Observation> evaluation_workload(const simcpu::CpuSpec& spec,
+                                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<baselines::Observation> all;
+
+  // Phase A: SPECjbb-like (short run).
+  {
+    os::System system(spec);
+    system.spawn("kdaemon", workloads::make_background_daemon(rng.fork(1)));
+    workloads::SpecJbbOptions jbb;
+    jbb.warmup = util::seconds_to_ns(5);
+    jbb.staircase_step = util::seconds_to_ns(5);
+    jbb.search_phase = util::seconds_to_ns(20);
+    jbb.cooldown = util::seconds_to_ns(5);
+    system.spawn("specjbb", workloads::make_specjbb(jbb, rng.fork(2)));
+    const auto obs = benchx::collect_observations(system, workloads::specjbb_duration(jbb),
+                                                  util::ms_to_ns(500), rng.fork(3));
+    all.insert(all.end(), obs.begin(), obs.end());
+  }
+  // Phase B: two SPEC-like apps co-running.
+  {
+    os::System system(spec);
+    system.spawn("kdaemon", workloads::make_background_daemon(rng.fork(4)));
+    const auto suite = workloads::spec2006_suite();
+    system.spawn("mcf", workloads::spec2006_app(suite, "mcf-like")
+                            .make(util::seconds_to_ns(60), rng.fork(5)));
+    system.spawn("gobmk", workloads::spec2006_app(suite, "gobmk-like")
+                              .make(util::seconds_to_ns(60), rng.fork(6)));
+    system.run_for(util::seconds_to_ns(1));
+    const auto obs = benchx::collect_observations(system, util::seconds_to_ns(30),
+                                                  util::ms_to_ns(500), rng.fork(7));
+    all.insert(all.end(), obs.begin(), obs.end());
+  }
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A1: counter-selection ablation (paper conclusion / future work) ===\n");
+  const simcpu::CpuSpec spec = simcpu::i3_2120();
+
+  // One shared sampling phase (full grid).
+  model::TrainerOptions base;
+  model::Trainer collector(spec, simcpu::GroundTruthParams{}, base);
+  const model::SampleSet samples = collector.collect();
+  std::printf("training samples: %zu, idle %.2f W\n", samples.total_samples(),
+              samples.idle_watts);
+
+  // Candidate model variants.
+  struct Variant {
+    std::string label;
+    model::TrainerOptions options;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v;
+    v.label = "generic-3 (paper)";
+    v.options = base;
+    v.options.events.assign(hpc::paper_events().begin(), hpc::paper_events().end());
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "spearman-top4 (future work)";
+    v.options = base;
+    v.options.auto_select_events = true;
+    v.options.selection.kind = mathx::CorrelationKind::kSpearman;
+    v.options.selection.max_features = 4;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "pearson-top4";
+    v.options = base;
+    v.options.auto_select_events = true;
+    v.options.selection.kind = mathx::CorrelationKind::kPearson;
+    v.options.selection.max_features = 4;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "all-10-counters";
+    v.options = base;
+    v.options.events.assign(hpc::all_events().begin(), hpc::all_events().end());
+    variants.push_back(v);
+  }
+
+  const auto observations = evaluation_workload(spec, 2014);
+  std::printf("evaluation observations: %zu\n\n", observations.size());
+  benchx::print_error_header();
+
+  for (const auto& variant : variants) {
+    model::Trainer trainer(spec, simcpu::GroundTruthParams{}, variant.options);
+    const model::TrainingResult result = trainer.fit(samples);
+    const baselines::HpcModelEstimator estimator(result.model);
+    const auto summary = benchx::evaluate(estimator, observations);
+    benchx::print_error_row(variant.label, summary);
+    if (variant.options.auto_select_events) {
+      std::printf("    selected:");
+      for (const hpc::EventId id : result.selected_events) {
+        std::printf(" %s", std::string(hpc::to_string(id)).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  const baselines::CpuLoadModel cpuload = baselines::CpuLoadModel::train(samples);
+  benchx::print_error_row("cpu-load (Versick et al.)", benchx::evaluate(cpuload, observations));
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Experiment A2 — per-frequency modeling ablation. The paper's model is
+// explicitly "one power model computed per frequency" (Figure 1); this
+// ablation quantifies why: a single frequency-blind formula must average
+// the V²f scaling of dynamic power across the DVFS ladder, so it misses
+// badly whenever the governor moves the clock.
+#include <cstdio>
+
+#include "harness.h"
+#include "mathx/ols.h"
+#include "model/trainer.h"
+#include "workloads/behaviors.h"
+#include "workloads/stress.h"
+
+using namespace powerapi;
+
+namespace {
+
+/// Frequency-blind competitor: one NNLS formula fitted on ALL samples
+/// pooled across frequencies.
+class GlobalModel final : public baselines::MachinePowerEstimator {
+ public:
+  static GlobalModel train(const model::SampleSet& samples,
+                           const std::vector<hpc::EventId>& events) {
+    mathx::Matrix design;
+    std::vector<double> target;
+    for (const auto& batch : samples.by_frequency) {
+      for (const auto& s : batch) {
+        std::vector<double> row;
+        row.reserve(events.size());
+        for (const hpc::EventId id : events) row.push_back(model::rate_of(s.rates, id));
+        design.append_row(row);
+        target.push_back(s.watts - samples.idle_watts);
+      }
+    }
+    const auto fit = mathx::nnls(design, target);
+    return GlobalModel(samples.idle_watts, events, fit.coefficients);
+  }
+
+  std::string name() const override { return "global-single-formula"; }
+
+  double estimate(const baselines::Observation& obs) const override {
+    return idle_ + estimate_task(obs);
+  }
+
+  double estimate_task(const baselines::Observation& obs) const override {
+    double watts = 0.0;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      watts += coefficients_[i] * model::rate_of(obs.rates, events_[i]);
+    }
+    return watts;
+  }
+
+ private:
+  GlobalModel(double idle, std::vector<hpc::EventId> events, std::vector<double> coefficients)
+      : idle_(idle), events_(std::move(events)), coefficients_(std::move(coefficients)) {}
+
+  double idle_;
+  std::vector<hpc::EventId> events_;
+  std::vector<double> coefficients_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== A2: one-model-per-frequency vs a single global formula ===\n");
+  const simcpu::CpuSpec spec = simcpu::i3_2120();
+
+  model::TrainerOptions options;  // Full grid, paper's 3 events.
+  model::Trainer trainer(spec, simcpu::GroundTruthParams{}, options);
+  const model::SampleSet samples = trainer.collect();
+
+  const model::TrainingResult per_frequency = trainer.fit(samples);
+  const baselines::HpcModelEstimator per_freq_est(per_frequency.model);
+  const GlobalModel global = GlobalModel::train(samples, options.events);
+
+  // Evaluate at three pinned frequencies and under the ondemand governor.
+  util::Rng rng(4242);
+  struct Scenario {
+    const char* label;
+    double pin_hz;  ///< 0 = ondemand governor.
+  };
+  const Scenario scenarios[] = {
+      {"pinned 1.6 GHz", 1.6e9},
+      {"pinned 2.4 GHz", 2.4e9},
+      {"pinned 3.3 GHz", 3.3e9},
+      {"ondemand governor", 0.0},
+  };
+
+  std::printf("\n%-22s %18s %18s\n", "scenario", "per-frequency", "global formula");
+  std::vector<double> measured;
+  std::vector<double> est_perf;
+  std::vector<double> est_global;
+  for (const auto& scenario : scenarios) {
+    os::System::Options sys_options;
+    sys_options.use_ondemand_governor = scenario.pin_hz == 0.0;
+    os::System system(spec, std::move(sys_options));
+    system.spawn("kdaemon", workloads::make_background_daemon(rng.fork(1)));
+    if (scenario.pin_hz > 0.0) system.pin_frequency(scenario.pin_hz);
+
+    // Mixed bursty load so the governor (when active) actually moves.
+    util::Rng wl_rng = rng.fork(2);
+    system.spawn("burst-mem",
+                 std::make_unique<workloads::BurstyBehavior>(
+                     workloads::memory_stress(20.0 * 1024 * 1024),
+                     util::ms_to_ns(400), util::ms_to_ns(300),
+                     util::seconds_to_ns(120), wl_rng.fork(1)));
+    system.spawn("burst-cpu", std::make_unique<workloads::BurstyBehavior>(
+                                  workloads::cpu_stress(), util::ms_to_ns(250),
+                                  util::ms_to_ns(350), util::seconds_to_ns(120),
+                                  wl_rng.fork(2)));
+    system.run_for(util::seconds_to_ns(1));
+
+    const auto observations = benchx::collect_observations(
+        system, util::seconds_to_ns(40), util::ms_to_ns(500), rng.fork(3));
+    const auto e_perf = benchx::evaluate(per_freq_est, observations);
+    const auto e_global = benchx::evaluate(global, observations);
+    std::printf("%-22s %16.2f %% %16.2f %%\n", scenario.label, e_perf.mean_ape,
+                e_global.mean_ape);
+
+    for (const auto& obs : observations) {
+      measured.push_back(obs.watts);
+      est_perf.push_back(per_freq_est.estimate(obs));
+      est_global.push_back(global.estimate(obs));
+    }
+  }
+
+  std::printf("\noverall mean error:\n");
+  std::printf("  per-frequency models:  %6.2f %%\n", util::mape(measured, est_perf));
+  std::printf("  single global formula: %6.2f %%\n", util::mape(measured, est_global));
+  return 0;
+}

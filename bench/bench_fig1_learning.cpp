@@ -1,0 +1,64 @@
+// Experiment F1 — Figure 1 of the paper: the power-model learning process.
+// Runs the full sampling + regression pipeline with the paper's settings and
+// prints the learned per-frequency formulas, comparing the maximum-frequency
+// coefficients and idle constant with the values published in the paper:
+//
+//   Power      = 31.48 + Σ_f Power_f
+//   Power_3.30 = 2.22e-9·i + 2.48e-8·r + 1.87e-7·m
+#include <cstdio>
+#include <iostream>
+
+#include "model/model_io.h"
+#include "model/trainer.h"
+#include "simcpu/cpu_spec.h"
+#include "util/units.h"
+
+using namespace powerapi;
+
+namespace {
+void compare(const char* label, double measured, double paper) {
+  const double ratio = paper != 0.0 ? measured / paper : 0.0;
+  std::printf("  %-18s measured %.3e   paper %.3e   ratio %.2fx\n", label, measured, paper,
+              ratio);
+}
+}  // namespace
+
+int main() {
+  std::printf("=== F1: power-model learning process (paper Fig. 1) ===\n");
+  const simcpu::CpuSpec spec = simcpu::i3_2120();
+  model::Trainer trainer(spec, simcpu::GroundTruthParams{}, model::paper_trainer_options());
+
+  std::printf("step 1-3: sampling stress workloads at %zu frequencies...\n",
+              spec.frequencies_hz.size());
+  const model::SampleSet samples = trainer.collect();
+  std::printf("collected %zu samples, measured idle floor %.2f W\n", samples.total_samples(),
+              samples.idle_watts);
+
+  std::printf("step 4: multivariate regression per frequency...\n\n");
+  const model::TrainingResult result = trainer.fit(samples);
+  std::cout << result.model.describe() << "\n";
+
+  std::printf("fit quality per frequency:\n");
+  std::printf("%10s %10s %10s %14s\n", "f (GHz)", "samples", "R^2", "RMSE (W)");
+  for (const auto& report : result.reports) {
+    std::printf("%10.2f %10zu %10.4f %14.3f\n", util::hz_to_ghz(report.frequency_hz),
+                report.samples, report.r_squared, report.residual_rmse_watts);
+  }
+
+  // Compare the maximum-frequency formula with the paper's published one.
+  const auto* f_max = result.model.formula_for(spec.max_frequency_hz());
+  std::printf("\ncomparison with the paper's published i3-2120 model:\n");
+  compare("idle (W)", result.model.idle_watts(), 31.48);
+  for (std::size_t i = 0; i < f_max->events.size(); ++i) {
+    const hpc::EventId id = f_max->events[i];
+    double paper_value = 0.0;
+    if (id == hpc::EventId::kInstructions) paper_value = 2.22e-9;
+    if (id == hpc::EventId::kCacheReferences) paper_value = 2.48e-8;
+    if (id == hpc::EventId::kCacheMisses) paper_value = 1.87e-7;
+    compare(std::string(hpc::to_string(id)).c_str(), f_max->coefficients[i], paper_value);
+  }
+
+  std::printf("\nserialized model (powerapi-model v1):\n%s",
+              model::model_to_string(result.model).c_str());
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Shared helpers for the experiment harnesses: synchronized collection of
+// (counter rates, measured watts) observations from a running system, and
+// error-table printing. Header-only; used by the cmp_* and abl_* benches.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/estimator.h"
+#include "hpc/events.h"
+#include "os/system.h"
+#include "powermeter/powerspy.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace powerapi::benchx {
+
+/// Samples the machine every `period` for `duration`, returning observations
+/// whose `watts` field holds the PowerSpy measurement (the evaluation
+/// ground truth as a meter would see it).
+inline std::vector<baselines::Observation> collect_observations(
+    os::System& system, util::DurationNs duration, util::DurationNs period,
+    util::Rng rng) {
+  powermeter::PowerSpy meter(
+      [&system] { return system.total_energy_joules(); },
+      [&system] { return system.now_ns(); }, std::move(rng));
+
+  std::vector<baselines::Observation> out;
+  meter.sample();  // Prime.
+  hpc::EventValues prev =
+      hpc::EventValues::from_block(system.machine().machine_counters());
+  std::uint64_t prev_smt = system.machine().machine_counters().smt_shared_cycles;
+  util::TimestampNs prev_time = system.now_ns();
+
+  for (util::DurationNs t = 0; t < duration; t += period) {
+    system.run_for(period);
+    const auto sample = meter.sample();
+    const auto cur = hpc::EventValues::from_block(system.machine().machine_counters());
+    const std::uint64_t cur_smt = system.machine().machine_counters().smt_shared_cycles;
+    const util::TimestampNs now = system.now_ns();
+    if (sample && now > prev_time) {
+      const double window_s = util::ns_to_seconds(now - prev_time);
+      baselines::Observation obs;
+      obs.frequency_hz = system.machine().frequency();
+      obs.rates = model::rates_from_delta(cur.delta_since(prev), window_s);
+      obs.watts = sample->watts;
+      obs.utilization =
+          model::rate_of(obs.rates, hpc::EventId::kCycles) /
+          (obs.frequency_hz * static_cast<double>(system.machine().spec().hw_threads()));
+      obs.smt_shared_cycles_per_sec = static_cast<double>(cur_smt - prev_smt) / window_s;
+      out.push_back(obs);
+    }
+    prev = cur;
+    prev_smt = cur_smt;
+    prev_time = now;
+  }
+  return out;
+}
+
+/// Per-task observations: one Observation per (pid, window), with `watts`
+/// holding the simulator's GROUND-TRUTH attributed activity power for that
+/// task — the reference for per-process attribution accuracy (what HAPPY
+/// and PowerAPI are ultimately for).
+inline std::map<std::int64_t, std::vector<baselines::Observation>>
+collect_task_observations(os::System& system, std::span<const os::Pid> pids,
+                          util::DurationNs duration, util::DurationNs period) {
+  struct Prev {
+    hpc::EventValues values;
+    std::uint64_t smt = 0;
+    double energy = 0.0;
+    util::DurationNs cpu_time = 0;
+  };
+  std::map<std::int64_t, Prev> prev;
+  for (const os::Pid pid : pids) {
+    const auto stat = system.proc_stat(pid);
+    if (!stat) continue;
+    Prev p;
+    p.values = hpc::EventValues::from_block(stat->counters);
+    p.smt = stat->counters.smt_shared_cycles;
+    p.energy = stat->attributed_energy_joules;
+    p.cpu_time = stat->cpu_time_ns;
+    prev[pid] = p;
+  }
+  util::TimestampNs prev_time = system.now_ns();
+
+  std::map<std::int64_t, std::vector<baselines::Observation>> out;
+  for (util::DurationNs t = 0; t < duration; t += period) {
+    system.run_for(period);
+    const util::TimestampNs now = system.now_ns();
+    const double window_s = util::ns_to_seconds(now - prev_time);
+    for (const os::Pid pid : pids) {
+      const auto stat = system.proc_stat(pid);
+      if (!stat) continue;
+      auto it = prev.find(pid);
+      if (it == prev.end() || window_s <= 0) continue;
+      const auto values = hpc::EventValues::from_block(stat->counters);
+      baselines::Observation obs;
+      obs.frequency_hz = system.machine().frequency();
+      obs.rates = model::rates_from_delta(values.delta_since(it->second.values), window_s);
+      obs.watts = (stat->attributed_energy_joules - it->second.energy) / window_s;
+      obs.utilization =
+          util::ns_to_seconds(stat->cpu_time_ns - it->second.cpu_time) / window_s /
+          static_cast<double>(system.machine().spec().hw_threads());
+      obs.smt_shared_cycles_per_sec =
+          static_cast<double>(stat->counters.smt_shared_cycles - it->second.smt) / window_s;
+      out[pid].push_back(obs);
+
+      it->second.values = values;
+      it->second.smt = stat->counters.smt_shared_cycles;
+      it->second.energy = stat->attributed_energy_joules;
+      it->second.cpu_time = stat->cpu_time_ns;
+    }
+    prev_time = now;
+  }
+  return out;
+}
+
+/// Mean/median absolute percentage error of an estimator over observations.
+struct ErrorSummary {
+  double mean_ape = 0.0;
+  double median_ape = 0.0;
+  std::size_t samples = 0;
+};
+
+inline ErrorSummary evaluate(const baselines::MachinePowerEstimator& estimator,
+                             const std::vector<baselines::Observation>& observations) {
+  std::vector<double> measured;
+  std::vector<double> estimated;
+  measured.reserve(observations.size());
+  estimated.reserve(observations.size());
+  for (const auto& obs : observations) {
+    measured.push_back(obs.watts);
+    estimated.push_back(estimator.estimate(obs));
+  }
+  ErrorSummary s;
+  s.samples = observations.size();
+  if (!observations.empty()) {
+    s.mean_ape = util::mape(measured, estimated);
+    s.median_ape = util::median_ape(measured, estimated);
+  }
+  return s;
+}
+
+/// Per-task attribution error: estimator.estimate_task vs ground-truth
+/// attributed activity power. Windows where the task burned < `floor_watts`
+/// are skipped (percentage error is meaningless near zero).
+inline ErrorSummary evaluate_task(const baselines::MachinePowerEstimator& estimator,
+                                  const std::vector<baselines::Observation>& observations,
+                                  double floor_watts = 0.5) {
+  std::vector<double> measured;
+  std::vector<double> estimated;
+  for (const auto& obs : observations) {
+    if (obs.watts < floor_watts) continue;
+    measured.push_back(obs.watts);
+    estimated.push_back(estimator.estimate_task(obs));
+  }
+  ErrorSummary s;
+  s.samples = measured.size();
+  if (!measured.empty()) {
+    s.mean_ape = util::mape(measured, estimated);
+    s.median_ape = util::median_ape(measured, estimated);
+  }
+  return s;
+}
+
+inline void print_error_row(const std::string& label, const ErrorSummary& summary) {
+  std::printf("%-28s %10.2f %%%12.2f %%%10zu\n", label.c_str(), summary.mean_ape,
+              summary.median_ape, summary.samples);
+}
+
+inline void print_error_header() {
+  std::printf("%-28s %12s %13s %10s\n", "estimator / workload", "mean err", "median err",
+              "samples");
+}
+
+}  // namespace powerapi::benchx

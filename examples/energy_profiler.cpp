@@ -1,0 +1,82 @@
+// energy_profiler: runs the full Figure-1 learning pipeline and saves the
+// resulting power model to a file other tools (process_monitor) can load —
+// the "train once, monitor forever" workflow of the paper's middleware.
+//
+//   $ ./energy_profiler [output-file]     (default: i3_2120.model)
+//
+// Also demonstrates the extension points: automatic Spearman counter
+// selection (the paper's announced future work) and cross-validated fit
+// quality reporting.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "mathx/crossval.h"
+#include "mathx/ols.h"
+#include "model/model_io.h"
+#include "model/trainer.h"
+#include "util/units.h"
+
+using namespace powerapi;
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "i3_2120.model";
+  const simcpu::CpuSpec spec = simcpu::i3_2120();
+
+  std::printf("=== energy_profiler: learning the %s power profile ===\n",
+              spec.model.c_str());
+
+  // Step 1-3 of Figure 1: sample the stress grid at every frequency.
+  model::TrainerOptions options;  // Full grid.
+  options.auto_select_events = true;  // Spearman-based counter selection.
+  options.selection.max_features = 4;
+  model::Trainer trainer(spec, simcpu::GroundTruthParams{}, options);
+  std::printf("sampling %zu workloads x %zu frequencies...\n",
+              workloads::make_stress_grid(options.grid).size(),
+              spec.frequencies_hz.size());
+  const model::SampleSet samples = trainer.collect();
+  std::printf("collected %zu samples; idle floor %.2f W\n", samples.total_samples(),
+              samples.idle_watts);
+
+  // Step 4: regression (with automatic event selection).
+  const model::TrainingResult result = trainer.fit(samples);
+  std::printf("\nSpearman selected events:");
+  for (const hpc::EventId id : result.selected_events) {
+    std::printf(" %s", std::string(hpc::to_string(id)).c_str());
+  }
+  std::printf("\n\n%s\n", result.model.describe().c_str());
+
+  // Cross-validated generalization check at the maximum frequency.
+  {
+    const auto& batch = samples.by_frequency.back();
+    mathx::Matrix design(batch.size(), result.selected_events.size());
+    std::vector<double> target(batch.size());
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      for (std::size_t c = 0; c < result.selected_events.size(); ++c) {
+        design(r, c) = model::rate_of(batch[r].rates, result.selected_events[c]);
+      }
+      target[r] = batch[r].watts - samples.idle_watts;
+    }
+    util::Rng rng(1);
+    const auto cv = mathx::cross_validate(
+        design, target, 5, rng, [](const mathx::Matrix& x, std::span<const double> y) {
+          const auto fit = mathx::nnls(x, y);
+          return [coeffs = fit.coefficients](std::span<const double> row) {
+            double out = 0;
+            for (std::size_t i = 0; i < coeffs.size(); ++i) out += coeffs[i] * row[i];
+            return out;
+          };
+        });
+    std::printf("5-fold CV at %.2f GHz: RMSE %.3f +/- %.3f W\n",
+                util::hz_to_ghz(spec.max_frequency_hz()), cv.mean_rmse, cv.stddev_rmse);
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  model::save_model(result.model, out);
+  std::printf("\npower model written to %s — feed it to process_monitor.\n", path);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: learn a power model for the simulated i3-2120, then monitor a
+// workload and compare PowerAPI's estimates against the (simulated)
+// PowerSpy wall meter.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API: Trainer (Figure 1), PowerMeter
+// (Figure 2), reporters, and the error metrics of Figure 3.
+#include <cstdio>
+#include <iostream>
+
+#include "model/trainer.h"
+#include "os/system.h"
+#include "powerapi/power_meter.h"
+#include "util/stats.h"
+#include "workloads/specjbb.h"
+#include "workloads/stress.h"
+
+using namespace powerapi;
+
+int main() {
+  const simcpu::CpuSpec spec = simcpu::i3_2120();
+  std::cout << "=== Simulated processor (paper, Table 1) ===\n"
+            << spec.describe() << "\n";
+
+  // --- Step 1: learn the power model (Figure 1) ---
+  model::TrainerOptions options;
+  options.grid.intensities = {0.5, 1.0};  // Small grid: quickstart speed.
+  options.point_duration = util::seconds_to_ns(1);
+  model::Trainer trainer(spec, simcpu::GroundTruthParams{}, options);
+  std::cout << "Training the CPU power model (sweeping "
+            << workloads::make_stress_grid(options.grid).size() << " workloads x "
+            << spec.frequencies_hz.size() << " frequencies)...\n";
+  const model::TrainingResult result = trainer.train();
+  std::cout << result.model.describe() << "\n";
+
+  // --- Step 2: monitor a workload with the learned model (Figure 2) ---
+  os::System system(spec);
+  util::Rng rng(2026);
+  system.spawn("kdaemon", workloads::make_background_daemon(rng.fork(1)));
+
+  workloads::SpecJbbOptions jbb;
+  jbb.warmup = util::seconds_to_ns(10);
+  jbb.staircase_step = util::seconds_to_ns(6);
+  jbb.search_phase = util::seconds_to_ns(30);
+  jbb.cooldown = util::seconds_to_ns(5);
+  const os::Pid pid = system.spawn("specjbb", workloads::make_specjbb(jbb, rng.fork(2)));
+
+  api::PowerMeter::Config config;
+  config.dimension = api::AggregationDimension::kPid;  // Keep per-pid rows.
+  api::PowerMeter meter(system, result.model, config);
+  auto& memory = meter.add_memory_reporter();
+  meter.monitor({pid});
+  meter.run_for(workloads::specjbb_duration(jbb));
+  meter.finish();
+
+  // --- Step 3: compare estimation vs measurement (Figure 3) ---
+  const auto estimated = api::MemoryReporter::watts_of(memory.series("powerapi-hpc"));
+  const auto measured = api::MemoryReporter::watts_of(memory.series("powerspy"));
+  const std::size_t n = std::min(estimated.size(), measured.size());
+  std::cout << "Collected " << n << " aligned samples.\n";
+  if (n > 4) {
+    const std::span<const double> ref(measured.data(), n);
+    const std::span<const double> est(estimated.data(), n);
+    std::printf("PowerSpy mean:  %.2f W\n", util::mean(ref));
+    std::printf("PowerAPI mean:  %.2f W\n", util::mean(est));
+    std::printf("median error:   %.1f %%\n", util::median_ape(ref, est));
+    std::printf("mean error:     %.1f %%\n", util::mape(ref, est));
+  }
+
+  // Per-process attribution for the SPECjbb process itself.
+  const auto process_rows = memory.series("powerapi-hpc", pid);
+  if (!process_rows.empty()) {
+    const auto watts = api::MemoryReporter::watts_of(process_rows);
+    std::printf("specjbb (pid %lld) mean attributed power: %.2f W\n",
+                static_cast<long long>(pid), util::mean(watts));
+  }
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "actors/actor_system.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace powerapi::actors {
+
+void ActorRef::tell(std::any payload) const { tell(std::move(payload), ActorRef()); }
+
+void ActorRef::tell(std::any payload, ActorRef sender) const {
+  if (!valid()) return;
+  system_->tell(*this, std::move(payload), sender);
+}
+
+ActorSystem::ActorSystem(Mode mode, std::size_t workers) : mode_(mode) {
+  if (mode_ == Mode::kThreaded) {
+    if (workers == 0) throw std::invalid_argument("ActorSystem: zero workers");
+    running_.store(true, std::memory_order_release);
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+ActorSystem::~ActorSystem() { shutdown(); }
+
+ActorRef ActorSystem::spawn(std::string name, std::unique_ptr<Actor> actor) {
+  if (!actor) throw std::invalid_argument("ActorSystem::spawn: null actor");
+  auto cell = std::make_unique<Cell>();
+  cell->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  cell->name = std::move(name);
+  cell->actor = std::move(actor);
+  const ActorRef ref(this, cell->id);
+  cell->actor->self_ = ref;
+  cell->actor->name_ = cell->name;
+  cell->actor->pre_start();
+  {
+    std::lock_guard lock(cells_mutex_);
+    cells_.push_back(std::move(cell));
+  }
+  return ref;
+}
+
+ActorSystem::Cell* ActorSystem::find_cell(ActorId id) const {
+  std::lock_guard lock(cells_mutex_);
+  for (const auto& cell : cells_) {
+    if (cell->id == id && !cell->stopped.load(std::memory_order_acquire)) {
+      return cell.get();
+    }
+  }
+  return nullptr;
+}
+
+std::size_t ActorSystem::actor_count() const {
+  std::lock_guard lock(cells_mutex_);
+  std::size_t n = 0;
+  for (const auto& cell : cells_) {
+    if (!cell->stopped.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+void ActorSystem::tell(const ActorRef& target, std::any payload, ActorRef sender) {
+  Cell* cell = target.system() == this ? find_cell(target.id()) : nullptr;
+  if (cell == nullptr) {
+    dead_letters_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Envelope envelope{std::move(payload), sender,
+                    next_sequence_.fetch_add(1, std::memory_order_relaxed)};
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  cell->mailbox.push(std::move(envelope));
+  if (mode_ == Mode::kThreaded) schedule(*cell);
+}
+
+void ActorSystem::schedule(Cell& cell) {
+  bool expected = false;
+  if (!cell.scheduled.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    return;  // Already queued or being processed.
+  }
+  {
+    std::lock_guard lock(runq_mutex_);
+    runq_.push_back(&cell);
+  }
+  runq_cv_.notify_one();
+}
+
+void ActorSystem::handle_failure(Cell& cell, const std::exception& error) {
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  const SupervisionDirective directive = cell.actor->on_failure(error);
+  switch (directive) {
+    case SupervisionDirective::kResume:
+      POWERAPI_LOG_WARN("actors") << cell.name << " resumed after failure: " << error.what();
+      break;
+    case SupervisionDirective::kRestart:
+      POWERAPI_LOG_WARN("actors") << cell.name << " restarting after failure: " << error.what();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      cell.actor->post_stop();
+      cell.actor->pre_start();
+      break;
+    case SupervisionDirective::kStop:
+      POWERAPI_LOG_WARN("actors") << cell.name << " stopped after failure: " << error.what();
+      cell.stopped.store(true, std::memory_order_release);
+      cell.actor->post_stop();
+      break;
+  }
+}
+
+void ActorSystem::process_one(Cell& cell, Envelope& envelope) {
+  try {
+    cell.actor->receive(envelope);
+  } catch (const std::exception& e) {
+    handle_failure(cell, e);
+  }
+  messages_processed_.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+std::size_t ActorSystem::drain(std::size_t max_messages) {
+  if (mode_ != Mode::kManual) {
+    throw std::logic_error("ActorSystem::drain: only valid in manual mode");
+  }
+  std::size_t processed = 0;
+  bool progressed = true;
+  while (progressed && processed < max_messages) {
+    progressed = false;
+    // Snapshot cells to allow spawn during drain.
+    std::vector<Cell*> snapshot;
+    {
+      std::lock_guard lock(cells_mutex_);
+      snapshot.reserve(cells_.size());
+      for (const auto& cell : cells_) snapshot.push_back(cell.get());
+    }
+    for (Cell* cell : snapshot) {
+      if (processed >= max_messages) break;
+      if (cell->stopped.load(std::memory_order_acquire)) {
+        // Drain dead mailbox into dead letters.
+        while (auto e = cell->mailbox.pop()) {
+          dead_letters_.fetch_add(1, std::memory_order_relaxed);
+          pending_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        continue;
+      }
+      if (auto envelope = cell->mailbox.pop()) {
+        process_one(*cell, *envelope);
+        ++processed;
+        progressed = true;
+      }
+    }
+  }
+  return processed;
+}
+
+void ActorSystem::worker_loop() {
+  constexpr std::size_t kThroughput = 64;  // Messages per scheduling slot.
+  while (true) {
+    Cell* cell = nullptr;
+    {
+      std::unique_lock lock(runq_mutex_);
+      runq_cv_.wait(lock, [this] {
+        return !runq_.empty() || !running_.load(std::memory_order_acquire);
+      });
+      if (!running_.load(std::memory_order_acquire) && runq_.empty()) return;
+      cell = runq_.front();
+      runq_.pop_front();
+    }
+
+    std::size_t handled = 0;
+    while (handled < kThroughput) {
+      if (cell->stopped.load(std::memory_order_acquire)) {
+        while (auto e = cell->mailbox.pop()) {
+          dead_letters_.fetch_add(1, std::memory_order_relaxed);
+          pending_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        break;
+      }
+      auto envelope = cell->mailbox.pop();
+      if (!envelope) break;
+      process_one(*cell, *envelope);
+      ++handled;
+    }
+
+    // Release the scheduling token, then re-check for late arrivals.
+    cell->scheduled.store(false, std::memory_order_release);
+    if (!cell->mailbox.empty() && !cell->stopped.load(std::memory_order_acquire)) {
+      schedule(*cell);
+    }
+  }
+}
+
+void ActorSystem::await_idle() {
+  if (mode_ != Mode::kThreaded) {
+    throw std::logic_error("ActorSystem::await_idle: only valid in threaded mode");
+  }
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+void ActorSystem::stop(const ActorRef& ref) {
+  Cell* cell = ref.system() == this ? find_cell(ref.id()) : nullptr;
+  if (cell == nullptr) return;
+  cell->stopped.store(true, std::memory_order_release);
+  cell->actor->post_stop();
+}
+
+void ActorSystem::shutdown() {
+  if (mode_ == Mode::kThreaded && running_.exchange(false, std::memory_order_acq_rel)) {
+    runq_cv_.notify_all();
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+  }
+  // Mark everything stopped under the lock, but run post_stop hooks outside
+  // it: a hook may legitimately publish (e.g. an aggregator flushing), which
+  // re-enters tell()/find_cell() and would deadlock on cells_mutex_.
+  std::vector<Cell*> to_stop;
+  {
+    std::lock_guard lock(cells_mutex_);
+    for (auto& cell : cells_) {
+      if (!cell->stopped.exchange(true, std::memory_order_acq_rel)) {
+        to_stop.push_back(cell.get());
+      }
+    }
+  }
+  for (Cell* cell : to_stop) cell->actor->post_stop();
+}
+
+}  // namespace powerapi::actors

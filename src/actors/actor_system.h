@@ -1,0 +1,119 @@
+// The actor runtime.
+//
+// Two dispatch modes cover the library's needs:
+//  * kManual    — no threads; drain() processes messages deterministically.
+//                 All simulation experiments and most tests run here.
+//  * kThreaded  — a worker pool dispatches actors concurrently with the
+//                 classic schedule-on-first-message protocol; used for live
+//                 monitoring and exercised by the concurrency tests and the
+//                 Figure-2 throughput benchmark.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "actors/actor.h"
+#include "actors/mailbox.h"
+#include "actors/message.h"
+
+namespace powerapi::actors {
+
+class ActorSystem {
+ public:
+  enum class Mode { kManual, kThreaded };
+
+  explicit ActorSystem(Mode mode, std::size_t workers = 2);
+  ~ActorSystem();
+
+  ActorSystem(const ActorSystem&) = delete;
+  ActorSystem& operator=(const ActorSystem&) = delete;
+
+  /// Spawns an actor; pre_start() runs before the first message.
+  ActorRef spawn(std::string name, std::unique_ptr<Actor> actor);
+
+  template <typename A, typename... Args>
+  ActorRef spawn_as(std::string name, Args&&... args) {
+    return spawn(std::move(name), std::make_unique<A>(std::forward<Args>(args)...));
+  }
+
+  /// Enqueues a message (any thread). Messages to stopped/unknown actors
+  /// count as dead letters.
+  void tell(const ActorRef& target, std::any payload, ActorRef sender = {});
+
+  /// Stops an actor after its current message: post_stop() runs, its
+  /// remaining mailbox drains to dead letters.
+  void stop(const ActorRef& ref);
+
+  /// kManual only: processes messages until quiescent or `max_messages`
+  /// processed. Returns the number processed. Deterministic: actors are
+  /// visited in spawn order, one message per visit (fair round-robin).
+  std::size_t drain(std::size_t max_messages = SIZE_MAX);
+
+  /// kThreaded only: blocks until every mailbox is empty and no message is
+  /// being processed.
+  void await_idle();
+
+  /// Stops workers (threaded) and all actors. Idempotent; runs in ~dtor.
+  void shutdown();
+
+  Mode mode() const noexcept { return mode_; }
+  std::uint64_t messages_processed() const noexcept {
+    return messages_processed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dead_letters() const noexcept {
+    return dead_letters_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t restarts() const noexcept {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+  std::size_t actor_count() const;
+
+ private:
+  struct Cell {
+    ActorId id = kNoActor;
+    std::string name;
+    std::unique_ptr<Actor> actor;
+    Mailbox mailbox;
+    std::atomic<bool> scheduled{false};
+    std::atomic<bool> stopped{false};
+  };
+
+  Cell* find_cell(ActorId id) const;
+  void process_one(Cell& cell, Envelope& envelope);
+  void schedule(Cell& cell);
+  void worker_loop();
+  void handle_failure(Cell& cell, const std::exception& error);
+
+  Mode mode_;
+  mutable std::mutex cells_mutex_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::atomic<ActorId> next_id_{1};
+  std::atomic<std::uint64_t> next_sequence_{0};
+  std::atomic<std::uint64_t> messages_processed_{0};
+  std::atomic<std::uint64_t> dead_letters_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+
+  // Threaded dispatch state.
+  std::mutex runq_mutex_;
+  std::condition_variable runq_cv_;
+  std::deque<Cell*> runq_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> pending_{0};  ///< Enqueued but not yet processed.
+  std::condition_variable idle_cv_;
+  std::mutex idle_mutex_;
+};
+
+}  // namespace powerapi::actors

@@ -1,0 +1,46 @@
+#include "actors/event_bus.h"
+
+#include <algorithm>
+
+namespace powerapi::actors {
+
+void EventBus::subscribe(const std::string& topic, ActorRef subscriber) {
+  if (!subscriber.valid()) return;
+  std::unique_lock lock(mutex_);
+  auto& subs = topics_[topic];
+  if (std::find(subs.begin(), subs.end(), subscriber) == subs.end()) {
+    subs.push_back(subscriber);
+  }
+}
+
+void EventBus::unsubscribe(const std::string& topic, ActorRef subscriber) {
+  std::unique_lock lock(mutex_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  auto& subs = it->second;
+  subs.erase(std::remove(subs.begin(), subs.end(), subscriber), subs.end());
+  if (subs.empty()) topics_.erase(it);
+}
+
+std::size_t EventBus::publish(const std::string& topic, const std::any& payload,
+                              ActorRef sender) {
+  std::vector<ActorRef> subs;
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = topics_.find(topic);
+    if (it == topics_.end()) return 0;
+    subs = it->second;  // Copy out so delivery runs without the lock.
+  }
+  for (const auto& ref : subs) {
+    system_->tell(ref, payload, sender);
+  }
+  return subs.size();
+}
+
+std::size_t EventBus::subscriber_count(const std::string& topic) const {
+  std::shared_lock lock(mutex_);
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.size();
+}
+
+}  // namespace powerapi::actors

@@ -1,0 +1,40 @@
+// Topic-based publish/subscribe event bus.
+//
+// The paper's architecture routes SensorMessages and PowerEstimations over
+// an event bus with topic classification (Akka's EventBus); Sensors publish,
+// Formulas subscribe, and so on down the pipeline. Topics are strings like
+// "sensor:hpc" or "power:estimation".
+#pragma once
+
+#include <any>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "actors/actor_system.h"
+#include "actors/message.h"
+
+namespace powerapi::actors {
+
+class EventBus {
+ public:
+  explicit EventBus(ActorSystem& system) : system_(&system) {}
+
+  void subscribe(const std::string& topic, ActorRef subscriber);
+  void unsubscribe(const std::string& topic, ActorRef subscriber);
+
+  /// Delivers `payload` to every subscriber of `topic` (copying the payload
+  /// per subscriber). Returns the number of actors notified.
+  std::size_t publish(const std::string& topic, const std::any& payload,
+                      ActorRef sender = {});
+
+  std::size_t subscriber_count(const std::string& topic) const;
+
+ private:
+  ActorSystem* system_;
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::vector<ActorRef>> topics_;
+};
+
+}  // namespace powerapi::actors

@@ -1,0 +1,48 @@
+// MPSC actor mailbox: many producers (any thread may tell), one consumer
+// (the dispatcher guarantees single-threaded processing per actor).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "actors/message.h"
+
+namespace powerapi::actors {
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues; returns the queue length after insertion (1 means the
+  /// mailbox was empty and the actor needs scheduling).
+  std::size_t push(Envelope envelope) {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(envelope));
+    return queue_.size();
+  }
+
+  std::optional<Envelope> pop() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    Envelope e = std::move(queue_.front());
+    queue_.pop_front();
+    return e;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace powerapi::actors

@@ -1,0 +1,50 @@
+// Message envelope and actor identity.
+//
+// Messages are immutable-by-convention std::any payloads; actors pattern-
+// match with std::any_cast, the C++ analogue of the Scala receive block the
+// paper's toolkit uses. Envelopes carry the sender for reply patterns and a
+// sequence number for deterministic ordering diagnostics.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <string>
+
+namespace powerapi::actors {
+
+using ActorId = std::uint64_t;
+inline constexpr ActorId kNoActor = 0;
+
+class ActorSystem;
+
+/// Cheap copyable handle to an actor. Valid as long as its system lives;
+/// telling a stopped actor is a silent no-op (dead letter), as in Akka.
+class ActorRef {
+ public:
+  ActorRef() = default;
+  ActorRef(ActorSystem* system, ActorId id) : system_(system), id_(id) {}
+
+  bool valid() const noexcept { return system_ != nullptr && id_ != kNoActor; }
+  ActorId id() const noexcept { return id_; }
+  ActorSystem* system() const noexcept { return system_; }
+
+  /// Enqueues `payload` to this actor. Implemented in actor_system.cpp.
+  void tell(std::any payload) const;
+  void tell(std::any payload, ActorRef sender) const;
+
+  bool operator==(const ActorRef& other) const noexcept {
+    return system_ == other.system_ && id_ == other.id_;
+  }
+
+ private:
+  ActorSystem* system_ = nullptr;
+  ActorId id_ = kNoActor;
+};
+
+struct Envelope {
+  std::any payload;
+  ActorRef sender;
+  std::uint64_t sequence = 0;  ///< System-wide enqueue order (diagnostics).
+};
+
+}  // namespace powerapi::actors

@@ -1,0 +1,21 @@
+#include "actors/timers.h"
+
+#include <stdexcept>
+
+namespace powerapi::actors {
+
+Ticker::Ticker(util::TimestampNs start, util::DurationNs period)
+    : period_(period), next_(start + period) {
+  if (period <= 0) throw std::invalid_argument("Ticker: non-positive period");
+}
+
+std::uint64_t Ticker::due(util::TimestampNs now) {
+  std::uint64_t count = 0;
+  while (now >= next_) {
+    ++count;
+    next_ += period_;
+  }
+  return count;
+}
+
+}  // namespace powerapi::actors

@@ -1,0 +1,34 @@
+// Clock-driven periodic trigger.
+//
+// PowerAPI's monitoring loop ticks at a user-chosen period ("monitor every
+// 250 ms"). The Ticker converts an advancing Clock into a count of due
+// ticks, working identically for simulated and wall clocks, so the same
+// monitor code runs in experiments and live.
+#pragma once
+
+#include <cstdint>
+
+#include "util/clock.h"
+#include "util/units.h"
+
+namespace powerapi::actors {
+
+class Ticker {
+ public:
+  /// First tick fires once `period` has elapsed from `start`.
+  Ticker(util::TimestampNs start, util::DurationNs period);
+
+  /// Number of ticks that became due since the last call, given `now`.
+  /// Catch-up semantics: a long stall yields multiple ticks.
+  std::uint64_t due(util::TimestampNs now);
+
+  util::DurationNs period() const noexcept { return period_; }
+  /// Timestamp of the most recently consumed tick.
+  util::TimestampNs last_tick() const noexcept { return next_ - period_; }
+
+ private:
+  util::DurationNs period_;
+  util::TimestampNs next_;
+};
+
+}  // namespace powerapi::actors

@@ -1,0 +1,63 @@
+#include "baselines/bertran_model.h"
+
+#include <cmath>
+
+namespace powerapi::baselines {
+
+using hpc::EventId;
+using model::rate_of;
+
+std::vector<std::string> BertranModel::component_names() {
+  return {"in-order-engine", "frontend", "branch-unit", "llc", "memory"};
+}
+
+std::vector<FeatureFn> BertranModel::features() {
+  return {
+      // In-order engine: retired instruction stream.
+      [](const Observation& o) { return rate_of(o.rates, EventId::kInstructions); },
+      // Front-end activity: cycles (fetch/decode toggles every active cycle).
+      [](const Observation& o) { return rate_of(o.rates, EventId::kCycles); },
+      // Branch unit: mispredictions dominate its dynamic cost.
+      [](const Observation& o) { return rate_of(o.rates, EventId::kBranchMisses); },
+      // LLC component: references that escaped the private levels.
+      [](const Observation& o) { return rate_of(o.rates, EventId::kCacheReferences); },
+      // Memory component: LLC misses reaching DRAM.
+      [](const Observation& o) { return rate_of(o.rates, EventId::kCacheMisses); },
+  };
+}
+
+BertranModel BertranModel::train(const model::SampleSet& samples) {
+  return BertranModel(PerFrequencyFit::fit(samples, features()));
+}
+
+double BertranModel::estimate(const Observation& obs) const {
+  return fit_.idle_watts + fit_.estimate_activity(obs.frequency_hz, obs, features());
+}
+
+double BertranModel::estimate_task(const Observation& obs) const {
+  return fit_.estimate_activity(obs.frequency_hz, obs, features());
+}
+
+std::vector<double> BertranModel::decompose(const Observation& obs) const {
+  const auto fs = features();
+  std::vector<double> parts;
+  parts.reserve(fs.size());
+  for (std::size_t c = 0; c < fs.size(); ++c) {
+    // Re-use estimate_activity with a single feature by zeroing the others:
+    // simpler to recompute directly from the fitted coefficients.
+    Observation probe = obs;
+    std::vector<FeatureFn> single{fs[c]};
+    // Nearest-frequency coefficient lookup mirrors estimate_activity.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < fit_.frequencies_hz.size(); ++i) {
+      if (std::abs(fit_.frequencies_hz[i] - obs.frequency_hz) <
+          std::abs(fit_.frequencies_hz[best] - obs.frequency_hz)) {
+        best = i;
+      }
+    }
+    parts.push_back(fit_.coefficients[best][c] * fs[c](probe));
+  }
+  return parts;
+}
+
+}  // namespace powerapi::baselines

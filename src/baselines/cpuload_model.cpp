@@ -1,0 +1,29 @@
+#include "baselines/cpuload_model.h"
+
+#include <cmath>
+
+namespace powerapi::baselines {
+
+std::vector<FeatureFn> CpuLoadModel::features() {
+  return {[](const Observation& o) { return o.utilization; }};
+}
+
+CpuLoadModel CpuLoadModel::train(const model::SampleSet& samples) {
+  return CpuLoadModel(PerFrequencyFit::fit(samples, features()));
+}
+
+double CpuLoadModel::estimate(const Observation& obs) const {
+  return fit_.idle_watts + fit_.estimate_activity(obs.frequency_hz, obs, features());
+}
+
+double CpuLoadModel::estimate_task(const Observation& obs) const {
+  return fit_.estimate_activity(obs.frequency_hz, obs, features());
+}
+
+double CpuLoadModel::slope_at(double hz) const {
+  Observation unit;
+  unit.utilization = 1.0;
+  return fit_.estimate_activity(hz, unit, features());
+}
+
+}  // namespace powerapi::baselines

@@ -1,0 +1,30 @@
+// CPU-load power model (Versick et al., the paper's [13]): machine power as
+// a per-frequency linear function of utilization alone. The paper argues
+// this under-performs HPC-based models because load only says *whether* the
+// processor works, not *what kind* of work — experiment A1 quantifies that.
+#pragma once
+
+#include "baselines/estimator.h"
+
+namespace powerapi::baselines {
+
+class CpuLoadModel final : public MachinePowerEstimator {
+ public:
+  /// Fits `power - idle = a_f · utilization` per frequency.
+  static CpuLoadModel train(const model::SampleSet& samples);
+
+  std::string name() const override { return "cpu-load"; }
+  double estimate(const Observation& obs) const override;
+  double estimate_task(const Observation& obs) const override;
+
+  /// The slope (watts at 100% utilization) for the nearest frequency.
+  double slope_at(double hz) const;
+
+ private:
+  explicit CpuLoadModel(PerFrequencyFit fit) : fit_(std::move(fit)) {}
+
+  static std::vector<FeatureFn> features();
+  PerFrequencyFit fit_;
+};
+
+}  // namespace powerapi::baselines

@@ -1,0 +1,48 @@
+#include "baselines/estimator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powerapi::baselines {
+
+PerFrequencyFit PerFrequencyFit::fit(const model::SampleSet& samples,
+                                     const std::vector<FeatureFn>& features) {
+  if (features.empty()) throw std::invalid_argument("PerFrequencyFit: no features");
+  PerFrequencyFit out;
+  out.idle_watts = samples.idle_watts;
+  for (std::size_t fi = 0; fi < samples.by_frequency.size(); ++fi) {
+    const auto& batch = samples.by_frequency[fi];
+    if (batch.size() < features.size() + 2) {
+      throw std::runtime_error("PerFrequencyFit: too few samples in batch " +
+                               std::to_string(fi));
+    }
+    mathx::Matrix design(batch.size(), features.size());
+    std::vector<double> target(batch.size());
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      for (std::size_t c = 0; c < features.size(); ++c) {
+        design(r, c) = features[c](batch[r]);
+      }
+      target[r] = batch[r].watts - samples.idle_watts;
+    }
+    const auto fit_result = mathx::nnls(design, target);
+    out.frequencies_hz.push_back(samples.frequencies_hz[fi]);
+    out.coefficients.push_back(fit_result.coefficients);
+  }
+  return out;
+}
+
+double PerFrequencyFit::estimate_activity(double hz, const Observation& obs,
+                                          const std::vector<FeatureFn>& features) const {
+  if (frequencies_hz.empty()) throw std::logic_error("PerFrequencyFit: empty fit");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < frequencies_hz.size(); ++i) {
+    if (std::abs(frequencies_hz[i] - hz) < std::abs(frequencies_hz[best] - hz)) best = i;
+  }
+  double watts = 0.0;
+  for (std::size_t c = 0; c < features.size(); ++c) {
+    watts += coefficients[best][c] * features[c](obs);
+  }
+  return watts;
+}
+
+}  // namespace powerapi::baselines

@@ -1,0 +1,71 @@
+// Common interface for machine-power estimators, so the comparison benches
+// (C1, C2, A1) evaluate PowerAPI's model and the literature baselines over
+// identical observation streams.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mathx/ols.h"
+#include "model/power_model.h"
+#include "model/sample.h"
+
+namespace powerapi::baselines {
+
+/// An observation is a TrainingSample with `watts` as ground truth when
+/// evaluating; estimators must only read the feature fields.
+using Observation = model::TrainingSample;
+
+class MachinePowerEstimator {
+ public:
+  virtual ~MachinePowerEstimator() = default;
+  virtual std::string name() const = 0;
+  /// Estimated machine power (watts, including idle) for one observation.
+  virtual double estimate(const Observation& obs) const = 0;
+  /// Activity-only estimate for a per-task observation (rates belong to one
+  /// task): the watts the estimator attributes to that task's work. The
+  /// linear models are additive over tasks, so the machine fit directly
+  /// yields per-task coefficients.
+  virtual double estimate_task(const Observation& obs) const = 0;
+};
+
+/// Adapter: the paper's HPC-regression model as a MachinePowerEstimator.
+class HpcModelEstimator final : public MachinePowerEstimator {
+ public:
+  explicit HpcModelEstimator(model::CpuPowerModel model) : model_(std::move(model)) {}
+
+  std::string name() const override { return "powerapi-hpc"; }
+  double estimate(const Observation& obs) const override {
+    return model_.estimate_machine(obs.frequency_hz, obs.rates);
+  }
+  double estimate_task(const Observation& obs) const override {
+    return model_.estimate_activity(obs.frequency_hz, obs.rates);
+  }
+  const model::CpuPowerModel& model() const noexcept { return model_; }
+
+ private:
+  model::CpuPowerModel model_;
+};
+
+/// Extracts one regression feature from an observation.
+using FeatureFn = std::function<double(const Observation&)>;
+
+/// One per-frequency linear fit over arbitrary observation features —
+/// the shared machinery of the baseline models. Coefficients are
+/// non-negative (NNLS), mirroring the power-model constraint.
+struct PerFrequencyFit {
+  std::vector<double> frequencies_hz;            ///< Ascending.
+  std::vector<std::vector<double>> coefficients; ///< Parallel to frequencies.
+  double idle_watts = 0.0;
+
+  /// Fits one coefficient vector per frequency batch of `samples`.
+  static PerFrequencyFit fit(const model::SampleSet& samples,
+                             const std::vector<FeatureFn>& features);
+
+  /// Activity estimate using the formula of the nearest frequency.
+  double estimate_activity(double hz, const Observation& obs,
+                           const std::vector<FeatureFn>& features) const;
+};
+
+}  // namespace powerapi::baselines

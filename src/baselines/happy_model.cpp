@@ -1,0 +1,37 @@
+#include "baselines/happy_model.h"
+
+#include <algorithm>
+
+namespace powerapi::baselines {
+
+using hpc::EventId;
+using model::rate_of;
+
+std::vector<FeatureFn> HappyModel::features() {
+  return {
+      // Solo cycles: the sibling hyperthread was idle.
+      [](const Observation& o) {
+        const double cycles = rate_of(o.rates, EventId::kCycles);
+        return std::max(0.0, cycles - o.smt_shared_cycles_per_sec);
+      },
+      // Co-resident cycles: both hyperthreads of the core were busy.
+      [](const Observation& o) { return o.smt_shared_cycles_per_sec; },
+      // Instruction stream and memory traffic, as in the plain model.
+      [](const Observation& o) { return rate_of(o.rates, EventId::kInstructions); },
+      [](const Observation& o) { return rate_of(o.rates, EventId::kCacheMisses); },
+  };
+}
+
+HappyModel HappyModel::train(const model::SampleSet& samples) {
+  return HappyModel(PerFrequencyFit::fit(samples, features()));
+}
+
+double HappyModel::estimate_task(const Observation& obs) const {
+  return fit_.estimate_activity(obs.frequency_hz, obs, features());
+}
+
+double HappyModel::estimate(const Observation& obs) const {
+  return fit_.idle_watts + fit_.estimate_activity(obs.frequency_hz, obs, features());
+}
+
+}  // namespace powerapi::baselines

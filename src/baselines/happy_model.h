@@ -1,0 +1,28 @@
+// HyperThread-aware power model (Zhai et al., USENIX ATC'14 "HaPPy" — the
+// paper's [14]): splits cycle accounting into solo cycles (sibling idle)
+// and co-resident cycles (both hyperthreads busy), because a core running
+// two threads burns far less than 2× the power of two cores running one
+// thread each. The extra signal comes from the scheduler, not the PMU —
+// which is why the plain HPC model cannot express it (experiment C2).
+#pragma once
+
+#include "baselines/estimator.h"
+
+namespace powerapi::baselines {
+
+class HappyModel final : public MachinePowerEstimator {
+ public:
+  static HappyModel train(const model::SampleSet& samples);
+
+  std::string name() const override { return "happy-ht-aware"; }
+  double estimate(const Observation& obs) const override;
+  double estimate_task(const Observation& obs) const override;
+
+ private:
+  explicit HappyModel(PerFrequencyFit fit) : fit_(std::move(fit)) {}
+
+  static std::vector<FeatureFn> features();
+  PerFrequencyFit fit_;
+};
+
+}  // namespace powerapi::baselines

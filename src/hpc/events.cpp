@@ -1,0 +1,96 @@
+#include "hpc/events.h"
+
+namespace powerapi::hpc {
+
+namespace {
+constexpr std::array<EventId, kEventCount> kAllEvents = {
+    EventId::kCycles,
+    EventId::kInstructions,
+    EventId::kCacheReferences,
+    EventId::kCacheMisses,
+    EventId::kBranchInstructions,
+    EventId::kBranchMisses,
+    EventId::kBusCycles,
+    EventId::kStalledCyclesFrontend,
+    EventId::kStalledCyclesBackend,
+    EventId::kRefCycles,
+};
+
+constexpr std::array<EventId, 3> kPaperEvents = {
+    EventId::kInstructions,
+    EventId::kCacheReferences,
+    EventId::kCacheMisses,
+};
+
+constexpr std::array<std::string_view, kEventCount> kNames = {
+    "cycles",
+    "instructions",
+    "cache-references",
+    "cache-misses",
+    "branch-instructions",
+    "branch-misses",
+    "bus-cycles",
+    "stalled-cycles-frontend",
+    "stalled-cycles-backend",
+    "ref-cycles",
+};
+}  // namespace
+
+std::span<const EventId> all_events() noexcept { return kAllEvents; }
+
+std::span<const EventId> paper_events() noexcept { return kPaperEvents; }
+
+std::string_view to_string(EventId id) noexcept {
+  return kNames[static_cast<std::size_t>(id)];
+}
+
+std::optional<EventId> event_from_string(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    if (kNames[i] == name) return static_cast<EventId>(i);
+  }
+  return std::nullopt;
+}
+
+std::uint64_t get_event(const simcpu::CounterBlock& block, EventId id) noexcept {
+  switch (id) {
+    case EventId::kCycles:
+      return block.cycles;
+    case EventId::kInstructions:
+      return block.instructions;
+    case EventId::kCacheReferences:
+      return block.cache_references;
+    case EventId::kCacheMisses:
+      return block.cache_misses;
+    case EventId::kBranchInstructions:
+      return block.branch_instructions;
+    case EventId::kBranchMisses:
+      return block.branch_misses;
+    case EventId::kBusCycles:
+      return block.bus_cycles;
+    case EventId::kStalledCyclesFrontend:
+      return block.stalled_cycles_frontend;
+    case EventId::kStalledCyclesBackend:
+      return block.stalled_cycles_backend;
+    case EventId::kRefCycles:
+      return block.ref_cycles;
+  }
+  return 0;
+}
+
+EventValues EventValues::from_block(const simcpu::CounterBlock& block) noexcept {
+  EventValues v;
+  for (EventId id : all_events()) v[id] = get_event(block, id);
+  return v;
+}
+
+EventValues EventValues::delta_since(const EventValues& previous) const noexcept {
+  EventValues d;
+  for (EventId id : all_events()) {
+    const std::uint64_t a = (*this)[id];
+    const std::uint64_t b = previous[id];
+    d[id] = a >= b ? a - b : 0;
+  }
+  return d;
+}
+
+}  // namespace powerapi::hpc

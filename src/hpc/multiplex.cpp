@@ -1,0 +1,66 @@
+#include "hpc/multiplex.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powerapi::hpc {
+
+MultiplexingBackend::MultiplexingBackend(std::unique_ptr<CounterBackend> inner,
+                                         std::vector<EventId> events,
+                                         std::size_t hardware_width)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("MultiplexingBackend: null inner backend");
+  if (hardware_width == 0) throw std::invalid_argument("MultiplexingBackend: zero width");
+  if (events.empty()) throw std::invalid_argument("MultiplexingBackend: no events");
+  for (std::size_t i = 0; i < events.size(); i += hardware_width) {
+    const std::size_t end = std::min(i + hardware_width, events.size());
+    groups_.emplace_back(events.begin() + static_cast<std::ptrdiff_t>(i),
+                         events.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+}
+
+bool MultiplexingBackend::supports(EventId id) const {
+  for (const auto& group : groups_) {
+    if (std::find(group.begin(), group.end(), id) != group.end()) {
+      return inner_->supports(id);
+    }
+  }
+  return false;
+}
+
+MultiplexingBackend::TargetState& MultiplexingBackend::state_for(Target target) {
+  for (auto& s : states_) {
+    if (s.pid == target.pid) return s;
+  }
+  states_.push_back(TargetState{target.pid, {}, {}, false});
+  return states_.back();
+}
+
+util::Result<EventValues> MultiplexingBackend::read(Target target) {
+  auto raw = inner_->read(target);
+  if (!raw.ok()) return raw;
+
+  TargetState& st = state_for(target);
+  if (!st.primed) {
+    st.last_raw = raw.value();
+    st.scaled_cumulative = raw.value();
+    st.primed = true;
+    // First observation: report the raw values as the baseline.
+    active_group_ = (active_group_ + 1) % groups_.size();
+    return st.scaled_cumulative;
+  }
+
+  const EventValues delta = raw.value().delta_since(st.last_raw);
+  st.last_raw = raw.value();
+
+  // Only the active group was "really counted" this interval; its deltas
+  // are scaled by the number of groups to estimate the full-window counts.
+  const auto scale = static_cast<std::uint64_t>(groups_.size());
+  for (EventId id : groups_[active_group_]) {
+    st.scaled_cumulative[id] += delta[id] * scale;
+  }
+  active_group_ = (active_group_ + 1) % groups_.size();
+  return st.scaled_cumulative;
+}
+
+}  // namespace powerapi::hpc

@@ -1,0 +1,51 @@
+// Counter multiplexing emulation.
+//
+// Real PMUs expose only a handful of programmable counters (4 per core on
+// Sandy Bridge); monitoring more events than that forces time-slicing and
+// linear scaling of the observed counts — a real accuracy cost the paper's
+// "minimal overhead" criterion weighs when choosing few events. The sim
+// backend has no such limit, so this adapter imposes one: it rotates the
+// requested event set in hardware-width groups and scales each event's
+// delta by the inverse of its duty cycle, reproducing both the mechanism
+// and its estimation noise.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "hpc/backend.h"
+
+namespace powerapi::hpc {
+
+class MultiplexingBackend final : public CounterBackend {
+ public:
+  /// Wraps `inner`, pretending the PMU can count only `hardware_width`
+  /// events at a time out of `events`. Each call to read() advances the
+  /// rotation by one group (one "multiplexing interval").
+  MultiplexingBackend(std::unique_ptr<CounterBackend> inner, std::vector<EventId> events,
+                      std::size_t hardware_width);
+
+  std::string name() const override { return inner_->name() + "+mux"; }
+  bool supports(EventId id) const override;
+  util::Result<EventValues> read(Target target) override;
+
+  std::size_t groups() const noexcept { return groups_.size(); }
+
+ private:
+  struct TargetState {
+    std::int64_t pid = 0;
+    EventValues last_raw;          ///< Inner cumulative values at last read.
+    EventValues scaled_cumulative; ///< What we report: scaled estimates.
+    bool primed = false;
+  };
+
+  TargetState& state_for(Target target);
+
+  std::unique_ptr<CounterBackend> inner_;
+  std::vector<std::vector<EventId>> groups_;
+  std::size_t active_group_ = 0;
+  std::vector<TargetState> states_;
+};
+
+}  // namespace powerapi::hpc

@@ -1,0 +1,17 @@
+#include "hpc/sim_backend.h"
+
+namespace powerapi::hpc {
+
+util::Result<EventValues> SimBackend::read(Target target) {
+  if (target.is_machine()) {
+    return EventValues::from_block(system_->machine().machine_counters());
+  }
+  const auto stat = system_->proc_stat(target.pid);
+  if (!stat) {
+    return util::Result<EventValues>::failure("sim backend: unknown pid " +
+                                              std::to_string(target.pid));
+  }
+  return EventValues::from_block(stat->counters);
+}
+
+}  // namespace powerapi::hpc

@@ -1,0 +1,24 @@
+// Counter backend over the simulated OS: per-process reads come from the
+// kernel's task accounting, machine-wide reads from the machine counters.
+#pragma once
+
+#include "hpc/backend.h"
+#include "os/system.h"
+
+namespace powerapi::hpc {
+
+class SimBackend final : public CounterBackend {
+ public:
+  /// The backend observes but never mutates the system; the reference must
+  /// outlive the backend.
+  explicit SimBackend(const os::System& system) : system_(&system) {}
+
+  std::string name() const override { return "sim"; }
+  bool supports(EventId) const override { return true; }
+  util::Result<EventValues> read(Target target) override;
+
+ private:
+  const os::System* system_;
+};
+
+}  // namespace powerapi::hpc

@@ -1,0 +1,58 @@
+#include "mathx/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace powerapi::mathx {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("pearson: length mismatch");
+  if (x.size() < 2) throw std::invalid_argument("pearson: need at least two samples");
+  const auto n = static_cast<double>(x.size());
+  const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> fractional_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank over the tie group [i, j], 1-based.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("spearman: length mismatch");
+  if (x.size() < 2) throw std::invalid_argument("spearman: need at least two samples");
+  const auto rx = fractional_ranks(x);
+  const auto ry = fractional_ranks(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace powerapi::mathx

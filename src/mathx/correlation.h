@@ -1,0 +1,25 @@
+// Pearson and Spearman correlation.
+//
+// The paper's conclusion proposes Spearman rank correlation for automatically
+// selecting the counters most correlated with power; we implement both it and
+// Pearson, and the feature-selection module builds on them (experiment A1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace powerapi::mathx {
+
+/// Pearson product-moment correlation in [-1, 1]. Returns 0 when either
+/// series has zero variance. Throws std::invalid_argument on length mismatch
+/// or fewer than two samples.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Fractional ranks (1-based), ties receive their average rank — the
+/// standard treatment for Spearman on discrete counter values.
+std::vector<double> fractional_ranks(std::span<const double> xs);
+
+/// Spearman rank correlation: Pearson over fractional ranks.
+double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace powerapi::mathx

@@ -1,0 +1,79 @@
+#include "mathx/crossval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace powerapi::mathx {
+
+std::vector<Fold> make_folds(std::size_t n, std::size_t k, util::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("make_folds: k must be >= 2");
+  if (k > n) throw std::invalid_argument("make_folds: more folds than rows");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  std::vector<Fold> folds(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    folds[i % k].validate.push_back(order[i]);
+  }
+  for (std::size_t f = 0; f < k; ++f) {
+    for (std::size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      folds[f].train.insert(folds[f].train.end(), folds[g].validate.begin(),
+                            folds[g].validate.end());
+    }
+    std::sort(folds[f].train.begin(), folds[f].train.end());
+    std::sort(folds[f].validate.begin(), folds[f].validate.end());
+  }
+  return folds;
+}
+
+Matrix gather_rows(const Matrix& m, std::span<const std::size_t> rows) {
+  Matrix out(rows.size(), m.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto src = m.row(rows[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+std::vector<double> gather(std::span<const double> v, std::span<const std::size_t> rows) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (std::size_t r : rows) out.push_back(v[r]);
+  return out;
+}
+
+CrossValResult cross_validate(const Matrix& design,
+                              std::span<const double> target,
+                              std::size_t k,
+                              util::Rng& rng,
+                              const FitFn& fit) {
+  if (design.rows() != target.size()) {
+    throw std::invalid_argument("cross_validate: target length mismatch");
+  }
+  const auto folds = make_folds(design.rows(), k, rng);
+  CrossValResult result;
+  for (const auto& fold : folds) {
+    const Matrix train_x = gather_rows(design, fold.train);
+    const auto train_y = gather(target, fold.train);
+    auto predictor = fit(train_x, train_y);
+
+    double sq = 0.0;
+    for (std::size_t r : fold.validate) {
+      const double pred = predictor(design.row(r));
+      const double err = pred - target[r];
+      sq += err * err;
+    }
+    result.fold_rmse.push_back(std::sqrt(sq / static_cast<double>(fold.validate.size())));
+  }
+  result.mean_rmse = util::mean(result.fold_rmse);
+  result.stddev_rmse = util::stddev(result.fold_rmse);
+  return result;
+}
+
+}  // namespace powerapi::mathx

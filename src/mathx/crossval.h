@@ -1,0 +1,47 @@
+// k-fold cross-validation for model selection: used by the training pipeline
+// to compare counter sets and regularization strengths without peeking at the
+// evaluation workload.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mathx/matrix.h"
+#include "util/rng.h"
+
+namespace powerapi::mathx {
+
+/// Row indices of one train/validate split.
+struct Fold {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> validate;
+};
+
+/// Shuffled k-fold split over `n` rows. Every row lands in exactly one
+/// validation fold. Throws if k < 2 or k > n.
+std::vector<Fold> make_folds(std::size_t n, std::size_t k, util::Rng& rng);
+
+/// Gathers the given rows of a design matrix / target vector.
+Matrix gather_rows(const Matrix& m, std::span<const std::size_t> rows);
+std::vector<double> gather(std::span<const double> v, std::span<const std::size_t> rows);
+
+/// A model factory: fit on (X, y), return a predictor over rows of X.
+using FitFn = std::function<std::function<double(std::span<const double>)>(
+    const Matrix&, std::span<const double>)>;
+
+struct CrossValResult {
+  double mean_rmse = 0.0;
+  double stddev_rmse = 0.0;
+  std::vector<double> fold_rmse;
+};
+
+/// Runs k-fold CV of `fit` over (design, target).
+CrossValResult cross_validate(const Matrix& design,
+                              std::span<const double> target,
+                              std::size_t k,
+                              util::Rng& rng,
+                              const FitFn& fit);
+
+}  // namespace powerapi::mathx

@@ -1,0 +1,68 @@
+#include "mathx/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/correlation.h"
+
+namespace powerapi::mathx {
+
+namespace {
+double correlate(CorrelationKind kind, std::span<const double> x, std::span<const double> y) {
+  return kind == CorrelationKind::kSpearman ? spearman(x, y) : pearson(x, y);
+}
+}  // namespace
+
+std::vector<FeatureScore> rank_features(const Matrix& design,
+                                        std::span<const double> target,
+                                        std::span<const std::string> names,
+                                        CorrelationKind kind) {
+  if (!names.empty() && names.size() != design.cols()) {
+    throw std::invalid_argument("rank_features: names/columns mismatch");
+  }
+  if (target.size() != design.rows()) {
+    throw std::invalid_argument("rank_features: target length mismatch");
+  }
+  std::vector<FeatureScore> scores;
+  scores.reserve(design.cols());
+  for (std::size_t c = 0; c < design.cols(); ++c) {
+    const auto col = design.column_vector(c);
+    FeatureScore s;
+    s.column = c;
+    s.name = names.empty() ? std::to_string(c) : names[c];
+    s.correlation = correlate(kind, col, target);
+    scores.push_back(std::move(s));
+  }
+  std::sort(scores.begin(), scores.end(), [](const FeatureScore& a, const FeatureScore& b) {
+    return std::abs(a.correlation) > std::abs(b.correlation);
+  });
+  return scores;
+}
+
+std::vector<FeatureScore> select_features(const Matrix& design,
+                                          std::span<const double> target,
+                                          std::span<const std::string> names,
+                                          const SelectionOptions& options) {
+  const auto ranked = rank_features(design, target, names, options.kind);
+  std::vector<FeatureScore> selected;
+  for (const auto& candidate : ranked) {
+    if (selected.size() >= options.max_features) break;
+    if (std::abs(candidate.correlation) < options.min_abs_correlation) break;
+
+    const auto cand_col = design.column_vector(candidate.column);
+    bool redundant = false;
+    for (const auto& chosen : selected) {
+      const auto chosen_col = design.column_vector(chosen.column);
+      const double mutual = std::abs(correlate(options.kind, cand_col, chosen_col));
+      if (mutual > options.max_mutual_correlation) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) selected.push_back(candidate);
+  }
+  return selected;
+}
+
+}  // namespace powerapi::mathx

@@ -1,0 +1,47 @@
+// Automatic counter selection (the paper's announced future work):
+// rank candidate HPC events by Spearman correlation with measured power,
+// greedily drop redundant ones, and keep the top-k set for regression.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mathx/matrix.h"
+
+namespace powerapi::mathx {
+
+enum class CorrelationKind { kPearson, kSpearman };
+
+/// One candidate feature's score against the target.
+struct FeatureScore {
+  std::size_t column = 0;       ///< Column index in the design matrix.
+  std::string name;             ///< Caller-supplied label (event name).
+  double correlation = 0.0;     ///< Signed correlation with the target.
+};
+
+/// Scores each design-matrix column against `target`, sorted by |corr| desc.
+std::vector<FeatureScore> rank_features(const Matrix& design,
+                                        std::span<const double> target,
+                                        std::span<const std::string> names,
+                                        CorrelationKind kind);
+
+struct SelectionOptions {
+  CorrelationKind kind = CorrelationKind::kSpearman;
+  std::size_t max_features = 3;       ///< Keep at most this many columns.
+  double min_abs_correlation = 0.30;  ///< Discard weakly correlated events.
+  /// Drop a candidate whose |corr| with an already selected feature exceeds
+  /// this (redundancy filter): near-duplicate counters (e.g. `instructions`
+  /// vs `branch-instructions` on branchy code) bloat and destabilize fits.
+  double max_mutual_correlation = 0.95;
+};
+
+/// Greedy correlation-filter selection; returns the chosen scores in
+/// selection order (strongest first).
+std::vector<FeatureScore> select_features(const Matrix& design,
+                                          std::span<const double> target,
+                                          std::span<const std::string> names,
+                                          const SelectionOptions& options);
+
+}  // namespace powerapi::mathx

@@ -1,0 +1,193 @@
+#include "mathx/ols.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace powerapi::mathx {
+
+QrFactorization qr_least_squares(const Matrix& a, std::span<const double> b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) throw std::invalid_argument("qr_least_squares: b length mismatch");
+  if (m < n) throw std::invalid_argument("qr_least_squares: underdetermined system");
+  if (n == 0) throw std::invalid_argument("qr_least_squares: empty design matrix");
+
+  // Work on copies; Householder vectors are applied in place.
+  Matrix work = a;
+  std::vector<double> rhs(b.begin(), b.end());
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Compute the norm of the k-th column below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += work(i, k) * work(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) throw std::runtime_error("qr_least_squares: rank-deficient design matrix");
+
+    // Householder vector v = x + sign(x0)·‖x‖·e1, normalized so v[k]=1 form
+    // is implicit; we store v in the column below row k.
+    const double alpha = work(k, k) >= 0.0 ? -norm : norm;
+    const double vk = work(k, k) - alpha;
+    work(k, k) = vk;
+    // v norm squared.
+    double vnorm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) vnorm2 += work(i, k) * work(i, k);
+    if (vnorm2 == 0.0) throw std::runtime_error("qr_least_squares: degenerate reflector");
+
+    // Apply the reflector H = I − 2vvᵀ/‖v‖² to remaining columns and rhs.
+    for (std::size_t c = k + 1; c < n; ++c) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += work(i, k) * work(i, c);
+      const double factor = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < m; ++i) work(i, c) -= factor * work(i, k);
+    }
+    {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += work(i, k) * rhs[i];
+      const double factor = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < m; ++i) rhs[i] -= factor * work(i, k);
+    }
+    work(k, k) = alpha;  // Diagonal of R.
+    // Zero out the sub-diagonal explicitly (v no longer needed for column k).
+    for (std::size_t i = k + 1; i < m; ++i) work(i, k) = 0.0;
+  }
+
+  QrFactorization out;
+  out.r = Matrix(n, n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r; c < n; ++c) out.r(r, c) = work(r, c);
+  }
+  out.qtb.assign(rhs.begin(), rhs.begin() + static_cast<std::ptrdiff_t>(n));
+  double tail = 0.0;
+  for (std::size_t i = n; i < m; ++i) tail += rhs[i] * rhs[i];
+  out.residual_norm = std::sqrt(tail);
+  return out;
+}
+
+namespace {
+
+std::vector<double> back_substitute(const Matrix& r, std::span<const double> qtb) {
+  const std::size_t n = r.rows();
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = qtb[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) sum -= r(ii, c) * x[c];
+    const double diag = r(ii, ii);
+    if (std::abs(diag) < 1e-12 * (1.0 + std::abs(sum))) {
+      throw std::runtime_error("ols: numerically singular R");
+    }
+    x[ii] = sum / diag;
+  }
+  return x;
+}
+
+}  // namespace
+
+double r_squared(std::span<const double> observed, std::span<const double> predicted) {
+  if (observed.size() != predicted.size() || observed.empty()) {
+    throw std::invalid_argument("r_squared: series mismatch");
+  }
+  const double mean =
+      std::accumulate(observed.begin(), observed.end(), 0.0) / static_cast<double>(observed.size());
+  double ss_tot = 0.0;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_tot += (observed[i] - mean) * (observed[i] - mean);
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+FitResult ols(const Matrix& a, std::span<const double> b) {
+  const auto qr = qr_least_squares(a, b);
+  FitResult fit;
+  fit.coefficients = back_substitute(qr.r, qr.qtb);
+  fit.residual_norm = qr.residual_norm;
+  const auto predicted = a.multiply(fit.coefficients);
+  fit.r_squared = r_squared(b, predicted);
+  return fit;
+}
+
+FitResult ridge(const Matrix& a, std::span<const double> b, double lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("ridge: negative lambda");
+  if (lambda == 0.0) return ols(a, b);
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix aug(m + n, n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) aug(r, c) = a(r, c);
+  }
+  const double s = std::sqrt(lambda);
+  for (std::size_t i = 0; i < n; ++i) aug(m + i, i) = s;
+  std::vector<double> rhs(b.begin(), b.end());
+  rhs.resize(m + n, 0.0);
+
+  const auto qr = qr_least_squares(aug, rhs);
+  FitResult fit;
+  fit.coefficients = back_substitute(qr.r, qr.qtb);
+  const auto predicted = a.multiply(fit.coefficients);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < m; ++i) sq += (predicted[i] - b[i]) * (predicted[i] - b[i]);
+  fit.residual_norm = std::sqrt(sq);
+  fit.r_squared = r_squared(b, predicted);
+  return fit;
+}
+
+FitResult nnls(const Matrix& a, std::span<const double> b, std::size_t max_iterations) {
+  // Start from the unconstrained solution; repeatedly zero out negative
+  // coefficients and re-fit over the remaining (active) columns. This simple
+  // scheme converges for the well-conditioned, few-column problems power
+  // model learning produces.
+  const std::size_t n = a.cols();
+  std::vector<std::size_t> active(n);
+  std::iota(active.begin(), active.end(), 0);
+
+  FitResult fit;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    if (active.empty()) {
+      fit.coefficients.assign(n, 0.0);
+      double sq = 0.0;
+      for (double v : b) sq += v * v;
+      fit.residual_norm = std::sqrt(sq);
+      fit.r_squared = 0.0;
+      return fit;
+    }
+    const Matrix sub = a.select_columns(active);
+    const FitResult sub_fit = ols(sub, b);
+
+    // Find the most negative coefficient; drop it and retry.
+    std::size_t worst_idx = active.size();
+    double worst = -1e-12;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (sub_fit.coefficients[i] < worst) {
+        worst = sub_fit.coefficients[i];
+        worst_idx = i;
+      }
+    }
+    if (worst_idx == active.size()) {
+      fit.coefficients.assign(n, 0.0);
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        fit.coefficients[active[i]] = sub_fit.coefficients[i];
+      }
+      fit.residual_norm = sub_fit.residual_norm;
+      const auto predicted = a.multiply(fit.coefficients);
+      fit.r_squared = r_squared(b, predicted);
+      return fit;
+    }
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(worst_idx));
+  }
+  throw std::runtime_error("nnls: did not converge");
+}
+
+Matrix with_intercept(const Matrix& a) {
+  Matrix out(a.rows(), a.cols() + 1);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    out(r, 0) = 1.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c + 1) = a(r, c);
+  }
+  return out;
+}
+
+}  // namespace powerapi::mathx

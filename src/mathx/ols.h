@@ -1,0 +1,56 @@
+// Ordinary least squares via Householder QR, plus ridge regularization.
+//
+// This is the "multivariate regression" box of the paper's Figure 1: a design
+// matrix of counter rates (one column per HPC event, optionally an intercept
+// column) against measured watts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mathx/matrix.h"
+
+namespace powerapi::mathx {
+
+/// QR factorization A = Q·R computed by Householder reflections.
+/// Only what least-squares needs is retained: R (upper triangular) and the
+/// implicitly applied Qᵀb.
+struct QrFactorization {
+  Matrix r;                    ///< n×n upper-triangular factor (n = cols of A).
+  std::vector<double> qtb;     ///< First n entries of Qᵀ·b.
+  double residual_norm = 0.0;  ///< ‖A·x − b‖₂ of the least-squares solution.
+};
+
+/// Factorizes and applies to `b` in one pass. Requires rows ≥ cols and a
+/// non-degenerate A; throws std::invalid_argument on shape errors and
+/// std::runtime_error on (numerical) rank deficiency.
+QrFactorization qr_least_squares(const Matrix& a, std::span<const double> b);
+
+/// Result of a least-squares fit.
+struct FitResult {
+  std::vector<double> coefficients;  ///< One per design-matrix column.
+  double residual_norm = 0.0;        ///< ‖Ax − b‖₂.
+  double r_squared = 0.0;            ///< Coefficient of determination.
+};
+
+/// Solves min ‖A·x − b‖₂. Throws on rank deficiency; callers that sweep
+/// candidate feature sets should catch and skip degenerate sets.
+FitResult ols(const Matrix& a, std::span<const double> b);
+
+/// Ridge regression: min ‖A·x − b‖² + λ‖x‖². Always well-posed for λ > 0.
+/// Implemented as OLS on the augmented system [A; √λ·I].
+FitResult ridge(const Matrix& a, std::span<const double> b, double lambda);
+
+/// Non-negative least squares by iterative coefficient clamping (active-set
+/// flavoured). Power formulas must not assign negative watts to activity
+/// counters; the paper's published coefficients are all positive.
+FitResult nnls(const Matrix& a, std::span<const double> b, std::size_t max_iterations = 32);
+
+/// Prepends a column of ones to `a` (intercept term).
+Matrix with_intercept(const Matrix& a);
+
+/// Coefficient of determination for predictions vs observations.
+double r_squared(std::span<const double> observed, std::span<const double> predicted);
+
+}  // namespace powerapi::mathx

@@ -1,0 +1,92 @@
+#include "model/model_io.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace powerapi::model {
+
+namespace {
+constexpr std::string_view kHeader = "powerapi-model v1";
+}
+
+void save_model(const CpuPowerModel& model, std::ostream& out) {
+  out << kHeader << "\n";
+  out << "idle " << util::format_double(model.idle_watts()) << "\n";
+  for (const auto& f : model.formulas()) {
+    out << "frequency " << util::format_double(f.frequency_hz) << "\n";
+    for (std::size_t i = 0; i < f.events.size(); ++i) {
+      out << hpc::to_string(f.events[i]) << " " << util::format_double(f.coefficients[i])
+          << "\n";
+    }
+  }
+}
+
+std::string model_to_string(const CpuPowerModel& model) {
+  std::ostringstream out;
+  save_model(model, out);
+  return out.str();
+}
+
+util::Result<CpuPowerModel> load_model(std::istream& in) {
+  using R = util::Result<CpuPowerModel>;
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    return R::failure("model parse error at line " + std::to_string(line_no) + ": " + why);
+  };
+
+  if (!std::getline(in, line)) return fail("empty input");
+  ++line_no;
+  if (util::trim(line) != kHeader) return fail("missing 'powerapi-model v1' header");
+
+  bool have_idle = false;
+  double idle = 0.0;
+  std::vector<FrequencyFormula> formulas;
+  FrequencyFormula* current = nullptr;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = util::split_trimmed(trimmed, ' ');
+    if (fields.size() != 2) return fail("expected '<key> <value>'");
+    const std::string& key = fields[0];
+    const auto value = util::parse_double(fields[1]);
+    if (!value) return fail("unparsable number '" + fields[1] + "'");
+
+    if (key == "idle") {
+      if (have_idle) return fail("duplicate idle line");
+      if (*value < 0) return fail("negative idle power");
+      idle = *value;
+      have_idle = true;
+    } else if (key == "frequency") {
+      if (*value <= 0) return fail("non-positive frequency");
+      FrequencyFormula f;
+      f.frequency_hz = *value;
+      formulas.push_back(std::move(f));
+      current = &formulas.back();
+    } else {
+      const auto event = hpc::event_from_string(key);
+      if (!event) return fail("unknown event '" + key + "'");
+      if (current == nullptr) return fail("coefficient before any frequency line");
+      current->events.push_back(*event);
+      current->coefficients.push_back(*value);
+    }
+  }
+  if (!have_idle) return fail("missing idle line");
+  if (formulas.empty()) return fail("no frequency formulas");
+  for (const auto& f : formulas) {
+    if (f.events.empty()) return fail("frequency block without coefficients");
+  }
+  return CpuPowerModel(idle, std::move(formulas));
+}
+
+util::Result<CpuPowerModel> model_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return load_model(in);
+}
+
+}  // namespace powerapi::model

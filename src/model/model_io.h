@@ -1,0 +1,30 @@
+// Text serialization for learned power models, so profiling (expensive) and
+// monitoring (cheap) can run in separate processes/sessions — train once on
+// a machine, ship the profile.
+//
+// Format (line-oriented, '#' comments):
+//   powerapi-model v1
+//   idle <watts>
+//   frequency <hz>
+//   <event-name> <coefficient>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/power_model.h"
+#include "util/result.h"
+
+namespace powerapi::model {
+
+/// Writes the model in the v1 text format.
+void save_model(const CpuPowerModel& model, std::ostream& out);
+std::string model_to_string(const CpuPowerModel& model);
+
+/// Parses a v1 text model; fails with a line-numbered message on malformed
+/// input (unknown event names, missing header, negative idle, ...).
+util::Result<CpuPowerModel> load_model(std::istream& in);
+util::Result<CpuPowerModel> model_from_string(const std::string& text);
+
+}  // namespace powerapi::model

@@ -1,0 +1,78 @@
+#include "model/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace powerapi::model {
+
+EventRates rates_from_delta(const hpc::EventValues& delta, double seconds) {
+  if (seconds <= 0.0) throw std::invalid_argument("rates_from_delta: non-positive window");
+  EventRates rates{};
+  for (hpc::EventId id : hpc::all_events()) {
+    set_rate(rates, id, static_cast<double>(delta[id]) / seconds);
+  }
+  return rates;
+}
+
+double FrequencyFormula::estimate(const EventRates& rates) const noexcept {
+  double watts = 0.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    watts += coefficients[i] * rate_of(rates, events[i]);
+  }
+  return watts;
+}
+
+CpuPowerModel::CpuPowerModel(double idle_watts, std::vector<FrequencyFormula> formulas)
+    : idle_watts_(idle_watts), formulas_(std::move(formulas)) {
+  if (idle_watts_ < 0.0) throw std::invalid_argument("CpuPowerModel: negative idle power");
+  for (const auto& f : formulas_) {
+    if (f.events.size() != f.coefficients.size()) {
+      throw std::invalid_argument("CpuPowerModel: formula events/coefficients mismatch");
+    }
+  }
+  std::sort(formulas_.begin(), formulas_.end(),
+            [](const FrequencyFormula& a, const FrequencyFormula& b) {
+              return a.frequency_hz < b.frequency_hz;
+            });
+}
+
+const FrequencyFormula* CpuPowerModel::formula_for(double hz) const noexcept {
+  const FrequencyFormula* best = nullptr;
+  double best_gap = 0.0;
+  for (const auto& f : formulas_) {
+    const double gap = std::abs(f.frequency_hz - hz);
+    if (best == nullptr || gap < best_gap) {
+      best = &f;
+      best_gap = gap;
+    }
+  }
+  return best;
+}
+
+double CpuPowerModel::estimate_activity(double hz, const EventRates& rates) const {
+  const FrequencyFormula* f = formula_for(hz);
+  if (f == nullptr) throw std::logic_error("CpuPowerModel: empty model");
+  return f->estimate(rates);
+}
+
+std::string CpuPowerModel::describe() const {
+  std::ostringstream out;
+  out << "Power = " << idle_watts_ << " + sum over f of Power_f, with:\n";
+  for (const auto& f : formulas_) {
+    out << "  Power_" << util::hz_to_ghz(f.frequency_hz) << "GHz =";
+    bool first = true;
+    for (std::size_t i = 0; i < f.events.size(); ++i) {
+      out << (first ? " " : " + ") << f.coefficients[i] << "*"
+          << hpc::to_string(f.events[i]);
+      first = false;
+    }
+    out << "   (R^2 = " << f.r_squared << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace powerapi::model

@@ -1,0 +1,65 @@
+// The learned CPU power model.
+//
+// Mirrors the paper's formulation: one linear formula per DVFS frequency
+// over a small set of HPC event rates, plus a global idle constant:
+//
+//     Power = idle + Σ_f Power_f        (only the active f contributes)
+//     Power_f = Σ_e coeff_{f,e} · rate_e
+//
+// e.g. the paper's i3-2120 maximum-frequency formula:
+//     Power_3.30 = 2.22e-9·instructions + 2.48e-8·cache-references
+//                + 1.87e-7·cache-misses
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpc/events.h"
+#include "model/sample.h"
+
+namespace powerapi::model {
+
+/// Linear formula over event rates for one frequency point.
+struct FrequencyFormula {
+  double frequency_hz = 0.0;
+  std::vector<hpc::EventId> events;
+  std::vector<double> coefficients;  ///< Watts per (event/second); parallel to events.
+  double r_squared = 0.0;            ///< Fit quality on the training samples.
+
+  /// Activity power (watts above idle) for the given rates.
+  double estimate(const EventRates& rates) const noexcept;
+};
+
+class CpuPowerModel {
+ public:
+  CpuPowerModel() = default;
+  CpuPowerModel(double idle_watts, std::vector<FrequencyFormula> formulas);
+
+  double idle_watts() const noexcept { return idle_watts_; }
+  const std::vector<FrequencyFormula>& formulas() const noexcept { return formulas_; }
+
+  /// The formula whose frequency is closest to `hz` (the runtime may observe
+  /// off-ladder frequencies under governors). Nullopt when the model is empty.
+  const FrequencyFormula* formula_for(double hz) const noexcept;
+
+  /// Activity watts of one target (process or machine) at frequency `hz`.
+  double estimate_activity(double hz, const EventRates& rates) const;
+
+  /// Machine power: idle + activity.
+  double estimate_machine(double hz, const EventRates& rates) const {
+    return idle_watts_ + estimate_activity(hz, rates);
+  }
+
+  /// Human-readable dump in the paper's notation.
+  std::string describe() const;
+
+  bool empty() const noexcept { return formulas_.empty(); }
+
+ private:
+  double idle_watts_ = 0.0;
+  std::vector<FrequencyFormula> formulas_;  ///< Ascending by frequency.
+};
+
+}  // namespace powerapi::model

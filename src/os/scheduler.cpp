@@ -1,0 +1,65 @@
+#include "os/scheduler.h"
+
+#include <algorithm>
+
+namespace powerapi::os {
+
+namespace {
+/// Places `runnable[offset..]` (wrapping) into the slot order given by
+/// `slot_order`, one task per slot, until either runs out.
+void place(std::span<Task* const> runnable, std::span<Task*> slots,
+           std::span<const std::size_t> slot_order, std::size_t offset) {
+  std::fill(slots.begin(), slots.end(), nullptr);
+  const std::size_t n = runnable.size();
+  if (n == 0) return;
+  std::size_t r = offset % n;
+  std::size_t placed = 0;
+  for (std::size_t slot : slot_order) {
+    if (placed >= n) break;
+    slots[slot] = runnable[r];
+    r = (r + 1) % n;
+    ++placed;
+  }
+}
+
+/// Slot order that packs SMT siblings together: 0,1 (core 0), 2,3 (core 1)…
+std::vector<std::size_t> packed_order(const simcpu::CpuSpec& spec) {
+  std::vector<std::size_t> order(spec.hw_threads());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  return order;
+}
+
+/// Slot order that visits thread 0 of every core before any sibling:
+/// 0,2 then 1,3 on a 2-core/SMT-2 part.
+std::vector<std::size_t> spread_order(const simcpu::CpuSpec& spec) {
+  std::vector<std::size_t> order;
+  order.reserve(spec.hw_threads());
+  for (std::size_t sibling = 0; sibling < spec.threads_per_core; ++sibling) {
+    for (std::size_t core = 0; core < spec.cores; ++core) {
+      order.push_back(core * spec.threads_per_core + sibling);
+    }
+  }
+  return order;
+}
+}  // namespace
+
+void RoundRobinScheduler::assign(std::span<Task* const> runnable, std::span<Task*> slots,
+                                 const simcpu::CpuSpec& spec) {
+  place(runnable, slots, packed_order(spec), next_offset_);
+  if (!runnable.empty()) {
+    // Advance by the number of slots so waiting tasks move to the front.
+    next_offset_ = (next_offset_ + slots.size()) % runnable.size();
+  }
+}
+
+void PackScheduler::assign(std::span<Task* const> runnable, std::span<Task*> slots,
+                           const simcpu::CpuSpec& spec) {
+  place(runnable, slots, packed_order(spec), 0);
+}
+
+void SpreadScheduler::assign(std::span<Task* const> runnable, std::span<Task*> slots,
+                             const simcpu::CpuSpec& spec) {
+  place(runnable, slots, spread_order(spec), 0);
+}
+
+}  // namespace powerapi::os

@@ -1,0 +1,152 @@
+// The miniature operating system: owns the machine, the clock, the scheduler
+// and the process table; advances everything in fixed ticks and maintains
+// the /proc-like accounting that sensors read.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "os/scheduler.h"
+#include "os/task.h"
+#include "periph/disk.h"
+#include "periph/nic.h"
+#include "simcpu/machine.h"
+#include "util/clock.h"
+
+namespace powerapi::os {
+
+/// Snapshot of one process's accounting, in the spirit of /proc/<pid>/stat.
+struct ProcStat {
+  Pid pid = 0;
+  std::string name;
+  std::string group;  ///< cgroup/VM label; empty when ungrouped.
+  bool alive = false;
+  std::size_t threads = 0;
+  simcpu::CounterBlock counters;     ///< Cumulative over all its tasks.
+  util::DurationNs cpu_time_ns = 0;  ///< Summed over tasks.
+  /// Ground-truth activity energy (joules) the simulator attributed to this
+  /// process — evaluation-only, see Task::attributed_energy_joules.
+  double attributed_energy_joules = 0.0;
+  double last_utilization = 0.0;     ///< CPU share over the last tick, in
+                                     ///< units of hardware threads (0..N).
+};
+
+/// Machine-wide view over the last tick.
+struct SystemStat {
+  double utilization = 0.0;  ///< Busy hw threads / total hw threads, 0..1.
+  double power_watts = 0.0;  ///< Ground truth incl. peripherals (meters only).
+  double frequency_hz = 0.0;
+  util::TimestampNs now_ns = 0;
+  double disk_watts = 0.0;   ///< 0 when peripherals are disabled.
+  double nic_watts = 0.0;
+};
+
+/// Simple DVFS governor in the style of Linux "ondemand".
+class OndemandGovernor {
+ public:
+  struct Options {
+    double up_threshold = 0.80;
+    double down_threshold = 0.30;
+    int hysteresis_ticks = 4;  ///< Consecutive ticks before stepping down.
+  };
+  OndemandGovernor() : OndemandGovernor(Options{}) {}
+  explicit OndemandGovernor(Options options) : options_(options) {}
+
+  /// Returns the frequency to apply given current utilization.
+  double decide(double utilization, const simcpu::CpuSpec& spec, double current_hz);
+
+ private:
+  Options options_;
+  int calm_ticks_ = 0;
+};
+
+class System {
+ public:
+  struct Options {
+    util::DurationNs tick_ns = util::ms_to_ns(1);
+    std::unique_ptr<Scheduler> scheduler;  ///< Defaults to RoundRobin.
+    bool use_ondemand_governor = false;
+    /// Attach the disk/NIC models: task IO demand (ExecProfile io fields)
+    /// then burns peripheral power on top of the machine's. Off by default —
+    /// the CPU experiments treat non-CPU power as the constant platform
+    /// term, as the paper's testbed calibration does.
+    bool with_peripherals = false;
+    periph::DiskParams disk;
+    periph::NicParams nic;
+  };
+
+  explicit System(simcpu::CpuSpec spec) : System(std::move(spec), Options{}) {}
+  System(simcpu::CpuSpec spec, Options options,
+         simcpu::GroundTruthParams ground_truth = {});
+
+  // --- Process management ---
+  Pid spawn(std::string name, std::vector<std::unique_ptr<TaskBehavior>> threads);
+  Pid spawn(std::string name, std::unique_ptr<TaskBehavior> single_thread);
+  /// Assigns the process to a cgroup/VM-style aggregation group; no-op for
+  /// unknown pids. An empty string removes the process from its group.
+  void set_group(Pid pid, std::string group);
+  void kill(Pid pid);
+  bool alive(Pid pid) const;
+  std::vector<Pid> pids() const;
+
+  // --- Time ---
+  /// Advances one tick: schedule → execute → account.
+  void tick();
+  /// Advances until `duration` has elapsed, invoking `on_tick` (if set)
+  /// after each tick.
+  void run_for(util::DurationNs duration,
+               const std::function<void(const System&)>& on_tick = {});
+  util::TimestampNs now_ns() const { return clock_.now(); }
+  util::DurationNs tick_ns() const noexcept { return tick_ns_; }
+  const util::SimClock& clock() const noexcept { return clock_; }
+
+  // --- Introspection (the sensors' substrate) ---
+  std::optional<ProcStat> proc_stat(Pid pid) const;
+  SystemStat system_stat() const;
+  /// Whole-system energy (machine + peripherals) — what a wall meter
+  /// integrates. Equals machine energy when peripherals are disabled.
+  double total_energy_joules() const noexcept;
+
+  /// Cumulative IO issued by tasks since boot (iostat/ifconfig-style
+  /// counters; zero when peripherals are disabled). Sensors difference
+  /// these into rates.
+  struct IoTotals {
+    double disk_ops = 0.0;
+    double disk_bytes = 0.0;
+    double net_bytes = 0.0;
+  };
+  const IoTotals& io_totals() const noexcept { return io_totals_; }
+  const periph::DiskModel* disk() const noexcept { return disk_ ? &*disk_ : nullptr; }
+  const periph::NicModel* nic() const noexcept { return nic_ ? &*nic_ : nullptr; }
+  const simcpu::Machine& machine() const noexcept { return machine_; }
+  simcpu::Machine& machine() noexcept { return machine_; }
+  Scheduler& scheduler() noexcept { return *scheduler_; }
+
+  /// Pins the package frequency (disables the governor for the call's
+  /// duration — used by the model-training sampling phase).
+  double pin_frequency(double hz);
+  void set_governor_enabled(bool enabled) noexcept { governor_enabled_ = enabled; }
+
+ private:
+  std::vector<Task*> runnable_tasks();
+
+  simcpu::Machine machine_;
+  util::SimClock clock_;
+  util::DurationNs tick_ns_;
+  std::unique_ptr<Scheduler> scheduler_;
+  bool governor_enabled_ = false;
+  OndemandGovernor governor_;
+  std::map<Pid, std::unique_ptr<Process>> processes_;
+  Pid next_pid_ = 1;
+  double last_utilization_ = 0.0;
+  std::optional<periph::DiskModel> disk_;
+  std::optional<periph::NicModel> nic_;
+  IoTotals io_totals_;
+};
+
+}  // namespace powerapi::os

@@ -1,0 +1,60 @@
+#include "periph/disk.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powerapi::periph {
+
+double DiskModel::tick(const DiskDemand& demand, util::DurationNs dt) {
+  if (dt <= 0) throw std::invalid_argument("DiskModel::tick: non-positive dt");
+  if (demand.iops < 0 || demand.bytes_per_sec < 0) {
+    throw std::invalid_argument("DiskModel::tick: negative demand");
+  }
+  const double dt_s = util::ns_to_seconds(dt);
+  const bool has_io = demand.iops > 0.0 || demand.bytes_per_sec > 0.0;
+  double joules = 0.0;
+
+  switch (state_) {
+    case DiskState::kSpunDown:
+      if (has_io) {
+        state_ = DiskState::kSpinningUp;
+        spinup_left_ns_ = params_.spinup_duration_ns;
+        joules += params_.spinup_watts * dt_s;
+      } else {
+        joules += params_.spun_down_watts * dt_s;
+      }
+      break;
+
+    case DiskState::kSpinningUp:
+      joules += params_.spinup_watts * dt_s;
+      spinup_left_ns_ -= dt;
+      if (spinup_left_ns_ <= 0) {
+        state_ = DiskState::kSpinning;
+        idle_ns_ = 0;
+      }
+      break;
+
+    case DiskState::kSpinning: {
+      joules += params_.idle_spinning_watts * dt_s;
+      if (has_io) {
+        idle_ns_ = 0;
+        const double iops = std::min(demand.iops, params_.max_iops);
+        const double bytes = std::min(demand.bytes_per_sec, params_.max_bytes_per_sec);
+        joules += iops * dt_s * params_.joules_per_op;
+        joules += bytes * dt_s / 1e6 * params_.joules_per_megabyte;
+      } else {
+        idle_ns_ += dt;
+        if (idle_ns_ >= params_.spindown_after_ns) {
+          state_ = DiskState::kSpunDown;
+        }
+      }
+      break;
+    }
+  }
+
+  total_joules_ += joules;
+  last_watts_ = joules / dt_s;
+  return joules;
+}
+
+}  // namespace powerapi::periph

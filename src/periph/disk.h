@@ -1,0 +1,60 @@
+// Disk power model.
+//
+// The paper's approach targets "splitting the power consumption between all
+// the system components (i.e. CPU, GPU, memory, disk, network)"; this module
+// provides the disk component: a spinning-platter model with distinct idle/
+// active power, per-operation and per-byte energy, and spin-down after an
+// idle timeout (the peripheral analogue of CPU C-states — and the same kind
+// of history-dependent nonlinearity).
+#pragma once
+
+#include "util/units.h"
+
+namespace powerapi::periph {
+
+/// Aggregate disk demand over one tick.
+struct DiskDemand {
+  double iops = 0.0;           ///< Operations per second (seeks dominate).
+  double bytes_per_sec = 0.0;  ///< Sequential transfer rate.
+};
+
+enum class DiskState { kSpinning, kSpunDown, kSpinningUp };
+
+struct DiskParams {
+  double idle_spinning_watts = 4.0;   ///< Platters turning, no IO.
+  double spun_down_watts = 0.6;       ///< Electronics only.
+  double spinup_watts = 10.0;         ///< Motor surge while spinning up.
+  double joules_per_op = 8.0e-3;      ///< Seek + rotational latency energy.
+  double joules_per_megabyte = 2.0e-3;
+  util::DurationNs spindown_after_ns = util::seconds_to_ns(20);
+  util::DurationNs spinup_duration_ns = util::seconds_to_ns(2);
+  double max_bytes_per_sec = 150e6;   ///< Transfer saturation (demand clamps).
+  double max_iops = 180.0;
+};
+
+class DiskModel {
+ public:
+  DiskModel() : DiskModel(DiskParams{}) {}
+  explicit DiskModel(DiskParams params) : params_(params) {}
+
+  /// Advances one tick; returns the energy consumed (joules). IO arriving
+  /// while spun down triggers a spin-up: the IO stalls (consumes no IO
+  /// energy) until the platters are back, but the surge power is paid.
+  double tick(const DiskDemand& demand, util::DurationNs dt);
+
+  DiskState state() const noexcept { return state_; }
+  const DiskParams& params() const noexcept { return params_; }
+  double total_energy_joules() const noexcept { return total_joules_; }
+  /// Average watts over the most recent tick.
+  double last_power_watts() const noexcept { return last_watts_; }
+
+ private:
+  DiskParams params_;
+  DiskState state_ = DiskState::kSpinning;
+  util::DurationNs idle_ns_ = 0;
+  util::DurationNs spinup_left_ns_ = 0;
+  double total_joules_ = 0.0;
+  double last_watts_ = 0.0;
+};
+
+}  // namespace powerapi::periph

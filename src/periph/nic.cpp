@@ -1,0 +1,37 @@
+#include "periph/nic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powerapi::periph {
+
+double NicModel::tick(const NicDemand& demand, util::DurationNs dt) {
+  if (dt <= 0) throw std::invalid_argument("NicModel::tick: non-positive dt");
+  if (demand.tx_bytes_per_sec < 0 || demand.rx_bytes_per_sec < 0) {
+    throw std::invalid_argument("NicModel::tick: negative demand");
+  }
+  const double dt_s = util::ns_to_seconds(dt);
+  const bool busy = demand.tx_bytes_per_sec > 0.0 || demand.rx_bytes_per_sec > 0.0;
+
+  if (busy) {
+    lpi_ = false;
+    idle_ns_ = 0;
+  } else {
+    idle_ns_ += dt;
+    if (idle_ns_ >= params_.lpi_after_ns) lpi_ = true;
+  }
+
+  double joules = (lpi_ ? params_.lpi_watts : params_.link_active_watts) * dt_s;
+  if (busy) {
+    const double tx = std::min(demand.tx_bytes_per_sec, params_.link_bytes_per_sec);
+    const double rx = std::min(demand.rx_bytes_per_sec, params_.link_bytes_per_sec);
+    joules += tx * dt_s / 1e6 * params_.joules_per_megabyte_tx;
+    joules += rx * dt_s / 1e6 * params_.joules_per_megabyte_rx;
+  }
+
+  total_joules_ += joules;
+  last_watts_ = joules / dt_s;
+  return joules;
+}
+
+}  // namespace powerapi::periph

@@ -1,0 +1,45 @@
+// Network interface power model: base link power plus per-byte transmit/
+// receive energy, with Energy-Efficient-Ethernet-style low-power idle when
+// the link sees no traffic for a while.
+#pragma once
+
+#include "util/units.h"
+
+namespace powerapi::periph {
+
+struct NicDemand {
+  double tx_bytes_per_sec = 0.0;
+  double rx_bytes_per_sec = 0.0;
+};
+
+struct NicParams {
+  double link_active_watts = 1.2;    ///< PHY fully awake.
+  double lpi_watts = 0.3;            ///< 802.3az low-power idle.
+  double joules_per_megabyte_tx = 1.5e-3;
+  double joules_per_megabyte_rx = 1.0e-3;
+  double link_bytes_per_sec = 125e6;  ///< 1 GbE; demand saturates here.
+  util::DurationNs lpi_after_ns = util::ms_to_ns(50);
+};
+
+class NicModel {
+ public:
+  NicModel() : NicModel(NicParams{}) {}
+  explicit NicModel(NicParams params) : params_(params) {}
+
+  /// Advances one tick; returns the energy consumed (joules).
+  double tick(const NicDemand& demand, util::DurationNs dt);
+
+  bool in_low_power_idle() const noexcept { return lpi_; }
+  double total_energy_joules() const noexcept { return total_joules_; }
+  double last_power_watts() const noexcept { return last_watts_; }
+  const NicParams& params() const noexcept { return params_; }
+
+ private:
+  NicParams params_;
+  bool lpi_ = false;
+  util::DurationNs idle_ns_ = 0;
+  double total_joules_ = 0.0;
+  double last_watts_ = 0.0;
+};
+
+}  // namespace powerapi::periph

@@ -1,0 +1,100 @@
+#include "powerapi/aggregators.h"
+
+#include <any>
+
+namespace powerapi::api {
+
+Aggregator::Aggregator(actors::EventBus& bus, AggregationDimension dimension,
+                       GroupResolver group_of)
+    : bus_(&bus), dimension_(dimension), group_of_(std::move(group_of)) {}
+
+void Aggregator::emit_group_rows(const std::string& formula) {
+  auto& bucket = pending_groups_[formula];
+  for (const auto& [group, watts] : bucket.watts_by_group) {
+    AggregatedPower out;
+    out.timestamp = bucket.timestamp;
+    out.pid = kMachinePid;
+    out.group = group;
+    out.formula = formula;
+    out.watts = watts;
+    bus_->publish("power:aggregated", out, self());
+  }
+  bucket.watts_by_group.clear();
+}
+
+void Aggregator::receive_group_dimension(const PowerEstimate& estimate) {
+  auto& bucket = pending_groups_[estimate.formula];
+  if (!bucket.watts_by_group.empty() && estimate.timestamp > bucket.timestamp) {
+    emit_group_rows(estimate.formula);
+  }
+  bucket.timestamp = estimate.timestamp;
+  std::string group;
+  if (estimate.pid == kMachinePid) {
+    group = "(machine)";
+  } else if (group_of_) {
+    group = group_of_(estimate.pid);
+  }
+  bucket.watts_by_group[group] += estimate.watts;
+}
+
+void Aggregator::emit(const std::string& formula, const Group& group) {
+  AggregatedPower out;
+  out.timestamp = group.timestamp;
+  out.pid = kMachinePid;
+  out.formula = formula;
+  // Prefer the machine-scope estimate when the formula produced one (it
+  // includes the idle floor); otherwise sum the per-process estimates.
+  out.watts = group.has_machine_row ? group.machine_watts : group.sum_watts;
+  bus_->publish("power:aggregated", out, self());
+}
+
+void Aggregator::receive(actors::Envelope& envelope) {
+  const auto* estimate = std::any_cast<PowerEstimate>(&envelope.payload);
+  if (estimate == nullptr) return;
+
+  if (dimension_ == AggregationDimension::kGroup) {
+    receive_group_dimension(*estimate);
+    return;
+  }
+
+  if (dimension_ == AggregationDimension::kPid) {
+    // Per-PID view: forward every row unchanged.
+    AggregatedPower out;
+    out.timestamp = estimate->timestamp;
+    out.pid = estimate->pid;
+    out.formula = estimate->formula;
+    out.watts = estimate->watts;
+    bus_->publish("power:aggregated", out, self());
+    return;
+  }
+
+  auto it = pending_.find(estimate->formula);
+  if (it != pending_.end() && estimate->timestamp > it->second.timestamp) {
+    emit(estimate->formula, it->second);
+    pending_.erase(it);
+    it = pending_.end();
+  }
+  if (it == pending_.end()) {
+    Group group;
+    group.timestamp = estimate->timestamp;
+    it = pending_.emplace(estimate->formula, group).first;
+  }
+  Group& group = it->second;
+  if (estimate->pid == kMachinePid) {
+    group.has_machine_row = true;
+    group.machine_watts = estimate->watts;
+  } else {
+    group.sum_watts += estimate->watts;
+  }
+}
+
+void Aggregator::post_stop() {
+  for (const auto& [formula, group] : pending_) emit(formula, group);
+  pending_.clear();
+  for (auto& [formula, bucket] : pending_groups_) {
+    if (!bucket.watts_by_group.empty()) emit_group_rows(formula);
+  }
+  pending_groups_.clear();
+}
+
+}  // namespace powerapi::api

@@ -1,0 +1,65 @@
+// Aggregator actor: groups PowerEstimates along a dimension (the paper
+// names PID and timestamp) before they reach reporters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "actors/actor.h"
+#include "actors/event_bus.h"
+#include "powerapi/messages.h"
+
+namespace powerapi::api {
+
+enum class AggregationDimension {
+  kTimestamp,  ///< Sum all targets of a formula per timestamp (machine view).
+  kPid,        ///< Forward one row per (pid, timestamp) (per-process view).
+  kGroup,      ///< Sum per process group — the cgroup/VM view.
+};
+
+class Aggregator final : public actors::Actor {
+ public:
+  /// Resolves a pid to its group label (kGroup dimension only); processes
+  /// whose resolver returns "" aggregate under the empty group.
+  using GroupResolver = std::function<std::string(std::int64_t pid)>;
+
+  Aggregator(actors::EventBus& bus, AggregationDimension dimension)
+      : Aggregator(bus, dimension, GroupResolver{}) {}
+  Aggregator(actors::EventBus& bus, AggregationDimension dimension,
+             GroupResolver group_of);
+
+  void receive(actors::Envelope& envelope) override;
+
+  /// Flushes any pending timestamp groups (call at end of monitoring).
+  void post_stop() override;
+
+ private:
+  struct Group {
+    util::TimestampNs timestamp = 0;
+    double sum_watts = 0.0;
+    bool has_machine_row = false;
+    double machine_watts = 0.0;
+  };
+
+  void emit(const std::string& formula, const Group& group);
+  void emit_group_rows(const std::string& formula);
+  void receive_group_dimension(const PowerEstimate& estimate);
+
+  actors::EventBus* bus_;
+  AggregationDimension dimension_;
+  GroupResolver group_of_;
+  /// Per-formula group under construction; emitted when a newer timestamp
+  /// arrives (estimates for one tick always precede the next tick's).
+  std::map<std::string, Group> pending_;
+  /// kGroup dimension: per-formula watermark + per-group-label sums.
+  struct GroupBucket {
+    util::TimestampNs timestamp = 0;
+    std::map<std::string, double> watts_by_group;
+  };
+  std::map<std::string, GroupBucket> pending_groups_;
+};
+
+}  // namespace powerapi::api

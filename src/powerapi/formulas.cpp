@@ -1,0 +1,100 @@
+#include "powerapi/formulas.h"
+
+#include <any>
+
+namespace powerapi::api {
+
+namespace {
+const SensorReport* as_report(const actors::Envelope& envelope) {
+  return std::any_cast<SensorReport>(&envelope.payload);
+}
+}  // namespace
+
+// --- RegressionFormula ---
+
+RegressionFormula::RegressionFormula(actors::EventBus& bus, model::CpuPowerModel model)
+    : bus_(&bus), model_(std::move(model)) {}
+
+void RegressionFormula::receive(actors::Envelope& envelope) {
+  const SensorReport* report = as_report(envelope);
+  if (report == nullptr || report->sensor != "hpc") return;
+
+  PowerEstimate estimate;
+  estimate.timestamp = report->timestamp;
+  estimate.pid = report->pid;
+  estimate.formula = "powerapi-hpc";
+  const double activity = model_.estimate_activity(report->frequency_hz, report->rates);
+  estimate.watts = report->pid == kMachinePid ? model_.idle_watts() + activity : activity;
+  bus_->publish("power:estimate", estimate, self());
+}
+
+// --- EstimatorFormula ---
+
+EstimatorFormula::EstimatorFormula(
+    actors::EventBus& bus, std::string /*subscribe_sensor*/,
+    std::shared_ptr<const baselines::MachinePowerEstimator> estimator)
+    : bus_(&bus), estimator_(std::move(estimator)) {}
+
+void EstimatorFormula::receive(actors::Envelope& envelope) {
+  const SensorReport* report = as_report(envelope);
+  if (report == nullptr || report->pid != kMachinePid) return;
+
+  baselines::Observation obs;
+  obs.frequency_hz = report->frequency_hz;
+  obs.rates = report->rates;
+  obs.utilization = report->utilization;
+  obs.smt_shared_cycles_per_sec = report->smt_shared_cycles_per_sec;
+
+  PowerEstimate estimate;
+  estimate.timestamp = report->timestamp;
+  estimate.pid = kMachinePid;
+  estimate.formula = estimator_->name();
+  estimate.watts = estimator_->estimate(obs);
+  bus_->publish("power:estimate", estimate, self());
+}
+
+// --- IoFormula ---
+
+IoFormula::IoFormula(actors::EventBus& bus, periph::DiskParams disk,
+                     periph::NicParams nic)
+    : bus_(&bus), disk_(disk), nic_(nic) {}
+
+void IoFormula::receive(actors::Envelope& envelope) {
+  const SensorReport* report = as_report(envelope);
+  if (report == nullptr || report->sensor != "io") return;
+
+  // Base power assumes the common steady states (platters spinning, link
+  // awake); transition states (spin-up surges, LPI) are below this formula's
+  // resolution — deliberately, as a datasheet model would be.
+  double watts = disk_.idle_spinning_watts + nic_.link_active_watts;
+  watts += report->disk_iops * disk_.joules_per_op;
+  watts += report->disk_bytes_per_sec / 1e6 * disk_.joules_per_megabyte;
+  // Without a tx/rx split in the counters, charge the average of the two.
+  watts += report->net_bytes_per_sec / 1e6 *
+           (nic_.joules_per_megabyte_tx + nic_.joules_per_megabyte_rx) / 2.0;
+
+  PowerEstimate estimate;
+  estimate.timestamp = report->timestamp;
+  estimate.pid = kMachinePid;
+  estimate.formula = "io-datasheet";
+  estimate.watts = watts;
+  bus_->publish("power:estimate", estimate, self());
+}
+
+// --- MeterFormula ---
+
+MeterFormula::MeterFormula(actors::EventBus& bus, std::string formula_name)
+    : bus_(&bus), formula_name_(std::move(formula_name)) {}
+
+void MeterFormula::receive(actors::Envelope& envelope) {
+  const SensorReport* report = as_report(envelope);
+  if (report == nullptr) return;
+  PowerEstimate estimate;
+  estimate.timestamp = report->timestamp;
+  estimate.pid = report->pid;
+  estimate.formula = formula_name_;
+  estimate.watts = report->measured_watts;
+  bus_->publish("power:estimate", estimate, self());
+}
+
+}  // namespace powerapi::api

@@ -1,0 +1,76 @@
+// Formula actors: turn SensorReports into PowerEstimates.
+#pragma once
+
+#include <memory>
+
+#include "actors/actor.h"
+#include "actors/event_bus.h"
+#include "baselines/cpuload_model.h"
+#include "baselines/estimator.h"
+#include "model/power_model.h"
+#include "periph/disk.h"
+#include "periph/nic.h"
+#include "powerapi/messages.h"
+
+namespace powerapi::api {
+
+/// The paper's formula: per-frequency linear regression over HPC rates.
+/// Machine-scope reports get idle + activity; process reports get activity
+/// only (the paper attributes the idle floor to the machine, not to any
+/// process).
+class RegressionFormula final : public actors::Actor {
+ public:
+  RegressionFormula(actors::EventBus& bus, model::CpuPowerModel model);
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  actors::EventBus* bus_;
+  model::CpuPowerModel model_;
+};
+
+/// Adapter formula around any baseline MachinePowerEstimator (CPU-load,
+/// Bertran, HAPPY). Machine scope only — these models are machine models.
+class EstimatorFormula final : public actors::Actor {
+ public:
+  EstimatorFormula(actors::EventBus& bus, std::string subscribe_sensor,
+                   std::shared_ptr<const baselines::MachinePowerEstimator> estimator);
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  actors::EventBus* bus_;
+  std::shared_ptr<const baselines::MachinePowerEstimator> estimator_;
+};
+
+/// Datasheet-based IO power formula: unlike CPU cores, disk and NIC power
+/// characteristics are published by their vendors, so the component model
+/// needs no regression — base power plus per-op and per-byte energies from
+/// the device parameters. Consumes "sensor:io", emits machine-scope
+/// "io-datasheet" estimates of the peripheral power share.
+class IoFormula final : public actors::Actor {
+ public:
+  IoFormula(actors::EventBus& bus, periph::DiskParams disk, periph::NicParams nic);
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  actors::EventBus* bus_;
+  periph::DiskParams disk_;
+  periph::NicParams nic_;
+};
+
+/// Pass-through formula for direct meters (RAPL): the measured watts ARE
+/// the estimate — with the meter's scope limitation (package, machine-wide).
+class MeterFormula final : public actors::Actor {
+ public:
+  MeterFormula(actors::EventBus& bus, std::string formula_name);
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  actors::EventBus* bus_;
+  std::string formula_name_;
+};
+
+}  // namespace powerapi::api

@@ -1,0 +1,65 @@
+// Message vocabulary of the PowerAPI pipeline (Figure 2).
+//
+// Topics:
+//   "tick"              MonitorTick   → all sensors
+//   "sensor:hpc"        SensorReport  → formulas
+//   "sensor:cpu-load"   SensorReport  → CPU-load formula
+//   "sensor:powerspy"   SensorReport  → reporters wanting ground truth
+//   "sensor:rapl"       SensorReport  → RAPL formula
+//   "power:estimate"    PowerEstimate → aggregators
+//   "power:aggregated"  AggregatedPower → reporters
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/sample.h"
+#include "util/units.h"
+
+namespace powerapi::api {
+
+/// Scope marker for machine-wide rows.
+inline constexpr std::int64_t kMachinePid = -1;
+
+/// Periodic monitoring tick, broadcast to sensors.
+struct MonitorTick {
+  util::TimestampNs timestamp = 0;
+};
+
+/// One sensor's observation of one target over the last window.
+struct SensorReport {
+  util::TimestampNs timestamp = 0;
+  std::int64_t pid = kMachinePid;
+  std::string sensor;             ///< "hpc", "cpu-load", "powerspy", "rapl".
+  double frequency_hz = 0.0;
+  double window_seconds = 0.0;
+  model::EventRates rates{};      ///< Event rates over the window (hpc sensor).
+  double utilization = 0.0;       ///< Target's CPU share over the window.
+  double smt_shared_cycles_per_sec = 0.0;
+  double measured_watts = 0.0;    ///< Meter sensors only (powerspy, rapl).
+
+  // IO sensor fields (machine scope, "sensor:io"):
+  double disk_iops = 0.0;
+  double disk_bytes_per_sec = 0.0;
+  double net_bytes_per_sec = 0.0;
+};
+
+/// A formula's power attribution for one target at one timestamp.
+struct PowerEstimate {
+  util::TimestampNs timestamp = 0;
+  std::int64_t pid = kMachinePid;
+  std::string formula;            ///< e.g. "powerapi-hpc", "cpu-load", "rapl".
+  double watts = 0.0;
+};
+
+/// Aggregated power along a dimension (per PID, per group, or summed per
+/// timestamp).
+struct AggregatedPower {
+  util::TimestampNs timestamp = 0;
+  std::int64_t pid = kMachinePid;  ///< kMachinePid for summed rows.
+  std::string group;               ///< Set only by group-dimension aggregation.
+  std::string formula;
+  double watts = 0.0;
+};
+
+}  // namespace powerapi::api

@@ -1,0 +1,102 @@
+// PowerMeter: the library facade.
+//
+// Wires the Figure-2 pipeline over a simulated System: a monitoring clock
+// ("tick" topic) drives Sensor actors, whose reports flow through Formula
+// actors into an Aggregator and out to Reporters — all over the event bus.
+// Usage:
+//
+//   os::System system(simcpu::i3_2120());
+//   api::PowerMeter meter(system, trained_model);
+//   auto& mem = meter.add_memory_reporter();
+//   meter.monitor_all();
+//   meter.run_for(util::seconds_to_ns(60));
+//   meter.finish();
+//   // mem.series("powerapi-hpc") is the estimated machine power series.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "actors/actor_system.h"
+#include "actors/event_bus.h"
+#include "actors/timers.h"
+#include "baselines/estimator.h"
+#include "hpc/sim_backend.h"
+#include "model/power_model.h"
+#include "os/system.h"
+#include "powerapi/aggregators.h"
+#include "powerapi/formulas.h"
+#include "powerapi/messages.h"
+#include "powerapi/reporters.h"
+#include "powerapi/sensors.h"
+#include "powermeter/powerspy.h"
+#include "powermeter/rapl.h"
+#include "util/rng.h"
+
+namespace powerapi::api {
+
+class PowerMeter {
+ public:
+  struct Config {
+    util::DurationNs period = util::ms_to_ns(250);  ///< Monitoring period.
+    bool with_powerspy = true;   ///< Reference wall meter ("powerspy" series).
+    bool with_rapl = false;      ///< Emulated RAPL package meter ("rapl").
+    bool with_cpu_load = false;  ///< CPU-load sensor (for baseline formulas).
+    /// IO sensor + datasheet formula ("io-datasheet" series); only emits on
+    /// systems built with peripherals.
+    bool with_io = false;
+    AggregationDimension dimension = AggregationDimension::kTimestamp;
+    std::uint64_t seed = 7;      ///< Seeds the meter noise stream.
+  };
+
+  PowerMeter(os::System& system, model::CpuPowerModel model)
+      : PowerMeter(system, std::move(model), Config{}) {}
+  PowerMeter(os::System& system, model::CpuPowerModel model, Config config);
+
+  /// Flushes via finish(): the aggregator's pending groups must drain while
+  /// the event bus still exists (members are destroyed in reverse order, so
+  /// an actor flushing from post_stop during ~ActorSystem would otherwise
+  /// publish through a dangling bus).
+  ~PowerMeter();
+
+  /// Monitors the given pids (plus, always, the machine scope).
+  void monitor(std::vector<std::int64_t> pids);
+  /// Monitors every live process, tracked dynamically.
+  void monitor_all();
+
+  /// Attaches an additional baseline formula fed by the hpc sensor.
+  void add_estimator(std::shared_ptr<const baselines::MachinePowerEstimator> estimator);
+
+  // --- Reporters (attach before run_for) ---
+  void add_console_reporter(std::ostream& out);
+  void add_csv_reporter(std::ostream& out);
+  void add_callback_reporter(CallbackReporter::Callback callback);
+  MemoryReporter& add_memory_reporter();
+
+  /// Advances the simulated system by `duration`, firing monitor ticks at
+  /// the configured period and draining the pipeline after each.
+  void run_for(util::DurationNs duration);
+
+  /// Flushes pending aggregation groups; call once after the last run_for.
+  void finish();
+
+  actors::ActorSystem& actor_system() noexcept { return actors_; }
+  actors::EventBus& bus() noexcept { return bus_; }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  os::System* system_;
+  Config config_;
+  actors::ActorSystem actors_;
+  actors::EventBus bus_;
+  hpc::SimBackend backend_;
+  std::shared_ptr<std::vector<std::int64_t>> fixed_targets_;
+  bool monitor_all_ = false;
+  actors::Ticker ticker_;
+  actors::ActorRef aggregator_;
+  bool finished_ = false;
+};
+
+}  // namespace powerapi::api

@@ -1,0 +1,76 @@
+// Reporter actors: convert the pipeline's output into a consumable format —
+// console lines, CSV rows, user callbacks, or in-memory series for tests
+// and benches.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actors/actor.h"
+#include "powerapi/messages.h"
+#include "util/csv.h"
+
+namespace powerapi::api {
+
+/// Human-readable rows on an ostream the caller owns (commonly std::cout).
+class ConsoleReporter final : public actors::Actor {
+ public:
+  explicit ConsoleReporter(std::ostream& out) : out_(&out) {}
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// CSV rows: timestamp_s, pid, formula, watts.
+class CsvReporter final : public actors::Actor {
+ public:
+  explicit CsvReporter(std::ostream& out);
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  util::CsvWriter writer_;
+};
+
+/// Invokes a user callback per aggregated row — the embedding API.
+class CallbackReporter final : public actors::Actor {
+ public:
+  using Callback = std::function<void(const AggregatedPower&)>;
+  explicit CallbackReporter(Callback callback) : callback_(std::move(callback)) {}
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  Callback callback_;
+};
+
+/// Accumulates rows in memory, indexed by formula; the workhorse of tests
+/// and the benchmark harnesses.
+class MemoryReporter final : public actors::Actor {
+ public:
+  void receive(actors::Envelope& envelope) override;
+
+  /// Rows for one formula, machine scope only, in arrival order.
+  std::vector<AggregatedPower> series(const std::string& formula) const;
+  /// Rows for one (formula, pid).
+  std::vector<AggregatedPower> series(const std::string& formula, std::int64_t pid) const;
+  /// Rows for one (formula, group) — kGroup aggregation output.
+  std::vector<AggregatedPower> group_series(const std::string& formula,
+                                            const std::string& group) const;
+  /// Watts-only convenience extraction.
+  static std::vector<double> watts_of(const std::vector<AggregatedPower>& rows);
+
+  std::size_t total_rows() const noexcept { return rows_.size(); }
+  const std::vector<AggregatedPower>& all() const noexcept { return rows_; }
+
+ private:
+  std::vector<AggregatedPower> rows_;
+};
+
+}  // namespace powerapi::api

@@ -1,0 +1,219 @@
+#include "powerapi/sensors.h"
+
+#include <any>
+
+#include "util/logging.h"
+
+namespace powerapi::api {
+
+namespace {
+const MonitorTick* as_tick(const actors::Envelope& envelope) {
+  return std::any_cast<MonitorTick>(&envelope.payload);
+}
+}  // namespace
+
+// --- HpcSensor ---
+
+HpcSensor::HpcSensor(actors::EventBus& bus, hpc::CounterBackend& backend, TargetsFn targets,
+                     const os::System* system)
+    : bus_(&bus), backend_(&backend), targets_(std::move(targets)), system_(system) {}
+
+void HpcSensor::observe(std::int64_t pid, util::TimestampNs now) {
+  const hpc::Target target =
+      pid == kMachinePid ? hpc::Target::machine() : hpc::Target::process(pid);
+  auto read = backend_->read(target);
+  if (!read.ok()) {
+    POWERAPI_LOG_DEBUG("sensor.hpc") << "read failed for pid " << pid << ": "
+                                     << read.error_message();
+    states_.erase(pid);
+    return;
+  }
+
+  TargetState& st = states_[pid];
+  std::uint64_t smt_cycles = 0;
+  util::DurationNs cpu_time = 0;
+  if (system_ != nullptr) {
+    if (pid == kMachinePid) {
+      smt_cycles = system_->machine().machine_counters().smt_shared_cycles;
+    } else if (const auto stat = system_->proc_stat(pid)) {
+      smt_cycles = stat->counters.smt_shared_cycles;
+      cpu_time = stat->cpu_time_ns;
+    }
+  }
+
+  if (!st.primed) {
+    st.last_values = read.value();
+    st.last_smt_cycles = smt_cycles;
+    st.last_cpu_time = cpu_time;
+    st.last_time = now;
+    st.primed = true;
+    return;
+  }
+  if (now <= st.last_time) return;
+
+  const double window_s = util::ns_to_seconds(now - st.last_time);
+  SensorReport report;
+  report.timestamp = now;
+  report.pid = pid;
+  report.sensor = "hpc";
+  report.window_seconds = window_s;
+  report.rates = model::rates_from_delta(read.value().delta_since(st.last_values), window_s);
+  report.smt_shared_cycles_per_sec =
+      static_cast<double>(smt_cycles - st.last_smt_cycles) / window_s;
+  if (system_ != nullptr) {
+    const auto sys = system_->system_stat();
+    report.frequency_hz = sys.frequency_hz;
+    if (pid == kMachinePid) {
+      report.utilization = model::rate_of(report.rates, hpc::EventId::kCycles) /
+                           (sys.frequency_hz *
+                            static_cast<double>(system_->machine().spec().hw_threads()));
+    } else {
+      report.utilization = util::ns_to_seconds(cpu_time - st.last_cpu_time) / window_s;
+    }
+  }
+
+  st.last_values = read.value();
+  st.last_smt_cycles = smt_cycles;
+  st.last_cpu_time = cpu_time;
+  st.last_time = now;
+
+  bus_->publish("sensor:hpc", report, self());
+}
+
+void HpcSensor::receive(actors::Envelope& envelope) {
+  const MonitorTick* tick = as_tick(envelope);
+  if (tick == nullptr) return;
+  observe(kMachinePid, tick->timestamp);
+  for (const std::int64_t pid : targets_()) observe(pid, tick->timestamp);
+}
+
+// --- PowerSpySensor ---
+
+PowerSpySensor::PowerSpySensor(actors::EventBus& bus,
+                               std::shared_ptr<powermeter::PowerSpy> meter)
+    : bus_(&bus), meter_(std::move(meter)) {}
+
+void PowerSpySensor::receive(actors::Envelope& envelope) {
+  const MonitorTick* tick = as_tick(envelope);
+  if (tick == nullptr) return;
+  const auto sample = meter_->sample();
+  if (!sample) return;  // Dropped sample or first (priming) call.
+  SensorReport report;
+  report.timestamp = tick->timestamp;
+  report.pid = kMachinePid;
+  report.sensor = "powerspy";
+  report.measured_watts = sample->watts;
+  bus_->publish("sensor:powerspy", report, self());
+}
+
+// --- RaplSensor ---
+
+RaplSensor::RaplSensor(actors::EventBus& bus, std::shared_ptr<powermeter::RaplMsr> msr)
+    : bus_(&bus), msr_(std::move(msr)) {}
+
+void RaplSensor::receive(actors::Envelope& envelope) {
+  const MonitorTick* tick = as_tick(envelope);
+  if (tick == nullptr) return;
+  if (!msr_->available()) return;
+  const std::uint32_t raw = msr_->read_energy_status();
+  if (!primed_) {
+    last_raw_ = raw;
+    last_time_ = tick->timestamp;
+    primed_ = true;
+    return;
+  }
+  if (tick->timestamp <= last_time_) return;
+  const double joules = powermeter::RaplMsr::energy_between(last_raw_, raw);
+  const double window_s = util::ns_to_seconds(tick->timestamp - last_time_);
+  last_raw_ = raw;
+  last_time_ = tick->timestamp;
+
+  SensorReport report;
+  report.timestamp = tick->timestamp;
+  report.pid = kMachinePid;
+  report.sensor = "rapl";
+  report.window_seconds = window_s;
+  report.measured_watts = joules / window_s;
+  bus_->publish("sensor:rapl", report, self());
+}
+
+// --- IoSensor ---
+
+IoSensor::IoSensor(actors::EventBus& bus, const os::System& system)
+    : bus_(&bus), system_(&system) {}
+
+void IoSensor::receive(actors::Envelope& envelope) {
+  const MonitorTick* tick = as_tick(envelope);
+  if (tick == nullptr) return;
+  if (system_->disk() == nullptr) return;  // No peripherals on this system.
+
+  const auto totals = system_->io_totals();
+  if (!primed_) {
+    last_ = totals;
+    last_time_ = tick->timestamp;
+    primed_ = true;
+    return;
+  }
+  if (tick->timestamp <= last_time_) return;
+  const double window_s = util::ns_to_seconds(tick->timestamp - last_time_);
+
+  SensorReport report;
+  report.timestamp = tick->timestamp;
+  report.pid = kMachinePid;
+  report.sensor = "io";
+  report.window_seconds = window_s;
+  report.disk_iops = (totals.disk_ops - last_.disk_ops) / window_s;
+  report.disk_bytes_per_sec = (totals.disk_bytes - last_.disk_bytes) / window_s;
+  report.net_bytes_per_sec = (totals.net_bytes - last_.net_bytes) / window_s;
+  last_ = totals;
+  last_time_ = tick->timestamp;
+  bus_->publish("sensor:io", report, self());
+}
+
+// --- CpuLoadSensor ---
+
+CpuLoadSensor::CpuLoadSensor(actors::EventBus& bus, const os::System& system,
+                             TargetsFn targets)
+    : bus_(&bus), system_(&system), targets_(std::move(targets)) {}
+
+void CpuLoadSensor::receive(actors::Envelope& envelope) {
+  const MonitorTick* tick = as_tick(envelope);
+  if (tick == nullptr) return;
+
+  auto publish = [&](std::int64_t pid, double utilization) {
+    SensorReport report;
+    report.timestamp = tick->timestamp;
+    report.pid = pid;
+    report.sensor = "cpu-load";
+    report.frequency_hz = system_->system_stat().frequency_hz;
+    report.utilization = utilization;
+    bus_->publish("sensor:cpu-load", report, self());
+  };
+
+  // Machine scope: immediate utilization from the last tick.
+  publish(kMachinePid, system_->system_stat().utilization);
+
+  for (const std::int64_t pid : targets_()) {
+    const auto stat = system_->proc_stat(pid);
+    if (!stat) {
+      states_.erase(pid);
+      continue;
+    }
+    TargetState& st = states_[pid];
+    if (!st.primed) {
+      st.last_cpu_time = stat->cpu_time_ns;
+      st.last_time = tick->timestamp;
+      st.primed = true;
+      continue;
+    }
+    if (tick->timestamp <= st.last_time) continue;
+    const double window_s = util::ns_to_seconds(tick->timestamp - st.last_time);
+    const double busy_s = util::ns_to_seconds(stat->cpu_time_ns - st.last_cpu_time);
+    st.last_cpu_time = stat->cpu_time_ns;
+    st.last_time = tick->timestamp;
+    const auto hw = static_cast<double>(system_->machine().spec().hw_threads());
+    publish(pid, busy_s / (window_s * hw));
+  }
+}
+
+}  // namespace powerapi::api

@@ -1,0 +1,121 @@
+// Sensor actors: turn MonitorTicks into SensorReports on the event bus.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "actors/actor.h"
+#include "actors/event_bus.h"
+#include "hpc/backend.h"
+#include "os/system.h"
+#include "powerapi/messages.h"
+#include "powermeter/powerspy.h"
+#include "powermeter/rapl.h"
+
+namespace powerapi::api {
+
+/// Supplies the set of pids to monitor at each tick (dynamic: processes come
+/// and go). Returning an empty vector monitors only the machine scope.
+using TargetsFn = std::function<std::vector<std::int64_t>()>;
+
+/// Reads HPC counters for each target plus the machine scope, converts the
+/// per-window deltas into rates and publishes "sensor:hpc" reports.
+///
+/// `system` is optional: when present (simulation) it supplies frequency,
+/// utilization and the SMT co-residency signal; a live deployment passes
+/// nullptr and those fields default.
+class HpcSensor final : public actors::Actor {
+ public:
+  HpcSensor(actors::EventBus& bus, hpc::CounterBackend& backend, TargetsFn targets,
+            const os::System* system);
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  struct TargetState {
+    hpc::EventValues last_values;
+    std::uint64_t last_smt_cycles = 0;
+    util::DurationNs last_cpu_time = 0;
+    util::TimestampNs last_time = 0;
+    bool primed = false;
+  };
+
+  void observe(std::int64_t pid, util::TimestampNs now);
+
+  actors::EventBus* bus_;
+  hpc::CounterBackend* backend_;
+  TargetsFn targets_;
+  const os::System* system_;
+  std::map<std::int64_t, TargetState> states_;
+};
+
+/// Publishes the (simulated) wall meter's reading on "sensor:powerspy".
+class PowerSpySensor final : public actors::Actor {
+ public:
+  PowerSpySensor(actors::EventBus& bus, std::shared_ptr<powermeter::PowerSpy> meter);
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  actors::EventBus* bus_;
+  std::shared_ptr<powermeter::PowerSpy> meter_;
+};
+
+/// Reads the emulated RAPL MSR, differentiates energy into watts and
+/// publishes "sensor:rapl".
+class RaplSensor final : public actors::Actor {
+ public:
+  RaplSensor(actors::EventBus& bus, std::shared_ptr<powermeter::RaplMsr> msr);
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  actors::EventBus* bus_;
+  std::shared_ptr<powermeter::RaplMsr> msr_;
+  std::uint32_t last_raw_ = 0;
+  util::TimestampNs last_time_ = 0;
+  bool primed_ = false;
+};
+
+/// Differences the OS's iostat-style IO counters into machine-scope rates
+/// on "sensor:io" (the disk/network dimension of the paper's component
+/// splitting). Publishes nothing when the system has no peripherals.
+class IoSensor final : public actors::Actor {
+ public:
+  IoSensor(actors::EventBus& bus, const os::System& system);
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  actors::EventBus* bus_;
+  const os::System* system_;
+  os::System::IoTotals last_;
+  util::TimestampNs last_time_ = 0;
+  bool primed_ = false;
+};
+
+/// Publishes per-target CPU utilization on "sensor:cpu-load" (the input of
+/// the Versick-style baseline formula). Simulation only.
+class CpuLoadSensor final : public actors::Actor {
+ public:
+  CpuLoadSensor(actors::EventBus& bus, const os::System& system, TargetsFn targets);
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  struct TargetState {
+    util::DurationNs last_cpu_time = 0;
+    util::TimestampNs last_time = 0;
+    bool primed = false;
+  };
+
+  actors::EventBus* bus_;
+  const os::System* system_;
+  TargetsFn targets_;
+  std::map<std::int64_t, TargetState> states_;
+};
+
+}  // namespace powerapi::api

@@ -1,0 +1,64 @@
+#include "powermeter/powerspy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powerapi::powermeter {
+
+PowerSpy::PowerSpy(std::function<double()> energy_joules,
+                   std::function<util::TimestampNs()> now, util::Rng rng, Options options)
+    : energy_joules_(std::move(energy_joules)),
+      now_(std::move(now)),
+      rng_(std::move(rng)),
+      options_(options) {
+  if (!energy_joules_ || !now_) throw std::invalid_argument("PowerSpy: null source");
+  if (options_.smoothing_alpha <= 0.0 || options_.smoothing_alpha > 1.0) {
+    throw std::invalid_argument("PowerSpy: smoothing_alpha must be in (0,1]");
+  }
+}
+
+std::optional<PowerSample> PowerSpy::sample() {
+  const util::TimestampNs t = now_();
+  const double e = energy_joules_();
+  if (!primed_) {
+    primed_ = true;
+    last_time_ = t;
+    last_energy_ = e;
+    return std::nullopt;
+  }
+  if (t <= last_time_) return std::nullopt;
+
+  const double true_watts = (e - last_energy_) / util::ns_to_seconds(t - last_time_);
+  last_time_ = t;
+  last_energy_ = e;
+
+  if (rng_.bernoulli(options_.drop_probability)) return std::nullopt;
+
+  double w = true_watts + rng_.gaussian(0.0, options_.noise_sigma_watts);
+  if (options_.quantum_watts > 0.0) {
+    w = std::round(w / options_.quantum_watts) * options_.quantum_watts;
+  }
+  if (ema_) {
+    w = options_.smoothing_alpha * w + (1.0 - options_.smoothing_alpha) * *ema_;
+  }
+  ema_ = w;
+  if (w < 0.0) w = 0.0;
+
+  return PowerSample{t, w};
+}
+
+std::vector<PowerSample> record_trace(PowerSpy& meter, util::DurationNs period,
+                                      util::DurationNs duration,
+                                      const std::function<void(util::DurationNs)>& advance) {
+  if (period <= 0 || duration <= 0) throw std::invalid_argument("record_trace: bad periods");
+  std::vector<PowerSample> trace;
+  trace.reserve(static_cast<std::size_t>(duration / period) + 1);
+  meter.sample();  // Prime the integrator.
+  for (util::DurationNs elapsed = 0; elapsed < duration; elapsed += period) {
+    advance(period);
+    if (auto s = meter.sample()) trace.push_back(*s);
+  }
+  return trace;
+}
+
+}  // namespace powerapi::powermeter

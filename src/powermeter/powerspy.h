@@ -1,0 +1,66 @@
+// Simulated PowerSpy bluetooth wall-power meter.
+//
+// The real device integrates wall power between samples; we reproduce that
+// by differencing the machine's ground-truth energy counter, then layer the
+// measurement chain on top: Gaussian noise, ADC quantization, exponential
+// smoothing, and occasional bluetooth sample drops. This is the reference
+// signal the paper regresses against (Figure 1, step 2) and plots in
+// Figure 3.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace powerapi::powermeter {
+
+struct PowerSample {
+  util::TimestampNs timestamp = 0;
+  double watts = 0.0;
+};
+
+class PowerSpy {
+ public:
+  struct Options {
+    double noise_sigma_watts = 0.35;   ///< Sensor noise per sample.
+    double quantum_watts = 0.1;        ///< ADC quantization step.
+    double smoothing_alpha = 0.6;      ///< EMA weight of the new sample (1 = none).
+    double drop_probability = 0.002;   ///< Bluetooth sample loss.
+  };
+
+  /// `energy_joules` must return cumulative machine energy at call time;
+  /// `now` supplies timestamps (both usually bound to the simulated system).
+  PowerSpy(std::function<double()> energy_joules, std::function<util::TimestampNs()> now,
+           util::Rng rng)
+      : PowerSpy(std::move(energy_joules), std::move(now), std::move(rng), Options{}) {}
+  PowerSpy(std::function<double()> energy_joules, std::function<util::TimestampNs()> now,
+           util::Rng rng, Options options);
+
+  /// Takes one sample: average true power since the previous call, passed
+  /// through the measurement chain. Returns nullopt when the sample is
+  /// dropped (bluetooth loss) or no time has elapsed yet.
+  std::optional<PowerSample> sample();
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  std::function<double()> energy_joules_;
+  std::function<util::TimestampNs()> now_;
+  util::Rng rng_;
+  Options options_;
+  double last_energy_ = 0.0;
+  util::TimestampNs last_time_ = 0;
+  bool primed_ = false;
+  std::optional<double> ema_;
+};
+
+/// Convenience: drives `advance` (e.g. one System tick batch) between
+/// samples and collects a whole trace at the given period.
+std::vector<PowerSample> record_trace(PowerSpy& meter, util::DurationNs period,
+                                      util::DurationNs duration,
+                                      const std::function<void(util::DurationNs)>& advance);
+
+}  // namespace powerapi::powermeter

@@ -1,0 +1,37 @@
+#include "powermeter/rapl.h"
+
+#include <cmath>
+
+namespace powerapi::powermeter {
+
+RaplMsr::RaplMsr(std::function<double()> package_energy_joules,
+                 std::function<util::TimestampNs()> now, bool available)
+    : package_energy_joules_(std::move(package_energy_joules)),
+      now_(std::move(now)),
+      available_(available) {
+  if (!package_energy_joules_ || !now_) throw std::invalid_argument("RaplMsr: null source");
+}
+
+std::uint32_t RaplMsr::read_energy_status() {
+  if (!available_) {
+    throw std::runtime_error("RAPL unavailable: requires Sandy Bridge or later");
+  }
+  const util::TimestampNs t = now_();
+  // The MSR only refreshes at its update period; repeated reads within one
+  // period observe the same value (as on real hardware).
+  const util::TimestampNs quantized = t - (t % kUpdatePeriodNs);
+  if (quantized != last_update_) {
+    last_update_ = quantized;
+    const double joules = package_energy_joules_();
+    const auto units = static_cast<std::uint64_t>(joules / kJoulesPerUnit);
+    cached_ = static_cast<std::uint32_t>(units & 0xffffffffULL);
+  }
+  return cached_;
+}
+
+double RaplMsr::energy_between(std::uint32_t before, std::uint32_t after) noexcept {
+  const std::uint32_t delta = after - before;  // Unsigned wraparound is defined.
+  return static_cast<double>(delta) * kJoulesPerUnit;
+}
+
+}  // namespace powerapi::powermeter

@@ -1,0 +1,51 @@
+// Simulated Intel RAPL (Running Average Power Limit) MSR interface.
+//
+// The paper discusses RAPL as the architecture-dependent alternative to its
+// approach: available only since Sandy Bridge, package-scope only. We
+// emulate MSR_PKG_ENERGY_STATUS faithfully — a 32-bit counter in 2^-16 J
+// units that wraps around — so the RAPL-based Formula has exactly the same
+// limitations as the real thing (no per-process attribution, wraparound
+// handling, update granularity).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace powerapi::powermeter {
+
+class RaplMsr {
+ public:
+  /// Energy unit of MSR_RAPL_POWER_UNIT's default ESU (2^-16 J).
+  static constexpr double kJoulesPerUnit = 1.0 / 65536.0;
+  /// MSR update period: the real counter refreshes roughly every ~1 ms.
+  static constexpr util::DurationNs kUpdatePeriodNs = 1'000'000;
+
+  /// `package_energy_joules` returns cumulative package-domain energy;
+  /// `now` provides timestamps. `available` mirrors the architectural gate
+  /// (pre-Sandy-Bridge parts have no RAPL).
+  RaplMsr(std::function<double()> package_energy_joules,
+          std::function<util::TimestampNs()> now, bool available = true);
+
+  bool available() const noexcept { return available_; }
+
+  /// Raw MSR_PKG_ENERGY_STATUS read: lower 32 bits of the unit counter,
+  /// quantized to the MSR update period. Throws std::runtime_error when
+  /// RAPL is unavailable on this "architecture".
+  std::uint32_t read_energy_status();
+
+  /// Unwrapped energy (joules) between two raw readings, assuming at most
+  /// one wraparound (valid when polled faster than ~15 minutes at 65 W).
+  static double energy_between(std::uint32_t before, std::uint32_t after) noexcept;
+
+ private:
+  std::function<double()> package_energy_joules_;
+  std::function<util::TimestampNs()> now_;
+  bool available_;
+  util::TimestampNs last_update_ = -1;
+  std::uint32_t cached_ = 0;
+};
+
+}  // namespace powerapi::powermeter

@@ -1,0 +1,70 @@
+// Cumulative hardware performance counter block.
+//
+// These are the "generic" perf events of the perf_event_open man page (the
+// paper's reference [8]); both the simulator and the real perf backend report
+// them through this struct so everything downstream is backend-agnostic.
+#pragma once
+
+#include <cstdint>
+
+namespace powerapi::simcpu {
+
+struct CounterBlock {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_instructions = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t bus_cycles = 0;
+  std::uint64_t stalled_cycles_frontend = 0;
+  std::uint64_t stalled_cycles_backend = 0;
+  std::uint64_t ref_cycles = 0;
+  /// Cycles executed while the SMT sibling was simultaneously busy. Not a
+  /// perf generic event — it requires scheduler cooperation, which is
+  /// exactly the extra signal the HAPPY baseline (Zhai et al.) exploits.
+  std::uint64_t smt_shared_cycles = 0;
+
+  CounterBlock& operator+=(const CounterBlock& o) noexcept {
+    cycles += o.cycles;
+    instructions += o.instructions;
+    cache_references += o.cache_references;
+    cache_misses += o.cache_misses;
+    branch_instructions += o.branch_instructions;
+    branch_misses += o.branch_misses;
+    bus_cycles += o.bus_cycles;
+    stalled_cycles_frontend += o.stalled_cycles_frontend;
+    stalled_cycles_backend += o.stalled_cycles_backend;
+    ref_cycles += o.ref_cycles;
+    smt_shared_cycles += o.smt_shared_cycles;
+    return *this;
+  }
+
+  friend CounterBlock operator+(CounterBlock a, const CounterBlock& b) noexcept {
+    a += b;
+    return a;
+  }
+
+  /// Delta `this - o`; each field of `o` must not exceed this one's
+  /// (counters are monotonic). Saturates at 0 defensively.
+  CounterBlock delta_since(const CounterBlock& o) const noexcept {
+    auto sub = [](std::uint64_t a, std::uint64_t b) { return a >= b ? a - b : 0; };
+    CounterBlock d;
+    d.cycles = sub(cycles, o.cycles);
+    d.instructions = sub(instructions, o.instructions);
+    d.cache_references = sub(cache_references, o.cache_references);
+    d.cache_misses = sub(cache_misses, o.cache_misses);
+    d.branch_instructions = sub(branch_instructions, o.branch_instructions);
+    d.branch_misses = sub(branch_misses, o.branch_misses);
+    d.bus_cycles = sub(bus_cycles, o.bus_cycles);
+    d.stalled_cycles_frontend = sub(stalled_cycles_frontend, o.stalled_cycles_frontend);
+    d.stalled_cycles_backend = sub(stalled_cycles_backend, o.stalled_cycles_backend);
+    d.ref_cycles = sub(ref_cycles, o.ref_cycles);
+    d.smt_shared_cycles = sub(smt_shared_cycles, o.smt_shared_cycles);
+    return d;
+  }
+
+  bool operator==(const CounterBlock&) const noexcept = default;
+};
+
+}  // namespace powerapi::simcpu

@@ -1,0 +1,167 @@
+#include "simcpu/cpu_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace powerapi::simcpu {
+
+double CpuSpec::min_frequency_hz() const {
+  if (frequencies_hz.empty()) throw std::logic_error("CpuSpec: empty frequency ladder");
+  return frequencies_hz.front();
+}
+
+double CpuSpec::max_frequency_hz() const {
+  if (frequencies_hz.empty()) throw std::logic_error("CpuSpec: empty frequency ladder");
+  return frequencies_hz.back();
+}
+
+double CpuSpec::closest_frequency_hz(double hz) const {
+  if (frequencies_hz.empty()) throw std::logic_error("CpuSpec: empty frequency ladder");
+  double best = frequencies_hz.front();
+  for (double f : frequencies_hz) {
+    if (std::abs(f - hz) < std::abs(best - hz)) best = f;
+  }
+  return best;
+}
+
+std::size_t CpuSpec::frequency_index(double hz) const {
+  for (std::size_t i = 0; i < frequencies_hz.size(); ++i) {
+    if (std::abs(frequencies_hz[i] - hz) < 1.0) return i;  // 1 Hz tolerance.
+  }
+  throw std::invalid_argument("CpuSpec: frequency not in DVFS ladder");
+}
+
+std::vector<double> CpuSpec::all_frequencies_hz() const {
+  std::vector<double> all = frequencies_hz;
+  all.insert(all.end(), turbo_frequencies_hz.begin(), turbo_frequencies_hz.end());
+  return all;
+}
+
+std::string CpuSpec::describe() const {
+  std::ostringstream out;
+  out << "Vendor            " << vendor << "\n"
+      << "Model             " << model << "\n"
+      << "Design            " << cores << " cores / " << hw_threads() << " threads\n"
+      << "Frequency         " << util::hz_to_ghz(max_frequency_hz()) << " GHz\n"
+      << "TDP               " << tdp_watts << " W\n"
+      << "SpeedStep (DVFS)  " << (speedstep ? "yes" : "no") << "\n"
+      << "HyperThreading    " << (smt() ? "yes" : "no") << "\n"
+      << "TurboBoost        " << (turbo_boost ? "yes" : "no") << "\n"
+      << "C-states          " << (c_states ? "yes" : "no") << "\n";
+  for (const auto& c : caches) {
+    out << c.name << " cache          " << c.bytes / 1024 << " KB"
+        << (c.shared ? " (shared)" : " / core") << "\n";
+  }
+  return out.str();
+}
+
+void CpuSpec::validate() const {
+  if (cores == 0) throw std::invalid_argument("CpuSpec: zero cores");
+  if (threads_per_core == 0 || threads_per_core > 2) {
+    throw std::invalid_argument("CpuSpec: threads_per_core must be 1 or 2");
+  }
+  if (frequencies_hz.empty()) throw std::invalid_argument("CpuSpec: empty frequency ladder");
+  if (!std::is_sorted(frequencies_hz.begin(), frequencies_hz.end())) {
+    throw std::invalid_argument("CpuSpec: frequency ladder must be ascending");
+  }
+  for (double f : frequencies_hz) {
+    if (f <= 0) throw std::invalid_argument("CpuSpec: non-positive frequency");
+  }
+  if (tdp_watts <= 0) throw std::invalid_argument("CpuSpec: non-positive TDP");
+  const bool has_llc = std::any_of(caches.begin(), caches.end(),
+                                   [](const CacheLevelSpec& c) { return c.shared; });
+  if (!caches.empty() && !has_llc) {
+    throw std::invalid_argument("CpuSpec: cache hierarchy lacks a shared LLC");
+  }
+  if (!turbo_boost && !turbo_frequencies_hz.empty()) {
+    throw std::invalid_argument("CpuSpec: turbo bins on a part without TurboBoost");
+  }
+  if (!turbo_frequencies_hz.empty()) {
+    if (!std::is_sorted(turbo_frequencies_hz.begin(), turbo_frequencies_hz.end())) {
+      throw std::invalid_argument("CpuSpec: turbo bins must be ascending");
+    }
+    if (turbo_frequencies_hz.front() <= frequencies_hz.back()) {
+      throw std::invalid_argument("CpuSpec: turbo bins must exceed the nominal maximum");
+    }
+  }
+}
+
+namespace {
+std::vector<double> speedstep_ladder() {
+  // i3-2120 SpeedStep points: 1.6 .. 3.2 GHz in 200 MHz steps, then the
+  // 3.3 GHz nominal frequency (no TurboBoost on this part).
+  std::vector<double> f;
+  for (double ghz = 1.6; ghz < 3.25; ghz += 0.2) f.push_back(util::ghz_to_hz(ghz));
+  f.push_back(util::ghz_to_hz(3.3));
+  return f;
+}
+
+std::vector<CacheLevelSpec> sandy_bridge_caches(std::size_t l3_bytes) {
+  return {
+      {"L1d", 32 * 1024, false, 4},
+      {"L2", 256 * 1024, false, 12},
+      {"L3", l3_bytes, true, 30},
+  };
+}
+}  // namespace
+
+CpuSpec i3_2120() {
+  CpuSpec spec;
+  spec.vendor = "Intel";
+  spec.model = "Core i3-2120";
+  spec.cores = 2;
+  spec.threads_per_core = 2;
+  spec.frequencies_hz = speedstep_ladder();
+  spec.tdp_watts = 65.0;
+  spec.speedstep = true;
+  spec.turbo_boost = false;
+  spec.c_states = true;
+  spec.caches = sandy_bridge_caches(3 * 1024 * 1024);
+  spec.validate();
+  return spec;
+}
+
+CpuSpec i3_2120_no_smt() {
+  CpuSpec spec = i3_2120();
+  spec.model = "Core i3-2120 (SMT off)";
+  spec.threads_per_core = 1;
+  spec.validate();
+  return spec;
+}
+
+CpuSpec i7_2600() {
+  CpuSpec spec;
+  spec.vendor = "Intel";
+  spec.model = "Core i7-2600";
+  spec.cores = 4;
+  spec.threads_per_core = 2;
+  for (double ghz = 1.6; ghz < 3.45; ghz += 0.2) {
+    spec.frequencies_hz.push_back(util::ghz_to_hz(ghz));
+  }
+  spec.turbo_boost = true;
+  // Per-active-core turbo table: 4 cores -> 3.5, ..., 1 core -> 3.8 GHz.
+  spec.turbo_frequencies_hz = {util::ghz_to_hz(3.5), util::ghz_to_hz(3.6),
+                               util::ghz_to_hz(3.7), util::ghz_to_hz(3.8)};
+  spec.tdp_watts = 95.0;
+  spec.speedstep = true;
+  spec.c_states = true;
+  spec.caches = sandy_bridge_caches(8 * 1024 * 1024);
+  spec.validate();
+  return spec;
+}
+
+CpuSpec quad_core() {
+  CpuSpec spec = i3_2120();
+  spec.model = "Quad-core derivative";
+  spec.cores = 4;
+  spec.tdp_watts = 95.0;
+  spec.caches = sandy_bridge_caches(8 * 1024 * 1024);
+  spec.validate();
+  return spec;
+}
+
+}  // namespace powerapi::simcpu

@@ -1,0 +1,74 @@
+// Static description of a simulated processor (the paper's Table 1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace powerapi::simcpu {
+
+struct CacheLevelSpec {
+  std::string name;        ///< "L1d", "L2", "L3".
+  std::size_t bytes = 0;   ///< Capacity (per core for private, total for shared).
+  bool shared = false;     ///< Shared across cores (LLC) or private per core.
+  double hit_cycles = 4;   ///< Access latency in core cycles.
+};
+
+/// Full machine specification. `i3_2120()` reproduces the paper's Table 1;
+/// variants (SMT off, more cores) are derived for the baseline experiments.
+struct CpuSpec {
+  std::string vendor;
+  std::string model;
+  std::size_t cores = 2;
+  std::size_t threads_per_core = 2;   ///< 2 => HyperThreading enabled.
+  std::vector<double> frequencies_hz; ///< DVFS ladder, ascending.
+  /// TurboBoost bins above the nominal maximum, ascending. The machine
+  /// enters them opportunistically (few busy cores, set point at nominal
+  /// max); they cannot be pinned. Empty when turbo_boost is false.
+  std::vector<double> turbo_frequencies_hz;
+  double tdp_watts = 65.0;
+  bool speedstep = true;   ///< DVFS available.
+  bool turbo_boost = false;
+  bool c_states = true;
+  std::vector<CacheLevelSpec> caches;
+
+  std::size_t hw_threads() const noexcept { return cores * threads_per_core; }
+  bool smt() const noexcept { return threads_per_core > 1; }
+  double min_frequency_hz() const;
+  double max_frequency_hz() const;
+  /// Nearest ladder frequency to `hz`; throws if the ladder is empty.
+  double closest_frequency_hz(double hz) const;
+  /// Index of `hz` in the ladder; throws std::invalid_argument if absent.
+  std::size_t frequency_index(double hz) const;
+  /// Nominal ladder followed by the turbo bins: every frequency the machine
+  /// can be OBSERVED at (the paper's per-frequency sum "including the
+  /// TurboBoost ones when available").
+  std::vector<double> all_frequencies_hz() const;
+
+  /// Multi-line human-readable description in the style of Table 1.
+  std::string describe() const;
+
+  /// Throws std::invalid_argument when the spec is internally inconsistent
+  /// (no cores, empty/unsorted frequency ladder, no LLC, ...).
+  void validate() const;
+};
+
+/// The paper's evaluation processor: Intel Core i3-2120 — 2 cores / 4
+/// threads, 1.6–3.3 GHz SpeedStep, HyperThreading, no TurboBoost, C-states,
+/// 64 KB L1 + 256 KB L2 per core, 3 MB shared L3, 65 W TDP.
+CpuSpec i3_2120();
+
+/// The same silicon with HyperThreading disabled: stands in for the "simple
+/// architecture" (Core 2 Duo class) of the Bertran et al. comparison (C1).
+CpuSpec i3_2120_no_smt();
+
+/// A 4-core / 8-thread derivative used by scaling tests and the scheduling
+/// ablation (A3).
+CpuSpec quad_core();
+
+/// An i7-2600-class part: 4 cores / 8 threads, nominal 1.6–3.4 GHz, with
+/// TurboBoost bins 3.5–3.8 GHz — exercises the turbo-aware code paths the
+/// i3-2120 (Table 1: TurboBoost absent) cannot.
+CpuSpec i7_2600();
+
+}  // namespace powerapi::simcpu

@@ -1,0 +1,70 @@
+#include "simcpu/cstates.h"
+
+namespace powerapi::simcpu {
+
+const char* to_string(CState s) noexcept {
+  switch (s) {
+    case CState::kC0:
+      return "C0";
+    case CState::kC1:
+      return "C1";
+    case CState::kC3:
+      return "C3";
+    case CState::kC6:
+      return "C6";
+  }
+  return "?";
+}
+
+double CoreCState::residual_watts() const noexcept {
+  switch (state_) {
+    case CState::kC0:
+      return params_->c0_idle_watts;
+    case CState::kC1:
+      return params_->c1_watts;
+    case CState::kC3:
+      return params_->c3_watts;
+    case CState::kC6:
+      return params_->c6_watts;
+  }
+  return params_->c0_idle_watts;
+}
+
+CState CoreCState::target_state_for(util::DurationNs idle) const noexcept {
+  if (!params_->enabled) return CState::kC0;
+  if (idle >= params_->c6_after_ns) return CState::kC6;
+  if (idle >= params_->c3_after_ns) return CState::kC3;
+  if (idle >= params_->c1_after_ns) return CState::kC1;
+  return CState::kC0;
+}
+
+double CoreCState::advance(util::DurationNs dt, bool busy) {
+  double energy = 0.0;
+  if (busy) {
+    // Wake spike proportional to the depth we were parked at.
+    switch (state_) {
+      case CState::kC0:
+        break;
+      case CState::kC1:
+        energy += params_->c1_wake_joules;
+        break;
+      case CState::kC3:
+        energy += params_->c3_wake_joules;
+        break;
+      case CState::kC6:
+        energy += params_->c6_wake_joules;
+        break;
+    }
+    state_ = CState::kC0;
+    idle_ns_ = 0;
+    return energy;  // Busy tick: active power is accounted elsewhere.
+  }
+
+  // Idle tick: accrue residency at the *current* state's power, then promote.
+  energy += residual_watts() * util::ns_to_seconds(dt);
+  idle_ns_ += dt;
+  state_ = target_state_for(idle_ns_);
+  return energy;
+}
+
+}  // namespace powerapi::simcpu

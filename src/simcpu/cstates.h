@@ -1,0 +1,63 @@
+// Per-core C-state (idle state) model.
+//
+// An idle core descends C0 → C1 → C3 → C6 as consecutive idle time grows
+// (mirroring the Linux menu governor's promotion behaviour), cutting its
+// share of idle power; waking costs a small energy spike. This is one of the
+// hidden nonlinearities that keeps linear counter models honest: idle power
+// is not a constant but depends on the idleness *pattern*.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.h"
+
+namespace powerapi::simcpu {
+
+enum class CState { kC0 = 0, kC1 = 1, kC3 = 2, kC6 = 3 };
+
+const char* to_string(CState s) noexcept;
+
+struct CStateParams {
+  /// Residual power (watts) a core burns while resident in each state.
+  double c0_idle_watts = 3.7;  ///< Clock running, no useful work.
+  double c1_watts = 2.6;       ///< Halt.
+  double c3_watts = 0.9;       ///< Clock gated, caches flushed to L3.
+  double c6_watts = 0.2;       ///< Power gated.
+  /// Consecutive idle time required to be promoted into the state.
+  util::DurationNs c1_after_ns = 50'000;        ///< 50 us.
+  util::DurationNs c3_after_ns = 2'000'000;     ///< 2 ms.
+  util::DurationNs c6_after_ns = 20'000'000;    ///< 20 ms.
+  /// One-off energy (joules) paid when waking from each state.
+  double c1_wake_joules = 2e-6;
+  double c3_wake_joules = 4e-5;
+  double c6_wake_joules = 3e-4;
+  /// When C-states are disabled in the spec, idle cores stay at C0 power.
+  bool enabled = true;
+};
+
+/// Tracks one core's idle residency. Not thread-safe; owned by the Machine.
+class CoreCState {
+ public:
+  explicit CoreCState(const CStateParams& params) : params_(&params) {}
+
+  /// Advances by `dt`. `busy` = the core executed at least one instruction
+  /// this tick. Returns the idle energy consumed (joules), including any
+  /// wake spike when transitioning back to C0.
+  double advance(util::DurationNs dt, bool busy);
+
+  CState state() const noexcept { return state_; }
+  util::DurationNs idle_ns() const noexcept { return idle_ns_; }
+
+  /// Residual power (watts) of the current state.
+  double residual_watts() const noexcept;
+
+ private:
+  CState target_state_for(util::DurationNs idle) const noexcept;
+
+  const CStateParams* params_;
+  CState state_ = CState::kC0;
+  util::DurationNs idle_ns_ = 0;
+};
+
+}  // namespace powerapi::simcpu

@@ -1,0 +1,52 @@
+#include "simcpu/dvfs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powerapi::simcpu {
+
+VoltageTable::VoltageTable(const CpuSpec& spec, double v_min, double v_max) {
+  if (v_min <= 0 || v_max < v_min) throw std::invalid_argument("VoltageTable: bad voltage range");
+  freqs_ = spec.frequencies_hz;
+  if (freqs_.empty()) throw std::invalid_argument("VoltageTable: empty ladder");
+  volts_.resize(freqs_.size());
+  const double f_lo = freqs_.front();
+  const double f_hi = freqs_.back();
+  for (std::size_t i = 0; i < freqs_.size(); ++i) {
+    const double t = f_hi > f_lo ? (freqs_[i] - f_lo) / (f_hi - f_lo) : 1.0;
+    volts_[i] = v_min + t * (v_max - v_min);
+  }
+  // Turbo bins ride above nominal max at a steeper voltage ramp (the VID
+  // bump per 100 MHz bin on Sandy Bridge parts).
+  constexpr double kTurboVoltsPerBin = 0.035;
+  for (std::size_t i = 0; i < spec.turbo_frequencies_hz.size(); ++i) {
+    freqs_.push_back(spec.turbo_frequencies_hz[i]);
+    volts_.push_back(v_max + kTurboVoltsPerBin * static_cast<double>(i + 1));
+  }
+  nominal_max_hz_ = f_hi;
+  nominal_v_max_ = v_max;
+}
+
+double VoltageTable::voltage_at(double hz) const noexcept {
+  if (hz <= freqs_.front()) return volts_.front();
+  if (hz >= freqs_.back()) return volts_.back();
+  const auto it = std::lower_bound(freqs_.begin(), freqs_.end(), hz);
+  const std::size_t hi = static_cast<std::size_t>(it - freqs_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (hz - freqs_[lo]) / (freqs_[hi] - freqs_[lo]);
+  return volts_[lo] + t * (volts_[hi] - volts_[lo]);
+}
+
+double VoltageTable::dynamic_scale(double hz) const noexcept {
+  // Normalized at the NOMINAL maximum so turbo bins scale above 1 — the
+  // extra watts turbo burns relative to the calibrated f_max energies.
+  const double v = voltage_at(hz);
+  return (v * v * hz) / (nominal_v_max_ * nominal_v_max_ * nominal_max_hz_);
+}
+
+double VoltageTable::static_scale(double hz) const noexcept {
+  const double v = voltage_at(hz);
+  return (v * v) / (nominal_v_max_ * nominal_v_max_);
+}
+
+}  // namespace powerapi::simcpu

@@ -1,0 +1,38 @@
+// DVFS voltage/frequency model.
+//
+// Dynamic power scales with V²·f; the voltage ladder pins V to each DVFS
+// frequency point (linear interpolation between the endpoints, matching the
+// published VID ranges of Sandy Bridge parts).
+#pragma once
+
+#include <vector>
+
+#include "simcpu/cpu_spec.h"
+
+namespace powerapi::simcpu {
+
+class VoltageTable {
+ public:
+  /// Builds the table from the spec's frequency ladder, mapping the lowest
+  /// frequency to `v_min` volts and the highest to `v_max` volts.
+  VoltageTable(const CpuSpec& spec, double v_min = 0.85, double v_max = 1.10);
+
+  /// Core voltage at `hz`; `hz` must be a ladder frequency (1 Hz tolerance)
+  /// — off-ladder values are interpolated, below/above are clamped.
+  double voltage_at(double hz) const noexcept;
+
+  /// V²·f scaling factor relative to the maximum frequency point; equals 1
+  /// at f_max. Multiplies per-event dynamic energies.
+  double dynamic_scale(double hz) const noexcept;
+
+  /// V² scaling factor relative to f_max (leakage scales with voltage only).
+  double static_scale(double hz) const noexcept;
+
+ private:
+  std::vector<double> freqs_;  ///< Nominal ladder then turbo bins.
+  std::vector<double> volts_;
+  double nominal_max_hz_ = 0.0;
+  double nominal_v_max_ = 0.0;
+};
+
+}  // namespace powerapi::simcpu

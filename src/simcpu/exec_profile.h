@@ -1,0 +1,64 @@
+// Per-tick execution demand of a task, the contract between the workload
+// library and the CPU simulator. A workload is a time-varying stream of
+// ExecProfiles; the machine turns (profile, frequency, SMT sharing, cache
+// state) into retired instructions, cache traffic and — via the hidden
+// ground-truth model — watts.
+#pragma once
+
+namespace powerapi::simcpu {
+
+struct ExecProfile {
+  /// Pipeline cycles per instruction assuming every memory access hits L1.
+  /// Typical range: 0.4 (wide superscalar ALU code) .. 2.5 (dependency-bound).
+  double cpi_base = 1.0;
+
+  /// L1-escaping memory references per 1000 retired instructions (these are
+  /// what the `cache-references` generic event counts on Intel: LLC-visible).
+  double cache_refs_per_kinstr = 20.0;
+
+  /// Fraction of those references that would miss the LLC given an infinite
+  /// share of cache (compulsory + capacity misses of the workload itself).
+  /// The cache model raises it when the working set exceeds the thread's
+  /// effective share of the hierarchy.
+  double intrinsic_miss_ratio = 0.05;
+
+  /// Resident working set in bytes; drives the capacity-sharing cache model.
+  double working_set_bytes = 1u << 20;
+
+  /// Branches per 1000 instructions and their misprediction ratio.
+  double branches_per_kinstr = 180.0;
+  double branch_miss_ratio = 0.02;
+
+  /// Fraction of the tick the task actually wants the CPU (duty cycle);
+  /// the remainder is sleep/IO wait. In [0, 1].
+  double active_fraction = 1.0;
+
+  /// Relative DRAM bandwidth pressure in [0, 1]; scales the per-miss cost
+  /// under contention in the ground-truth power model.
+  double mem_bandwidth_share = 0.2;
+
+  // --- IO demand (consumed by the peripheral models when the OS enables
+  // them; the CPU simulator ignores these fields) ---
+  double disk_iops = 0.0;
+  double disk_bytes_per_sec = 0.0;
+  double net_tx_bytes_per_sec = 0.0;
+  double net_rx_bytes_per_sec = 0.0;
+
+  /// Hardware-prefetched cache lines per 1000 instructions. Prefetch
+  /// traffic moves DRAM (and burns its energy) but is NOT counted by the
+  /// generic cache-misses event — the prefetcher hides the demand miss.
+  /// Streaming code (array sweeps, GC heap scans) prefetches heavily;
+  /// pointer chasing not at all. A second counter-invisible power dimension.
+  double prefetch_lines_per_kinstr = 0.0;
+
+  /// Per-instruction energy multiplier of this code's instruction MIX
+  /// (simple integer ALU ≈ 0.8, FP/SIMD-heavy or managed-runtime code up to
+  /// ~1.5). Generic counters count instructions but cannot see their kind —
+  /// this weight is invisible to every counter-based estimator, and is the
+  /// main reason the paper's 3-counter model shows double-digit errors on
+  /// workloads unlike its training set (Figure 3, and the conclusion's
+  /// "generic counters are not necessarily the most reliable" remark).
+  double instruction_energy_scale = 1.0;
+};
+
+}  // namespace powerapi::simcpu

@@ -1,0 +1,266 @@
+#include "simcpu/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerapi::simcpu {
+
+namespace {
+/// Memory-level parallelism: fraction of memory latency that is NOT hidden
+/// by out-of-order execution (lower = more overlap).
+constexpr double kMlpExposure = 0.30;
+/// DRAM access latency in nanoseconds (core-frequency independent).
+constexpr double kDramLatencyNs = 65.0;
+/// Branch misprediction flush penalty in core cycles.
+constexpr double kBranchFlushCycles = 15.0;
+/// Issue-rate share each hyperthread gets when its sibling is busy. Two
+/// active threads together achieve 2×0.62 = 1.24× single-thread throughput,
+/// the classic ~25% SMT gain.
+constexpr double kSmtIssueShare = 0.62;
+constexpr double kCacheLineBytes = 64.0;
+}  // namespace
+
+Machine::Machine(CpuSpec spec, GroundTruthParams params)
+    : spec_(std::move(spec)),
+      params_(params),
+      voltages_(spec_, params.v_min, params.v_max),
+      cache_(spec_, spec_.hw_threads()),
+      thread_counters_(spec_.hw_threads()) {
+  spec_.validate();
+  params_.cstates.enabled = spec_.c_states;
+  core_cstates_.assign(spec_.cores, CoreCState(params_.cstates));
+  frequency_hz_ = spec_.max_frequency_hz();
+  effective_hz_ = frequency_hz_;
+}
+
+double Machine::set_frequency(double hz) {
+  if (!spec_.speedstep) return frequency_hz_;
+  frequency_hz_ = spec_.closest_frequency_hz(hz);
+  return frequency_hz_;
+}
+
+const CounterBlock& Machine::thread_counters(std::size_t hw_thread) const {
+  return thread_counters_.at(hw_thread);
+}
+
+CState Machine::core_cstate(std::size_t core) const {
+  return core_cstates_.at(core).state();
+}
+
+TickResult Machine::tick(std::span<const ThreadWork> work, util::DurationNs dt) {
+  const std::size_t n = spec_.hw_threads();
+  if (work.size() != n) throw std::invalid_argument("Machine::tick: work slot mismatch");
+  if (dt <= 0) throw std::invalid_argument("Machine::tick: non-positive dt");
+
+  const double dt_s = util::ns_to_seconds(dt);
+  const std::size_t tpc = spec_.threads_per_core;
+
+  // TurboBoost: with the set point at nominal max and few busy cores, the
+  // clock rises into the per-active-core turbo table (last bin = 1 core).
+  double f = frequency_hz_;
+  if (!spec_.turbo_frequencies_hz.empty() &&
+      frequency_hz_ >= spec_.max_frequency_hz() - 1.0) {
+    std::vector<bool> core_has_work(spec_.cores, false);
+    std::size_t busy_cores = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (work[i].active && work[i].profile.active_fraction > 0.0 &&
+          !core_has_work[i / tpc]) {
+        core_has_work[i / tpc] = true;
+        ++busy_cores;
+      }
+    }
+    const auto& turbo = spec_.turbo_frequencies_hz;
+    if (busy_cores >= 1 && busy_cores <= turbo.size()) {
+      f = turbo[turbo.size() - busy_cores];
+    }
+  }
+  effective_hz_ = f;
+
+  const double dyn_scale = voltages_.dynamic_scale(f);
+  const double static_scale = voltages_.static_scale(f);
+
+  // --- Pass 1: cache demands (rates only; independent of retired counts) ---
+  std::vector<CacheDemand> demands(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& w = work[i];
+    if (!w.active || w.profile.active_fraction <= 0.0) continue;
+    CacheDemand d;
+    d.active = true;
+    d.working_set_bytes = w.profile.working_set_bytes;
+    const double optimistic_ips =
+        f / std::max(0.05, w.profile.cpi_base) * w.profile.active_fraction;
+    d.llc_refs_per_sec = optimistic_ips * w.profile.cache_refs_per_kinstr / 1000.0;
+    d.intrinsic_miss_ratio = w.profile.intrinsic_miss_ratio;
+    demands[i] = d;
+  }
+  const auto shares = cache_.tick(demands, dt);
+
+  // --- Pass 2: execute each hardware thread ---
+  TickResult result;
+  result.threads.resize(n);
+  std::vector<bool> core_busy(spec_.cores, false);
+  std::vector<double> core_activity_joules(spec_.cores, 0.0);
+  std::vector<std::size_t> core_active_threads(spec_.cores, 0);
+  std::vector<double> thread_activity(n, 0.0);
+  std::vector<double> thread_refs(n, 0.0);
+  std::vector<double> thread_misses(n, 0.0);
+  std::vector<double> thread_prefetch(n, 0.0);
+  double total_llc_refs = 0.0;
+  double total_misses = 0.0;
+  double total_prefetch_lines = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (demands[i].active) core_active_threads[i / tpc]++;
+  }
+
+  const double dram_latency_cycles = kDramLatencyNs * 1e-9 * f;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& out = result.threads[i];
+    out.task_id = work[i].task_id;
+    if (!demands[i].active) continue;
+
+    const auto& p = work[i].profile;
+    const std::size_t core = i / tpc;
+    const bool smt_shared = core_active_threads[core] > 1;
+    const double issue_share = smt_shared ? kSmtIssueShare : 1.0;
+
+    const double active_s = dt_s * std::clamp(p.active_fraction, 0.0, 1.0);
+    const double cycles = f * active_s;
+
+    const double miss_ratio = shares[i].miss_ratio;
+    const double refs_per_instr = p.cache_refs_per_kinstr / 1000.0;
+    const double misses_per_instr = refs_per_instr * miss_ratio;
+    const double llc_hit_per_instr = refs_per_instr * (1.0 - miss_ratio);
+
+    double llc_hit_cycles = 30.0;
+    for (const auto& c : spec_.caches) {
+      if (c.shared) llc_hit_cycles = c.hit_cycles;
+    }
+
+    const double mem_stall_per_instr =
+        kMlpExposure *
+        (llc_hit_per_instr * llc_hit_cycles + misses_per_instr * dram_latency_cycles);
+    const double branch_stall_per_instr =
+        p.branches_per_kinstr / 1000.0 * p.branch_miss_ratio * kBranchFlushCycles;
+
+    const double effective_cpi =
+        std::max(0.05, p.cpi_base) / issue_share + mem_stall_per_instr + branch_stall_per_instr;
+    const double instructions = cycles / effective_cpi;
+
+    CounterBlock d;
+    d.cycles = static_cast<std::uint64_t>(std::llround(cycles));
+    d.instructions = static_cast<std::uint64_t>(std::llround(instructions));
+    const double refs = instructions * refs_per_instr;
+    const double misses = refs * miss_ratio;
+    d.cache_references = static_cast<std::uint64_t>(std::llround(refs));
+    d.cache_misses = static_cast<std::uint64_t>(std::llround(misses));
+    const double branches = instructions * p.branches_per_kinstr / 1000.0;
+    const double branch_misses = branches * p.branch_miss_ratio;
+    d.branch_instructions = static_cast<std::uint64_t>(std::llround(branches));
+    d.branch_misses = static_cast<std::uint64_t>(std::llround(branch_misses));
+    d.stalled_cycles_backend =
+        static_cast<std::uint64_t>(std::llround(instructions * mem_stall_per_instr));
+    d.stalled_cycles_frontend =
+        static_cast<std::uint64_t>(std::llround(instructions * branch_stall_per_instr));
+    d.bus_cycles = static_cast<std::uint64_t>(std::llround(cycles / 10.0));
+    d.ref_cycles =
+        static_cast<std::uint64_t>(std::llround(spec_.max_frequency_hz() * active_s));
+    if (smt_shared) d.smt_shared_cycles = d.cycles;
+
+    out.delta = d;
+    out.utilization = std::clamp(p.active_fraction, 0.0, 1.0);
+    out.instructions_per_sec = instructions / dt_s;
+
+    thread_counters_[i] += d;
+    machine_counters_ += d;
+    core_busy[core] = core_busy[core] || d.instructions > 0;
+    total_llc_refs += refs;
+    total_misses += misses;
+    total_prefetch_lines += instructions * p.prefetch_lines_per_kinstr / 1000.0;
+
+    // Per-thread activity energy (V²f scaled). The SMT discount applies at
+    // core scope below; collect raw activity per core first.
+    const double activity_joules =
+        dyn_scale *
+        (instructions * params_.joules_per_instruction * p.instruction_energy_scale +
+         cycles * params_.joules_per_cycle +
+         branch_misses * params_.joules_per_branch_miss);
+    core_activity_joules[core] += activity_joules;
+    thread_activity[i] = activity_joules;
+    thread_refs[i] = refs;
+    thread_misses[i] = misses;
+    thread_prefetch[i] = instructions * p.prefetch_lines_per_kinstr / 1000.0;
+  }
+
+  // --- Pass 3: power roll-up ---
+  PowerBreakdown pb;
+  pb.platform = params_.platform_watts;
+
+  double idle_joules = 0.0;
+  double dynamic_joules = 0.0;
+  bool any_core_busy = false;
+  for (std::size_t core = 0; core < spec_.cores; ++core) {
+    const bool busy = core_busy[core];
+    any_core_busy = any_core_busy || busy;
+    idle_joules += core_cstates_[core].advance(dt, busy);
+    if (busy) {
+      // An active core burns its C0 static power (voltage-scaled).
+      idle_joules += params_.cstates.c0_idle_watts * static_scale * dt_s;
+      const bool both = core_active_threads[core] > 1;
+      const double discount = both ? (1.0 - params_.smt_activity_discount) : 1.0;
+      dynamic_joules += core_activity_joules[core] * discount;
+    }
+  }
+  pb.cpu_idle = idle_joules / dt_s;
+  pb.cpu_dynamic = dynamic_joules / dt_s;
+
+  // Uncore: LLC/ring power — independent of core DVFS (own clock domain).
+  double uncore_joules = total_llc_refs * params_.joules_per_llc_reference;
+  if (any_core_busy) uncore_joules += params_.uncore_active_watts * dt_s;
+  pb.uncore = uncore_joules / dt_s;
+
+  // DRAM: per-miss energy inflated by bandwidth-dependent queueing; the
+  // prefetcher's line traffic adds bandwidth and energy but no miss counts.
+  const double miss_bw =
+      (total_misses + total_prefetch_lines) * kCacheLineBytes / dt_s;
+  const double queue =
+      1.0 + params_.dram_queue_factor *
+                std::pow(std::min(1.0, miss_bw / params_.dram_bandwidth_max_bytes_per_sec), 2);
+  pb.dram = (total_misses * params_.joules_per_dram_miss +
+             total_prefetch_lines * params_.joules_per_prefetch_line) *
+            queue / dt_s;
+
+  // Per-thread ground-truth attribution: SMT-discounted core activity, the
+  // thread's own uncore/DRAM traffic energy (queue-adjusted), and an equal
+  // share of the static power of the core the thread keeps awake. Platform
+  // power and idle-core residuals stay unattributed (machine overhead).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!demands[i].active) continue;
+    const std::size_t core = i / tpc;
+    const bool both = core_active_threads[core] > 1;
+    const double discount = both ? (1.0 - params_.smt_activity_discount) : 1.0;
+    const double static_share =
+        core_busy[core]
+            ? params_.cstates.c0_idle_watts * static_scale * dt_s /
+                  static_cast<double>(core_active_threads[core])
+            : 0.0;
+    result.threads[i].attributed_joules =
+        thread_activity[i] * discount + static_share +
+        thread_refs[i] * params_.joules_per_llc_reference +
+        (thread_misses[i] * params_.joules_per_dram_miss +
+         thread_prefetch[i] * params_.joules_per_prefetch_line) *
+            queue;
+  }
+
+  result.power = pb;
+  result.energy_joules = pb.total() * dt_s;
+  total_energy_joules_ += result.energy_joules;
+  package_energy_joules_ += pb.package() * dt_s;
+  last_breakdown_ = pb;
+  sim_time_ns_ += dt;
+  return result;
+}
+
+}  // namespace powerapi::simcpu

@@ -1,0 +1,101 @@
+// The simulated multi-core machine: executes per-thread workload demand in
+// fixed time quanta, maintains hardware performance counters (machine-wide
+// and per hardware thread) and produces ground-truth power.
+//
+// The machine knows nothing about processes or scheduling — the os layer
+// decides which task runs on which hardware thread each tick and passes the
+// assignment in. This mirrors the real split (silicon vs kernel) and keeps
+// the counter semantics identical to perf's per-CPU view.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simcpu/cache.h"
+#include "simcpu/counters.h"
+#include "simcpu/cpu_spec.h"
+#include "simcpu/cstates.h"
+#include "simcpu/dvfs.h"
+#include "simcpu/exec_profile.h"
+#include "simcpu/power_gt.h"
+#include "util/units.h"
+
+namespace powerapi::simcpu {
+
+/// What the OS schedules onto one hardware thread for the next tick.
+struct ThreadWork {
+  bool active = false;
+  std::int64_t task_id = -1;  ///< Opaque to the machine; echoed in results.
+  ExecProfile profile;
+};
+
+/// Execution outcome for one hardware thread over one tick.
+struct ThreadTickResult {
+  std::int64_t task_id = -1;
+  CounterBlock delta;          ///< Counter increments for this tick.
+  double utilization = 0.0;    ///< Busy fraction of the tick in [0, 1].
+  double instructions_per_sec = 0.0;
+  /// Ground-truth energy attributable to this thread's activity this tick:
+  /// its (SMT-discounted) core dynamic energy plus its share of uncore and
+  /// DRAM traffic energy. Shared infrastructure (platform, static, idle) is
+  /// deliberately NOT attributed — per-process estimators model activity.
+  double attributed_joules = 0.0;
+};
+
+struct TickResult {
+  std::vector<ThreadTickResult> threads;  ///< One entry per hardware thread.
+  PowerBreakdown power;                   ///< Average watts over the tick.
+  double energy_joules = 0.0;             ///< power.total() × dt.
+};
+
+class Machine {
+ public:
+  explicit Machine(CpuSpec spec, GroundTruthParams params = {});
+
+  const CpuSpec& spec() const noexcept { return spec_; }
+  const GroundTruthParams& ground_truth() const noexcept { return params_; }
+
+  /// Sets the package frequency set point; snaps to the nearest NOMINAL
+  /// DVFS ladder point (turbo bins cannot be pinned). Returns the applied
+  /// set point.
+  double set_frequency(double hz);
+  double frequency() const noexcept { return frequency_hz_; }
+  /// The frequency the last tick actually ran at: equals the set point,
+  /// except when TurboBoost engaged (set point at nominal max and few busy
+  /// cores) — then one of spec().turbo_frequencies_hz.
+  double last_effective_frequency_hz() const noexcept { return effective_hz_; }
+
+  /// Executes one quantum. `work.size()` must equal `spec().hw_threads()`.
+  TickResult tick(std::span<const ThreadWork> work, util::DurationNs dt);
+
+  // --- Cumulative observables ---
+  const CounterBlock& machine_counters() const noexcept { return machine_counters_; }
+  const CounterBlock& thread_counters(std::size_t hw_thread) const;
+  /// Whole-machine energy since construction (what a wall meter integrates).
+  double total_energy_joules() const noexcept { return total_energy_joules_; }
+  /// Package-scope energy (what the simulated RAPL MSR exposes).
+  double package_energy_joules() const noexcept { return package_energy_joules_; }
+  /// Average watts over the most recent tick.
+  double last_power_watts() const noexcept { return last_breakdown_.total(); }
+  const PowerBreakdown& last_breakdown() const noexcept { return last_breakdown_; }
+  CState core_cstate(std::size_t core) const;
+  util::TimestampNs sim_time_ns() const noexcept { return sim_time_ns_; }
+
+ private:
+  CpuSpec spec_;
+  GroundTruthParams params_;
+  VoltageTable voltages_;
+  CacheHierarchy cache_;
+  std::vector<CoreCState> core_cstates_;
+  std::vector<CounterBlock> thread_counters_;
+  CounterBlock machine_counters_;
+  double frequency_hz_ = 0.0;
+  double effective_hz_ = 0.0;
+  double total_energy_joules_ = 0.0;
+  double package_energy_joules_ = 0.0;
+  PowerBreakdown last_breakdown_;
+  util::TimestampNs sim_time_ns_ = 0;
+};
+
+}  // namespace powerapi::simcpu

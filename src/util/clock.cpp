@@ -1,0 +1,28 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace powerapi::util {
+
+void SimClock::set(TimestampNs t) {
+  TimestampNs current = now_.load(std::memory_order_acquire);
+  if (t < current) {
+    throw std::invalid_argument("SimClock::set would move time backwards");
+  }
+  now_.store(t, std::memory_order_release);
+}
+
+namespace {
+TimestampNs steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+WallClock::WallClock() : epoch_(steady_now_ns()) {}
+
+TimestampNs WallClock::now() const { return steady_now_ns() - epoch_; }
+
+}  // namespace powerapi::util

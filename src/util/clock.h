@@ -1,0 +1,53 @@
+// Clock abstraction.
+//
+// Everything in the library reads time through `Clock` so that experiments
+// run on a simulated clock (deterministic, fast-forwardable) while the same
+// code paths work against the wall clock when monitoring real processes via
+// the perf backend.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace powerapi::util {
+
+/// Source of the current time. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in nanoseconds since this clock's epoch.
+  virtual TimestampNs now() const = 0;
+};
+
+/// Manually advanced clock used by the simulator and all tests.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimestampNs start = 0) noexcept : now_(start) {}
+
+  TimestampNs now() const override { return now_.load(std::memory_order_acquire); }
+
+  /// Advances the clock by `dt` nanoseconds and returns the new time.
+  TimestampNs advance(DurationNs dt) {
+    return now_.fetch_add(dt, std::memory_order_acq_rel) + dt;
+  }
+
+  /// Jumps directly to `t`; `t` must not be in this clock's past.
+  void set(TimestampNs t);
+
+ private:
+  std::atomic<TimestampNs> now_;
+};
+
+/// Monotonic wall clock (epoch = first use within the process).
+class WallClock final : public Clock {
+ public:
+  WallClock();
+  TimestampNs now() const override;
+
+ private:
+  TimestampNs epoch_;
+};
+
+}  // namespace powerapi::util

@@ -1,0 +1,68 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace powerapi::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+struct Logger::Impl {
+  std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  std::mutex mutex;
+  Sink sink;  // Empty => stderr default.
+};
+
+Logger::Logger() : impl_(new Impl) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) noexcept {
+  impl_->level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::level() const noexcept {
+  return static_cast<LogLevel>(impl_->level.load(std::memory_order_relaxed));
+}
+
+bool Logger::enabled(LogLevel level) const noexcept {
+  return static_cast<int>(level) >= impl_->level.load(std::memory_order_relaxed);
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->sink = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  std::lock_guard lock(impl_->mutex);
+  if (impl_->sink) {
+    impl_->sink(level, component, message);
+    return;
+  }
+  std::cerr << "[" << to_string(level) << "] " << component << ": " << message << "\n";
+}
+
+LogMessage::~LogMessage() {
+  Logger::instance().log(level_, component_, stream_.str());
+}
+
+}  // namespace powerapi::util

@@ -1,0 +1,77 @@
+// Minimal Result<T> type for fallible operations on paths where exceptions
+// are not appropriate (per-sample sensor reads, parsing). Construction-time
+// failures still throw; see the Core Guidelines (E.*) discussion mirrored in
+// DESIGN.md.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace powerapi::util {
+
+/// Error payload: a category-free human-readable message. The library keeps
+/// error taxonomies local to each module; crossing a module boundary the
+/// message is all downstream code acts on (log and fall back).
+struct Error {
+  std::string message;
+};
+
+/// A value-or-error sum type. Intentionally tiny: no monadic combinators
+/// beyond map/and_then, which covers every use in this codebase.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+  static Result failure(std::string message) { return Result(Error{std::move(message)}); }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    require_ok();
+    return std::get<T>(std::move(data_));
+  }
+
+  const std::string& error_message() const {
+    if (ok()) throw std::logic_error("Result::error_message called on success value");
+    return std::get<Error>(data_).message;
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+  template <typename F>
+  auto map(F&& f) const -> Result<decltype(f(std::declval<const T&>()))> {
+    using U = decltype(f(std::declval<const T&>()));
+    if (!ok()) return Result<U>(Error{error_message()});
+    return Result<U>(f(std::get<T>(data_)));
+  }
+
+  template <typename F>
+  auto and_then(F&& f) const -> decltype(f(std::declval<const T&>())) {
+    using R = decltype(f(std::declval<const T&>()));
+    if (!ok()) return R(Error{error_message()});
+    return f(std::get<T>(data_));
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok()) throw std::runtime_error("Result accessed on error: " + error_message());
+  }
+
+  std::variant<T, Error> data_;
+};
+
+}  // namespace powerapi::util

@@ -1,0 +1,62 @@
+// Fixed-capacity ring buffer: keeps the most recent N samples for the
+// sliding-window reporters and the PowerSpy smoothing filter.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace powerapi::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buffer_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity must be > 0");
+  }
+
+  /// Appends `value`, overwriting the oldest element when full.
+  void push(T value) {
+    buffer_[head_] = std::move(value);
+    head_ = (head_ + 1) % buffer_.size();
+    if (size_ < buffer_.size()) ++size_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return buffer_.size(); }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == buffer_.size(); }
+
+  /// Element `i` counting from the oldest retained element (0 == oldest).
+  const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer index");
+    const std::size_t start = full() ? head_ : 0;
+    return buffer_[(start + i) % buffer_.size()];
+  }
+
+  /// Most recently pushed element.
+  const T& back() const {
+    if (empty()) throw std::out_of_range("RingBuffer::back on empty buffer");
+    return buffer_[(head_ + buffer_.size() - 1) % buffer_.size()];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copies the retained elements oldest-first.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace powerapi::util

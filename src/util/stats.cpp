@@ -1,0 +1,141 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerapi::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sq = 0.0;
+  for (double x : xs) sq += (x - m) * (x - m);
+  return std::sqrt(sq / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile of empty span");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile p out of [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+std::vector<double> absolute_percentage_errors(std::span<const double> reference,
+                                               std::span<const double> estimate,
+                                               double floor) {
+  if (reference.size() != estimate.size()) {
+    throw std::invalid_argument("APE series length mismatch");
+  }
+  std::vector<double> errs;
+  errs.reserve(reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double ref = reference[i];
+    if (std::abs(ref) < floor) continue;
+    errs.push_back(std::abs(estimate[i] - ref) / std::abs(ref) * 100.0);
+  }
+  return errs;
+}
+
+double mape(std::span<const double> reference, std::span<const double> estimate) {
+  const auto errs = absolute_percentage_errors(reference, estimate);
+  return mean(errs);
+}
+
+double median_ape(std::span<const double> reference, std::span<const double> estimate) {
+  const auto errs = absolute_percentage_errors(reference, estimate);
+  if (errs.empty()) return 0.0;
+  return median(errs);
+}
+
+double rmse(std::span<const double> reference, std::span<const double> estimate) {
+  if (reference.size() != estimate.size()) {
+    throw std::invalid_argument("RMSE series length mismatch");
+  }
+  if (reference.empty()) return 0.0;
+  double sq = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d = estimate[i] - reference[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(reference.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (bins == 0) throw std::invalid_argument("Histogram needs at least one bin");
+  if (hi <= lo) throw std::invalid_argument("Histogram range must be non-empty");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram bin index");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+}  // namespace powerapi::util

@@ -1,0 +1,86 @@
+// Streaming and batch statistics used by the regression toolkit, the
+// benchmark harnesses (error metrics) and the reporters.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace powerapi::util {
+
+/// Welford's online algorithm: numerically stable streaming mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of `xs`; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation of `xs`; 0 for fewer than two values.
+double stddev(std::span<const double> xs);
+
+/// p-th percentile (p in [0,100]) with linear interpolation between ranks.
+/// Copies and sorts internally; throws std::invalid_argument on empty input.
+double percentile(std::span<const double> xs, double p);
+
+/// Median: percentile(xs, 50).
+double median(std::span<const double> xs);
+
+/// Absolute percentage errors |est-ref|/|ref| * 100 for each pair. Pairs with
+/// |ref| < `floor` are skipped (avoids exploding errors near zero watts).
+std::vector<double> absolute_percentage_errors(std::span<const double> reference,
+                                               std::span<const double> estimate,
+                                               double floor = 1e-9);
+
+/// Mean absolute percentage error over the pairs (see above for `floor`).
+double mape(std::span<const double> reference, std::span<const double> estimate);
+
+/// Median absolute percentage error — the headline metric of the paper's
+/// Figure 3 ("median error of 15%").
+double median_ape(std::span<const double> reference, std::span<const double> estimate);
+
+/// Root mean squared error between the two series.
+double rmse(std::span<const double> reference, std::span<const double> estimate);
+
+/// Fixed-width histogram for dispersion summaries in reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  double bin_low(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace powerapi::util

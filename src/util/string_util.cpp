@@ -1,0 +1,89 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace powerapi::util {
+
+namespace {
+bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_trimmed(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (const auto& field : split(s, sep)) {
+    auto t = trim(field);
+    if (!t.empty()) out.emplace_back(t);
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<std::pair<std::string, std::string>> parse_key_value(std::string_view line) {
+  const auto eq = line.find('=');
+  if (eq == std::string_view::npos) return std::nullopt;
+  return std::make_pair(std::string(trim(line.substr(0, eq))),
+                        std::string(trim(line.substr(eq + 1))));
+}
+
+std::optional<double> parse_double(std::string_view s) noexcept {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto* end = s.data() + s.size();
+  const auto res = std::from_chars(s.data(), end, value);
+  if (res.ec != std::errc{} || res.ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<long long> parse_int(std::string_view s) noexcept {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  long long value = 0;
+  const auto* end = s.data() + s.size();
+  const auto res = std::from_chars(s.data(), end, value, 10);
+  if (res.ec != std::errc{} || res.ptr != end) return std::nullopt;
+  return value;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace powerapi::util

@@ -1,0 +1,38 @@
+// Small string helpers shared by the config parser, model serialization and
+// reporters. Kept deliberately minimal; no locale dependence.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace powerapi::util {
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on `sep`, without trimming; adjacent separators yield empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits and trims each field, dropping fields that become empty.
+std::vector<std::string> split_trimmed(std::string_view s, char sep);
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Case-sensitive key=value parse; returns nullopt when '=' is absent.
+std::optional<std::pair<std::string, std::string>> parse_key_value(std::string_view line);
+
+/// Locale-independent double parse; returns nullopt on trailing garbage.
+std::optional<double> parse_double(std::string_view s) noexcept;
+
+/// Locale-independent integer parse (base 10).
+std::optional<long long> parse_int(std::string_view s) noexcept;
+
+/// Joins the items with `sep`.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view s);
+
+}  // namespace powerapi::util

@@ -1,0 +1,45 @@
+// Units and physical-quantity helpers used across the library.
+//
+// Power and energy values flow through many layers (simulator ground truth,
+// meter samples, model estimates). To keep hot paths cheap we represent them
+// as plain doubles, but every variable and accessor names its unit, and this
+// header centralizes the conversion constants so magic numbers never appear
+// at call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace powerapi::util {
+
+/// Nanoseconds since the start of the (simulated or wall) clock epoch.
+using TimestampNs = std::int64_t;
+
+/// A duration expressed in nanoseconds.
+using DurationNs = std::int64_t;
+
+inline constexpr double kNsPerSec = 1e9;
+inline constexpr double kNsPerMs = 1e6;
+inline constexpr double kNsPerUs = 1e3;
+
+/// Converts a nanosecond duration to seconds.
+constexpr double ns_to_seconds(DurationNs ns) { return static_cast<double>(ns) / kNsPerSec; }
+
+/// Converts seconds to a nanosecond duration (truncating).
+constexpr DurationNs seconds_to_ns(double s) { return static_cast<DurationNs>(s * kNsPerSec); }
+
+/// Converts milliseconds to a nanosecond duration.
+constexpr DurationNs ms_to_ns(std::int64_t ms) { return ms * static_cast<DurationNs>(kNsPerMs); }
+
+/// Frequencies are carried in hertz; DVFS tables are small so doubles are fine.
+inline constexpr double kHzPerGHz = 1e9;
+inline constexpr double kHzPerMHz = 1e6;
+
+constexpr double ghz_to_hz(double ghz) { return ghz * kHzPerGHz; }
+constexpr double hz_to_ghz(double hz) { return hz / kHzPerGHz; }
+
+/// Energy in joules accumulated from power (watts) over a duration.
+constexpr double energy_joules(double watts, DurationNs dt) {
+  return watts * ns_to_seconds(dt);
+}
+
+}  // namespace powerapi::util

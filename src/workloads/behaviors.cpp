@@ -1,0 +1,92 @@
+#include "workloads/behaviors.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powerapi::workloads {
+
+std::optional<simcpu::ExecProfile> SteadyBehavior::next(util::TimestampNs /*now*/,
+                                                        util::DurationNs dt) {
+  if (!bounded_) return profile_;
+  if (remaining_ <= 0) return std::nullopt;
+  remaining_ -= dt;
+  return profile_;
+}
+
+PhasedBehavior::PhasedBehavior(std::vector<Phase> phases, bool loop)
+    : phases_(std::move(phases)), loop_(loop) {
+  if (phases_.empty()) throw std::invalid_argument("PhasedBehavior: no phases");
+  for (const auto& p : phases_) {
+    if (p.duration <= 0) throw std::invalid_argument("PhasedBehavior: non-positive phase");
+  }
+}
+
+std::optional<simcpu::ExecProfile> PhasedBehavior::next(util::TimestampNs /*now*/,
+                                                        util::DurationNs dt) {
+  if (index_ >= phases_.size()) return std::nullopt;
+  const simcpu::ExecProfile profile = phases_[index_].profile;
+  into_phase_ += dt;
+  while (index_ < phases_.size() && into_phase_ >= phases_[index_].duration) {
+    into_phase_ -= phases_[index_].duration;
+    ++index_;
+    if (index_ >= phases_.size() && loop_) index_ = 0;
+  }
+  return profile;
+}
+
+std::optional<simcpu::ExecProfile> JitterBehavior::next(util::TimestampNs now,
+                                                        util::DurationNs dt) {
+  auto p = inner_->next(now, dt);
+  if (!p) return std::nullopt;
+  auto jitter = [&](double base, double sigma, double lo, double hi) {
+    return std::clamp(base * (1.0 + rng_.gaussian(0.0, sigma)), lo, hi);
+  };
+  p->active_fraction = jitter(p->active_fraction, options_.active_fraction_sigma, 0.0, 1.0);
+  p->cache_refs_per_kinstr = jitter(p->cache_refs_per_kinstr, options_.refs_sigma, 0.0, 1000.0);
+  p->intrinsic_miss_ratio = jitter(p->intrinsic_miss_ratio, options_.miss_sigma, 0.0, 1.0);
+  return p;
+}
+
+BurstyBehavior::BurstyBehavior(simcpu::ExecProfile profile, util::DurationNs mean_burst,
+                               util::DurationNs mean_gap, util::DurationNs duration,
+                               util::Rng rng)
+    : profile_(profile),
+      mean_burst_(mean_burst),
+      mean_gap_(mean_gap),
+      remaining_total_(duration),
+      bounded_(duration > 0),
+      rng_(std::move(rng)) {
+  if (mean_burst <= 0 || mean_gap < 0) {
+    throw std::invalid_argument("BurstyBehavior: invalid burst/gap lengths");
+  }
+  draw_next_segment();
+}
+
+void BurstyBehavior::draw_next_segment() {
+  const double mean = static_cast<double>(in_burst_ ? mean_burst_ : mean_gap_);
+  if (mean <= 0) {
+    segment_left_ = 0;
+    return;
+  }
+  segment_left_ = std::max<util::DurationNs>(
+      1, static_cast<util::DurationNs>(rng_.exponential(1.0 / mean)));
+}
+
+std::optional<simcpu::ExecProfile> BurstyBehavior::next(util::TimestampNs /*now*/,
+                                                        util::DurationNs dt) {
+  if (bounded_) {
+    if (remaining_total_ <= 0) return std::nullopt;
+    remaining_total_ -= dt;
+  }
+  while (segment_left_ <= 0) {
+    in_burst_ = !in_burst_;
+    draw_next_segment();
+  }
+  segment_left_ -= dt;
+  if (in_burst_) return profile_;
+  simcpu::ExecProfile idle = profile_;
+  idle.active_fraction = 0.0;
+  return idle;
+}
+
+}  // namespace powerapi::workloads

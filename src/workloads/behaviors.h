@@ -1,0 +1,128 @@
+// Reusable TaskBehavior building blocks: steady demand, phase sequences,
+// duty-cycled bursts, and stochastic jitter. Concrete workload suites
+// (stress grid, SPECjbb-like, SPEC2006-like) compose these.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "os/task.h"
+#include "simcpu/exec_profile.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace powerapi::workloads {
+
+/// Constant demand for a bounded duration (or forever when duration <= 0).
+class SteadyBehavior final : public os::TaskBehavior {
+ public:
+  SteadyBehavior(simcpu::ExecProfile profile, util::DurationNs duration)
+      : profile_(profile), remaining_(duration), bounded_(duration > 0) {}
+
+  std::optional<simcpu::ExecProfile> next(util::TimestampNs now,
+                                          util::DurationNs dt) override;
+
+ private:
+  simcpu::ExecProfile profile_;
+  util::DurationNs remaining_;
+  bool bounded_;
+};
+
+/// One stage of a phased workload.
+struct Phase {
+  simcpu::ExecProfile profile;
+  util::DurationNs duration = 0;
+};
+
+/// Plays phases in order; optionally loops forever.
+class PhasedBehavior final : public os::TaskBehavior {
+ public:
+  PhasedBehavior(std::vector<Phase> phases, bool loop);
+
+  std::optional<simcpu::ExecProfile> next(util::TimestampNs now,
+                                          util::DurationNs dt) override;
+
+ private:
+  std::vector<Phase> phases_;
+  bool loop_;
+  std::size_t index_ = 0;
+  util::DurationNs into_phase_ = 0;
+};
+
+/// Wraps another behavior and jitters its duty cycle and cache behaviour
+/// each tick — the "application noise" that keeps traces from being
+/// piecewise constant.
+class JitterBehavior final : public os::TaskBehavior {
+ public:
+  struct Options {
+    double active_fraction_sigma = 0.08;  ///< Relative jitter on duty cycle.
+    double refs_sigma = 0.10;             ///< Relative jitter on LLC refs.
+    double miss_sigma = 0.10;             ///< Relative jitter on miss ratio.
+  };
+
+  JitterBehavior(std::unique_ptr<os::TaskBehavior> inner, util::Rng rng)
+      : JitterBehavior(std::move(inner), std::move(rng), Options{}) {}
+  JitterBehavior(std::unique_ptr<os::TaskBehavior> inner, util::Rng rng, Options options)
+      : inner_(std::move(inner)), rng_(std::move(rng)), options_(options) {}
+
+  std::optional<simcpu::ExecProfile> next(util::TimestampNs now,
+                                          util::DurationNs dt) override;
+
+ private:
+  std::unique_ptr<os::TaskBehavior> inner_;
+  util::Rng rng_;
+  Options options_;
+};
+
+/// Externally gated behavior: while the shared gate is closed the task goes
+/// idle (its work is deferred, not lost — the inner behavior's own timeline
+/// only advances while the gate is open). The handle for power-aware
+/// controllers that pause deferrable work, e.g. to track a renewable supply.
+class GatedBehavior final : public os::TaskBehavior {
+ public:
+  /// Shared open/closed flag; many tasks may share one gate.
+  using Gate = std::shared_ptr<bool>;
+
+  GatedBehavior(std::unique_ptr<os::TaskBehavior> inner, Gate gate)
+      : inner_(std::move(inner)), gate_(std::move(gate)) {}
+
+  std::optional<simcpu::ExecProfile> next(util::TimestampNs now,
+                                          util::DurationNs dt) override {
+    if (gate_ && !*gate_) {
+      simcpu::ExecProfile idle;
+      idle.active_fraction = 0.0;
+      return idle;
+    }
+    return inner_->next(now, dt);
+  }
+
+ private:
+  std::unique_ptr<os::TaskBehavior> inner_;
+  Gate gate_;
+};
+
+/// Alternates bursts of the given profile with idle gaps whose lengths are
+/// exponentially distributed — a request-serving thread between arrivals.
+class BurstyBehavior final : public os::TaskBehavior {
+ public:
+  BurstyBehavior(simcpu::ExecProfile profile, util::DurationNs mean_burst,
+                 util::DurationNs mean_gap, util::DurationNs duration, util::Rng rng);
+
+  std::optional<simcpu::ExecProfile> next(util::TimestampNs now,
+                                          util::DurationNs dt) override;
+
+ private:
+  void draw_next_segment();
+
+  simcpu::ExecProfile profile_;
+  util::DurationNs mean_burst_;
+  util::DurationNs mean_gap_;
+  util::DurationNs remaining_total_;
+  bool bounded_;
+  util::Rng rng_;
+  bool in_burst_ = true;
+  util::DurationNs segment_left_ = 0;
+};
+
+}  // namespace powerapi::workloads

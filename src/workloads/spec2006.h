@@ -1,0 +1,42 @@
+// SPEC CPU2006-like application profiles for the Bertran et al. comparison
+// (experiment C1): six single-threaded applications spanning compute-bound,
+// branchy, and memory-latency-bound behaviour, each with a mild phase
+// structure. Parameters follow the published characterization literature for
+// the named applications (IPC, LLC reference/miss rates, footprints) scaled
+// to our simulated Sandy Bridge-class core.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/task.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace powerapi::workloads {
+
+struct SpecApp {
+  std::string name;
+  /// Factory: a fresh single-threaded behavior running for `duration`.
+  std::unique_ptr<os::TaskBehavior> make(util::DurationNs duration, util::Rng rng) const;
+
+  // Steady-state characteristics (phases perturb around these).
+  double cpi_base = 1.0;
+  double cache_refs_per_kinstr = 20.0;
+  double intrinsic_miss_ratio = 0.05;
+  double working_set_bytes = 4.0 * 1024 * 1024;
+  double branches_per_kinstr = 180.0;
+  double branch_miss_ratio = 0.02;
+  double mem_bandwidth_share = 0.3;
+  double prefetch_lines_per_kinstr = 0.0;  ///< Streaming prefetchability.
+  double instruction_energy_scale = 1.0;   ///< Instruction-mix energy weight.
+};
+
+/// The six-application suite used by the C1 benchmark.
+std::vector<SpecApp> spec2006_suite();
+
+/// Looks an app up by name; throws std::invalid_argument when unknown.
+const SpecApp& spec2006_app(const std::vector<SpecApp>& suite, const std::string& name);
+
+}  // namespace powerapi::workloads

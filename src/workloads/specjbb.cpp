@@ -1,0 +1,73 @@
+#include "workloads/specjbb.h"
+
+#include <algorithm>
+
+#include "workloads/behaviors.h"
+
+namespace powerapi::workloads {
+
+namespace {
+/// Backend transaction mix: object-graph chasing with bursts of allocation.
+/// Moderate IPC, heavy LLC traffic, working set far beyond the LLC.
+simcpu::ExecProfile backend_profile(double injection, double working_set_bytes) {
+  simcpu::ExecProfile p;
+  p.cpi_base = 0.85;
+  p.cache_refs_per_kinstr = 55.0;
+  p.intrinsic_miss_ratio = 0.06;
+  p.working_set_bytes = working_set_bytes;
+  p.branches_per_kinstr = 200.0;
+  p.branch_miss_ratio = 0.03;
+  // jOPS saturation comes from memory latency and injection pacing, not
+  // 100% CPU: full injection drives the backends to ~60% duty.
+  p.active_fraction = 0.6 * std::clamp(injection, 0.0, 1.0);
+  p.mem_bandwidth_share = 0.6;
+  // Managed-runtime mix: JIT-compiled object-graph code with barriers and
+  // allocation — far heavier per instruction than a C stress loop.
+  p.instruction_energy_scale = 1.70;
+  // Heap scans (GC, collection traversals) are highly prefetchable: heavy
+  // DRAM traffic that never shows up in the cache-misses counter.
+  p.prefetch_lines_per_kinstr = 26.0;
+  return p;
+}
+}  // namespace
+
+util::DurationNs specjbb_duration(const SpecJbbOptions& options) {
+  return options.warmup +
+         static_cast<util::DurationNs>(options.staircase_steps) * options.staircase_step +
+         options.search_phase + options.cooldown;
+}
+
+std::vector<std::unique_ptr<os::TaskBehavior>> make_specjbb(const SpecJbbOptions& options,
+                                                            util::Rng rng) {
+  std::vector<std::unique_ptr<os::TaskBehavior>> threads;
+  threads.reserve(options.backend_threads);
+  for (std::size_t t = 0; t < options.backend_threads; ++t) {
+    std::vector<Phase> phases;
+    // Warmup: JIT + heap growth, light load.
+    phases.push_back({backend_profile(0.15, options.working_set_bytes * 0.3), options.warmup});
+    // RT-curve staircase: injection rate 10% .. 100%.
+    for (std::size_t s = 1; s <= options.staircase_steps; ++s) {
+      const double injection =
+          static_cast<double>(s) / static_cast<double>(options.staircase_steps);
+      phases.push_back(
+          {backend_profile(injection, options.working_set_bytes), options.staircase_step});
+    }
+    // Search phase: oscillates between 65% and 100% hunting max-jOPS.
+    const std::size_t oscillations = 6;
+    const util::DurationNs slice =
+        std::max<util::DurationNs>(1, options.search_phase / (2 * oscillations));
+    for (std::size_t o = 0; o < oscillations; ++o) {
+      phases.push_back({backend_profile(1.0, options.working_set_bytes), slice});
+      phases.push_back({backend_profile(0.65, options.working_set_bytes), slice});
+    }
+    // Cooldown / report generation.
+    phases.push_back({backend_profile(0.10, options.working_set_bytes * 0.2), options.cooldown});
+
+    auto phased = std::make_unique<PhasedBehavior>(std::move(phases), /*loop=*/false);
+    threads.push_back(std::make_unique<JitterBehavior>(std::move(phased),
+                                                       rng.fork(1000 + t)));
+  }
+  return threads;
+}
+
+}  // namespace powerapi::workloads

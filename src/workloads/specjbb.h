@@ -1,0 +1,36 @@
+// SPECjbb2013-like synthetic workload (the paper's Figure 3 evaluation
+// subject). SPECjbb2013 drives a Java business-logic backend through a
+// response-throughput curve: warmup, a staircase of increasing injection
+// rates up to saturation, then a search phase oscillating near the maximum.
+// We reproduce that *load shape* with memory-intensive backend threads whose
+// working set far exceeds the LLC — the axes that matter for power.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "os/task.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace powerapi::workloads {
+
+struct SpecJbbOptions {
+  std::size_t backend_threads = 4;              ///< One per hardware thread.
+  util::DurationNs warmup = util::seconds_to_ns(200);
+  util::DurationNs staircase_step = util::seconds_to_ns(120);
+  std::size_t staircase_steps = 10;             ///< 10% .. 100% injection.
+  util::DurationNs search_phase = util::seconds_to_ns(900);
+  util::DurationNs cooldown = util::seconds_to_ns(100);
+  double working_set_bytes = 28.0 * 1024 * 1024;  ///< Java heap hot set ≫ LLC.
+};
+
+/// Total wall time of the benchmark for the given options.
+util::DurationNs specjbb_duration(const SpecJbbOptions& options);
+
+/// Builds the backend threads; spawn them as one process. Each thread gets
+/// an independent RNG stream forked from `rng`.
+std::vector<std::unique_ptr<os::TaskBehavior>> make_specjbb(const SpecJbbOptions& options,
+                                                            util::Rng rng);
+
+}  // namespace powerapi::workloads

@@ -1,0 +1,150 @@
+#include "workloads/stress.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "workloads/behaviors.h"
+
+namespace powerapi::workloads {
+
+simcpu::ExecProfile cpu_stress(double intensity) {
+  simcpu::ExecProfile p;
+  p.cpi_base = 0.45;  // Wide superscalar ALU loop.
+  p.cache_refs_per_kinstr = 0.8;
+  p.intrinsic_miss_ratio = 0.01;
+  p.working_set_bytes = 16 * 1024;
+  p.branches_per_kinstr = 120.0;
+  p.branch_miss_ratio = 0.004;
+  p.active_fraction = std::clamp(intensity, 0.0, 1.0);
+  p.mem_bandwidth_share = 0.02;
+  p.instruction_energy_scale = 0.85;  // Simple integer ALU mix.
+  return p;
+}
+
+simcpu::ExecProfile memory_stress(double working_set_bytes, double intensity) {
+  simcpu::ExecProfile p;
+  p.cpi_base = 0.9;  // Dependent loads limit issue width.
+  p.cache_refs_per_kinstr = 110.0;
+  p.intrinsic_miss_ratio = 0.04;  // Cache model adds capacity misses on top.
+  p.working_set_bytes = working_set_bytes;
+  p.branches_per_kinstr = 60.0;
+  p.branch_miss_ratio = 0.01;
+  p.active_fraction = std::clamp(intensity, 0.0, 1.0);
+  p.mem_bandwidth_share = 0.8;
+  p.instruction_energy_scale = 0.95;  // Loads/stores plus index arithmetic.
+  p.prefetch_lines_per_kinstr = 8.0;  // Pointer chasing defeats prefetching.
+  return p;
+}
+
+simcpu::ExecProfile io_stress(double disk_mb_per_sec, double net_mb_per_sec,
+                              double intensity) {
+  simcpu::ExecProfile p = cpu_stress(intensity);
+  p.cpi_base = 1.2;  // Syscall/copy-heavy code.
+  p.cache_refs_per_kinstr = 35.0;
+  p.working_set_bytes = 1 << 20;
+  p.disk_bytes_per_sec = disk_mb_per_sec * 1e6;
+  p.disk_iops = disk_mb_per_sec > 0 ? 40.0 + disk_mb_per_sec : 0.0;
+  p.net_tx_bytes_per_sec = net_mb_per_sec * 1e6 * 0.5;
+  p.net_rx_bytes_per_sec = net_mb_per_sec * 1e6 * 0.5;
+  return p;
+}
+
+simcpu::ExecProfile branchy_stress(double intensity) {
+  simcpu::ExecProfile p;
+  p.cpi_base = 0.95;
+  p.cache_refs_per_kinstr = 2.0;
+  p.intrinsic_miss_ratio = 0.02;
+  p.working_set_bytes = 48 * 1024;
+  p.branches_per_kinstr = 260.0;
+  p.branch_miss_ratio = 0.10;
+  p.active_fraction = std::clamp(intensity, 0.0, 1.0);
+  p.mem_bandwidth_share = 0.02;
+  p.instruction_energy_scale = 0.9;
+  return p;
+}
+
+simcpu::ExecProfile mixed_stress(double memory_share, double working_set_bytes,
+                                 double intensity) {
+  const double a = std::clamp(memory_share, 0.0, 1.0);
+  const simcpu::ExecProfile cpu = cpu_stress(intensity);
+  const simcpu::ExecProfile mem = memory_stress(working_set_bytes, intensity);
+  simcpu::ExecProfile p;
+  auto lerp = [a](double x, double y) { return x + a * (y - x); };
+  p.cpi_base = lerp(cpu.cpi_base, mem.cpi_base);
+  p.cache_refs_per_kinstr = lerp(cpu.cache_refs_per_kinstr, mem.cache_refs_per_kinstr);
+  p.intrinsic_miss_ratio = lerp(cpu.intrinsic_miss_ratio, mem.intrinsic_miss_ratio);
+  p.working_set_bytes = a > 0.0 ? working_set_bytes : cpu.working_set_bytes;
+  p.branches_per_kinstr = lerp(cpu.branches_per_kinstr, mem.branches_per_kinstr);
+  p.branch_miss_ratio = lerp(cpu.branch_miss_ratio, mem.branch_miss_ratio);
+  p.prefetch_lines_per_kinstr =
+      lerp(cpu.prefetch_lines_per_kinstr, mem.prefetch_lines_per_kinstr);
+  p.active_fraction = std::clamp(intensity, 0.0, 1.0);
+  p.mem_bandwidth_share = lerp(cpu.mem_bandwidth_share, mem.mem_bandwidth_share);
+  p.instruction_energy_scale =
+      lerp(cpu.instruction_energy_scale, mem.instruction_energy_scale);
+  return p;
+}
+
+simcpu::ExecProfile idle_profile() {
+  simcpu::ExecProfile p;
+  p.active_fraction = 0.0;
+  return p;
+}
+
+std::vector<StressPoint> make_stress_grid(const StressGridOptions& options) {
+  std::vector<StressPoint> grid;
+  for (double intensity : options.intensities) {
+    for (double share : options.memory_shares) {
+      for (double ws : options.working_sets) {
+        // Pure-ALU cells don't depend on working set: keep only the first.
+        if (share == 0.0 && ws != options.working_sets.front()) continue;
+        for (std::size_t threads : options.thread_counts) {
+          StressPoint point;
+          std::ostringstream name;
+          name << "stress/i" << intensity << "/m" << share << "/ws"
+               << static_cast<long long>(ws / 1024) << "k/t" << threads;
+          point.name = name.str();
+          point.profile = mixed_stress(share, ws, intensity);
+          point.threads = threads;
+          grid.push_back(std::move(point));
+        }
+      }
+    }
+  }
+  // Branch-unit cells (one per intensity/thread combination): Bertran-style
+  // component-targeted microbenchmarks need a workload that isolates the
+  // branch dimension, which no CPU/memory mix covers.
+  for (double intensity : options.intensities) {
+    for (std::size_t threads : options.thread_counts) {
+      StressPoint point;
+      std::ostringstream name;
+      name << "stress/branchy/i" << intensity << "/t" << threads;
+      point.name = name.str();
+      point.profile = branchy_stress(intensity);
+      point.threads = threads;
+      grid.push_back(std::move(point));
+    }
+  }
+  return grid;
+}
+
+std::unique_ptr<os::TaskBehavior> make_background_daemon(util::Rng rng) {
+  simcpu::ExecProfile p = cpu_stress(0.5);
+  p.working_set_bytes = 64 * 1024;
+  return std::make_unique<BurstyBehavior>(p,
+                                          /*mean_burst=*/200'000,   // 0.2 ms
+                                          /*mean_gap=*/1'800'000,   // 1.8 ms
+                                          /*duration=*/0, std::move(rng));
+}
+
+std::vector<std::unique_ptr<os::TaskBehavior>> materialize(const StressPoint& point,
+                                                           util::DurationNs duration) {
+  std::vector<std::unique_ptr<os::TaskBehavior>> behaviors;
+  behaviors.reserve(point.threads);
+  for (std::size_t i = 0; i < point.threads; ++i) {
+    behaviors.push_back(std::make_unique<SteadyBehavior>(point.profile, duration));
+  }
+  return behaviors;
+}
+
+}  // namespace powerapi::workloads

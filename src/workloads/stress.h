@@ -1,0 +1,76 @@
+// The "stress utility" of the paper's Figure 1: parametric CPU- and
+// memory-intensive profiles plus the training grid that sweeps them. The
+// sampling phase runs this grid at every DVFS frequency to expose the full
+// (counters → power) surface to the regression.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/task.h"
+#include "simcpu/exec_profile.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace powerapi::workloads {
+
+/// ALU-bound stress: tight arithmetic loop, tiny working set, almost no
+/// LLC traffic. `intensity` in (0,1] scales the duty cycle.
+simcpu::ExecProfile cpu_stress(double intensity = 1.0);
+
+/// Memory-bound stress: pointer chasing over `working_set_bytes`; LLC
+/// reference rate grows with `intensity`, misses with the working set.
+simcpu::ExecProfile memory_stress(double working_set_bytes, double intensity = 1.0);
+
+/// Branch-heavy stress: unpredictable-branch loop (decision trees, state
+/// machines); exercises the branch unit and frontend flush energy.
+simcpu::ExecProfile branchy_stress(double intensity = 1.0);
+
+/// Blend of the two: `memory_share` in [0,1] interpolates CPU → memory.
+simcpu::ExecProfile mixed_stress(double memory_share, double working_set_bytes,
+                                 double intensity = 1.0);
+
+/// Completely idle profile (active_fraction = 0).
+simcpu::ExecProfile idle_profile();
+
+/// IO-bound stress: low CPU, heavy disk and network traffic (a file/backup
+/// server). Only meaningful on a System built with peripherals enabled.
+simcpu::ExecProfile io_stress(double disk_mb_per_sec, double net_mb_per_sec,
+                              double intensity = 0.3);
+
+/// One cell of the training grid.
+struct StressPoint {
+  std::string name;
+  simcpu::ExecProfile profile;
+  std::size_t threads = 1;  ///< How many copies run concurrently.
+};
+
+struct StressGridOptions {
+  /// Duty-cycle levels exercised (idle appears implicitly between runs).
+  std::vector<double> intensities{0.25, 0.5, 0.75, 1.0};
+  /// Memory shares exercised (0 = pure ALU .. 1 = pure pointer chasing).
+  std::vector<double> memory_shares{0.0, 0.3, 0.7, 1.0};
+  /// Working sets: comfortably-in-L2, in-L3, and DRAM-resident.
+  std::vector<double> working_sets{128.0 * 1024, 2.0 * 1024 * 1024, 24.0 * 1024 * 1024};
+  /// Thread counts: single thread, one per core, one per hardware thread.
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+};
+
+/// Builds the full cartesian training grid. Cells that differ only in
+/// working set are dropped for memory_share == 0 (pure ALU code has no
+/// working-set dependence), keeping the grid tight.
+std::vector<StressPoint> make_stress_grid(const StressGridOptions& options = {});
+
+/// Materializes a stress point as process threads (one behavior per thread)
+/// that run for `duration`.
+std::vector<std::unique_ptr<os::TaskBehavior>> materialize(const StressPoint& point,
+                                                           util::DurationNs duration);
+
+/// A background "OS daemon": sub-millisecond wakeups at a tiny duty cycle.
+/// Keeps cores out of the deepest C-states the way a real idle Linux system
+/// does, so the measured idle floor matches a live machine rather than a
+/// powered-off package. Used by the trainer and the evaluation benches.
+std::unique_ptr<os::TaskBehavior> make_background_daemon(util::Rng rng);
+
+}  // namespace powerapi::workloads

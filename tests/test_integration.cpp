@@ -1,0 +1,271 @@
+// Cross-module integration scenarios: train → serialize → monitor
+// equivalence, turbo-bin learning, peripherals vs CPU-only estimation,
+// baseline formulas through the actor pipeline, and whole-stack determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "baselines/cpuload_model.h"
+#include "model/model_io.h"
+#include "model/trainer.h"
+#include "os/system.h"
+#include "powerapi/power_meter.h"
+#include "util/stats.h"
+#include "workloads/behaviors.h"
+#include "workloads/specjbb.h"
+#include "workloads/stress.h"
+
+namespace powerapi {
+namespace {
+
+using util::ms_to_ns;
+using util::seconds_to_ns;
+
+model::TrainerOptions quick_options() {
+  model::TrainerOptions options;
+  options.grid.intensities = {1.0};
+  options.grid.memory_shares = {0.0, 1.0};
+  options.grid.working_sets = {24.0 * 1024 * 1024};
+  options.grid.thread_counts = {1, 4};
+  options.idle_duration = seconds_to_ns(2);
+  options.point_duration = seconds_to_ns(1);
+  return options;
+}
+
+simcpu::CpuSpec small_i3() {
+  simcpu::CpuSpec spec = simcpu::i3_2120();
+  spec.frequencies_hz = {1.6e9, 3.3e9};
+  return spec;
+}
+
+TEST(Integration, TrainerLearnsTurboBinFormulas) {
+  // Reduced i7: two pinnable points plus two turbo bins. Single-thread grid
+  // cells at the nominal max run turbo'd, so the collector must populate
+  // turbo buckets — "including the TurboBoost ones when available".
+  simcpu::CpuSpec spec = simcpu::i7_2600();
+  spec.frequencies_hz = {1.6e9, 3.4e9};
+  spec.turbo_frequencies_hz = {3.5e9, 3.8e9};
+  spec.validate();
+
+  model::Trainer trainer(spec, simcpu::GroundTruthParams{}, quick_options());
+  const model::SampleSet samples = trainer.collect();
+
+  // At least one turbo bucket must have survived thinning.
+  bool has_turbo_bucket = false;
+  for (const double hz : samples.frequencies_hz) {
+    if (hz > 3.45e9) has_turbo_bucket = true;
+  }
+  ASSERT_TRUE(has_turbo_bucket);
+
+  const model::TrainingResult result = trainer.fit(samples);
+  const auto* turbo_formula = result.model.formula_for(3.8e9);
+  ASSERT_NE(turbo_formula, nullptr);
+  EXPECT_GT(turbo_formula->frequency_hz, 3.45e9);
+  // Turbo instruction energy exceeds the nominal-max one (V²f above 1).
+  const auto* nominal = result.model.formula_for(3.4e9);
+  EXPECT_GT(turbo_formula->coefficients[0], nominal->coefficients[0]);
+}
+
+TEST(Integration, SavedModelMonitorsIdenticallyToFreshOne) {
+  const auto spec = small_i3();
+  model::Trainer trainer(spec, simcpu::GroundTruthParams{}, quick_options());
+  const model::CpuPowerModel fresh = trainer.train().model;
+
+  // Round-trip through the text format.
+  const auto restored = model::model_from_string(model::model_to_string(fresh));
+  ASSERT_TRUE(restored.ok()) << restored.error_message();
+
+  auto monitor_with = [&spec](const model::CpuPowerModel& m) {
+    os::System system(spec);
+    system.spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                            workloads::mixed_stress(0.6, 16e6), 0));
+    api::PowerMeter meter(system, m);
+    auto& memory = meter.add_memory_reporter();
+    meter.run_for(seconds_to_ns(3));
+    meter.finish();
+    return api::MemoryReporter::watts_of(memory.series("powerapi-hpc"));
+  };
+  const auto a = monitor_with(fresh);
+  const auto b = monitor_with(restored.value());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Integration, EndToEndEstimationErrorIsBounded) {
+  const auto spec = small_i3();
+  model::Trainer trainer(spec, simcpu::GroundTruthParams{}, quick_options());
+  const model::CpuPowerModel m = trainer.train().model;
+
+  os::System system(spec);
+  util::Rng rng(8);
+  system.spawn("kdaemon", workloads::make_background_daemon(rng.fork(1)));
+  workloads::SpecJbbOptions jbb;
+  jbb.warmup = seconds_to_ns(2);
+  jbb.staircase_step = seconds_to_ns(2);
+  jbb.search_phase = seconds_to_ns(6);
+  jbb.cooldown = seconds_to_ns(2);
+  system.spawn("specjbb", workloads::make_specjbb(jbb, rng.fork(2)));
+
+  api::PowerMeter meter(system, m);
+  auto& memory = meter.add_memory_reporter();
+  meter.run_for(workloads::specjbb_duration(jbb));
+  meter.finish();
+
+  const auto est = api::MemoryReporter::watts_of(memory.series("powerapi-hpc"));
+  const auto ref = api::MemoryReporter::watts_of(memory.series("powerspy"));
+  const std::size_t n = std::min(est.size(), ref.size());
+  ASSERT_GT(n, 20u);
+  const double err = util::median_ape(std::span(ref).subspan(0, n),
+                                      std::span(est).subspan(0, n));
+  // Double-digit but bounded: the Figure-3 regime.
+  EXPECT_LT(err, 30.0);
+}
+
+TEST(Integration, PeripheralsWidenTheWallGapCpuModelsCannotSee) {
+  const auto spec = small_i3();
+  model::Trainer trainer(spec, simcpu::GroundTruthParams{}, quick_options());
+  const model::CpuPowerModel m = trainer.train().model;
+
+  auto run = [&spec, &m](bool with_io) {
+    os::System::Options options;
+    options.with_peripherals = true;
+    os::System system(spec, std::move(options));
+    // Identical CPU behaviour in both runs; only the IO demand differs, so
+    // the gap difference isolates peripheral power.
+    const auto profile = with_io ? workloads::io_stress(150, 100, 1.0)
+                                 : workloads::io_stress(0, 0, 1.0);
+    system.spawn("app", std::make_unique<workloads::SteadyBehavior>(profile, 0));
+    api::PowerMeter meter(system, m);
+    auto& memory = meter.add_memory_reporter();
+    meter.run_for(seconds_to_ns(4));
+    meter.finish();
+    const auto est = api::MemoryReporter::watts_of(memory.series("powerapi-hpc"));
+    const auto ref = api::MemoryReporter::watts_of(memory.series("powerspy"));
+    const std::size_t n = std::min(est.size(), ref.size());
+    return util::mean(std::span(ref).subspan(0, n)) -
+           util::mean(std::span(est).subspan(0, n));
+  };
+  const double gap_io = run(true);
+  const double gap_cpu = run(false);
+  // The CPU-trained model cannot attribute disk/NIC activity: the measured-
+  // minus-estimated gap must grow by the IO activity watts (~1.5-2 W at
+  // these rates).
+  EXPECT_GT(gap_io, gap_cpu + 1.0);
+}
+
+TEST(Integration, IoFormulaTracksPeripheralPower) {
+  const auto spec = small_i3();
+  os::System::Options options;
+  options.with_peripherals = true;
+  os::System system(spec, std::move(options));
+  system.spawn("fileserver", std::make_unique<workloads::SteadyBehavior>(
+                                 workloads::io_stress(80, 50, 1.0), 0));
+
+  api::PowerMeter::Config config;
+  config.with_io = true;
+  api::PowerMeter meter(system, model::CpuPowerModel{}, config);
+  auto& memory = meter.add_memory_reporter();
+  meter.run_for(seconds_to_ns(3));
+  meter.finish();
+
+  const auto io_series = memory.series("io-datasheet");
+  ASSERT_GT(io_series.size(), 5u);
+  // Component split: the IO formula's estimate must track the true
+  // peripheral power within ~15% (datasheet model vs exact state machine).
+  const double estimated = util::mean(api::MemoryReporter::watts_of(io_series));
+  const double actual = system.disk()->last_power_watts() + system.nic()->last_power_watts();
+  EXPECT_NEAR(estimated, actual, actual * 0.15);
+  EXPECT_GT(estimated, system.disk()->params().idle_spinning_watts);
+}
+
+TEST(Integration, IoSensorSilentWithoutPeripherals) {
+  const auto spec = small_i3();
+  os::System system(spec);
+  api::PowerMeter::Config config;
+  config.with_io = true;  // Requested, but the system has no peripherals.
+  api::PowerMeter meter(system, model::CpuPowerModel{}, config);
+  auto& memory = meter.add_memory_reporter();
+  meter.run_for(seconds_to_ns(1));
+  meter.finish();
+  EXPECT_TRUE(memory.series("io-datasheet").empty());
+}
+
+TEST(Integration, BaselineFormulaFlowsThroughThePipeline) {
+  const auto spec = small_i3();
+  model::Trainer trainer(spec, simcpu::GroundTruthParams{}, quick_options());
+  const model::TrainingResult trained = trainer.train();
+  const auto cpuload = std::make_shared<baselines::CpuLoadModel>(
+      baselines::CpuLoadModel::train(trained.samples));
+
+  os::System system(spec);
+  system.spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                          workloads::cpu_stress(0.8), 0));
+  api::PowerMeter meter(system, trained.model);
+  meter.add_estimator(cpuload);
+  auto& memory = meter.add_memory_reporter();
+  meter.run_for(seconds_to_ns(3));
+  meter.finish();
+
+  const auto series = memory.series("cpu-load");
+  ASSERT_GT(series.size(), 5u);
+  for (const auto& row : series) {
+    EXPECT_GT(row.watts, 20.0);
+    EXPECT_LT(row.watts, 80.0);
+  }
+}
+
+TEST(Integration, GovernorDrivenFrequencySelectsMatchingFormulas) {
+  const auto spec = small_i3();
+  model::Trainer trainer(spec, simcpu::GroundTruthParams{}, quick_options());
+  const model::CpuPowerModel m = trainer.train().model;
+
+  os::System::Options options;
+  options.use_ondemand_governor = true;
+  os::System system(spec, std::move(options));
+  util::Rng rng(12);
+  // Load that swings the governor between min and max.
+  system.spawn("bursty", std::make_unique<workloads::BurstyBehavior>(
+                             workloads::cpu_stress(), seconds_to_ns(1),
+                             seconds_to_ns(1), 0, rng.fork(1)));
+  system.spawn("bursty2", std::make_unique<workloads::BurstyBehavior>(
+                              workloads::cpu_stress(), seconds_to_ns(1),
+                              seconds_to_ns(1), 0, rng.fork(2)));
+
+  api::PowerMeter meter(system, m);
+  auto& memory = meter.add_memory_reporter();
+  meter.run_for(seconds_to_ns(10));
+  meter.finish();
+
+  const auto est = api::MemoryReporter::watts_of(memory.series("powerapi-hpc"));
+  const auto ref = api::MemoryReporter::watts_of(memory.series("powerspy"));
+  const std::size_t n = std::min(est.size(), ref.size());
+  ASSERT_GT(n, 20u);
+  EXPECT_LT(util::mape(std::span(ref).subspan(0, n), std::span(est).subspan(0, n)), 25.0);
+}
+
+TEST(Integration, WholeStackIsDeterministic) {
+  auto run = [] {
+    const auto spec = small_i3();
+    model::TrainerOptions options = quick_options();
+    options.grid.thread_counts = {4};
+    model::Trainer trainer(spec, simcpu::GroundTruthParams{}, options);
+    const model::CpuPowerModel m = trainer.train().model;
+    os::System system(spec);
+    util::Rng rng(99);
+    system.spawn("kdaemon", workloads::make_background_daemon(rng.fork(1)));
+    system.spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                            workloads::memory_stress(24e6, 0.7), 0));
+    api::PowerMeter meter(system, m);
+    auto& memory = meter.add_memory_reporter();
+    meter.run_for(seconds_to_ns(3));
+    meter.finish();
+    double sum = 0;
+    for (const auto& row : memory.all()) sum += row.watts;
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace powerapi

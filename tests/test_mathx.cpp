@@ -1,0 +1,320 @@
+// Unit and property tests for the regression toolkit: matrices, QR/OLS,
+// ridge, NNLS, correlation, feature selection and cross-validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/correlation.h"
+#include "mathx/crossval.h"
+#include "mathx/feature_selection.h"
+#include "mathx/matrix.h"
+#include "mathx/ols.h"
+#include "util/rng.h"
+
+namespace powerapi::mathx {
+namespace {
+
+// --- Matrix ---
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+  EXPECT_THROW(m(2, 0), std::out_of_range);
+  EXPECT_THROW(Matrix({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+  EXPECT_THROW(a * Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeIdentitySelect) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ((a * id).max_abs_diff(a), 0.0);
+  const std::vector<std::size_t> keep = {2, 0};
+  const Matrix sel = a.select_columns(keep);
+  EXPECT_DOUBLE_EQ(sel(0, 0), 3);
+  EXPECT_DOUBLE_EQ(sel(1, 1), 4);
+}
+
+TEST(Matrix, AppendRowGrows) {
+  Matrix m;
+  const std::vector<double> r1 = {1, 2};
+  const std::vector<double> r2 = {3, 4};
+  m.append_row(r1);
+  m.append_row(r2);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  const std::vector<double> bad = {1, 2, 3};
+  EXPECT_THROW(m.append_row(bad), std::invalid_argument);
+}
+
+TEST(Matrix, VectorMultiplyAndNorm) {
+  const Matrix a{{1, 0}, {0, 2}, {3, 3}};
+  const std::vector<double> x = {2, 1};
+  const auto y = a.multiply(x);
+  EXPECT_EQ(y, (std::vector<double>{2, 2, 9}));
+  EXPECT_NEAR(Matrix({{3, 4}}).frobenius_norm(), 5.0, 1e-12);
+}
+
+// --- OLS / QR ---
+
+TEST(Ols, RecoversExactSolution) {
+  // y = 2*x1 + 3*x2 exactly.
+  Matrix a{{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  const std::vector<double> b = {2, 3, 5, 7};
+  const auto fit = ols(a, b);
+  ASSERT_EQ(fit.coefficients.size(), 2u);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-10);
+  EXPECT_NEAR(fit.residual_norm, 0.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Ols, RejectsBadShapes) {
+  Matrix a{{1, 2}};
+  const std::vector<double> b = {1};
+  EXPECT_THROW(ols(a, b), std::invalid_argument);  // Underdetermined.
+  Matrix zero(4, 1, 0.0);
+  const std::vector<double> b4 = {1, 2, 3, 4};
+  EXPECT_THROW(ols(zero, b4), std::runtime_error);  // Rank deficient.
+}
+
+class OlsRecoveryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OlsRecoveryProperty, RecoversPlantedCoefficientsUnderNoise) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 3);
+  const std::size_t n = 200;
+  const std::size_t k = 4;
+  std::vector<double> truth;
+  for (std::size_t j = 0; j < k; ++j) truth.push_back(rng.uniform(0.5, 5.0));
+
+  Matrix a(n, k);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double y = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      a(i, j) = rng.uniform(0, 10);
+      y += truth[j] * a(i, j);
+    }
+    b[i] = y + rng.gaussian(0.0, 0.01);
+  }
+  const auto fit = ols(a, b);
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_NEAR(fit.coefficients[j], truth[j], 0.02) << "coefficient " << j;
+  }
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, OlsRecoveryProperty, ::testing::Range(1, 9));
+
+TEST(Ridge, ShrinksTowardZero) {
+  util::Rng rng(5);
+  Matrix a(50, 2);
+  std::vector<double> b(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    a(i, 0) = rng.uniform(0, 1);
+    a(i, 1) = rng.uniform(0, 1);
+    b[i] = 3 * a(i, 0) + 4 * a(i, 1) + rng.gaussian(0, 0.05);
+  }
+  const auto plain = ols(a, b);
+  const auto shrunk = ridge(a, b, 100.0);
+  const double norm_plain = std::abs(plain.coefficients[0]) + std::abs(plain.coefficients[1]);
+  const double norm_shrunk =
+      std::abs(shrunk.coefficients[0]) + std::abs(shrunk.coefficients[1]);
+  EXPECT_LT(norm_shrunk, norm_plain);
+  EXPECT_THROW(ridge(a, b, -1.0), std::invalid_argument);
+  // lambda = 0 degrades to OLS.
+  const auto zero = ridge(a, b, 0.0);
+  EXPECT_NEAR(zero.coefficients[0], plain.coefficients[0], 1e-12);
+}
+
+TEST(Nnls, ClampsNegativeCoefficients) {
+  // Target anti-correlates with the second column: unconstrained OLS would
+  // give it a negative weight; NNLS must zero it.
+  util::Rng rng(9);
+  Matrix a(100, 2);
+  std::vector<double> b(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    a(i, 0) = rng.uniform(0, 10);
+    a(i, 1) = rng.uniform(0, 10);
+    b[i] = 2.0 * a(i, 0) - 0.5 * a(i, 1) + rng.gaussian(0, 0.01);
+  }
+  const auto fit = nnls(a, b);
+  EXPECT_GE(fit.coefficients[0], 0.0);
+  EXPECT_DOUBLE_EQ(fit.coefficients[1], 0.0);
+  // With x1 clamped out, the no-intercept projection of y on x0 alone is
+  // 2 − 0.5·E[x0·x1]/E[x0²] ≈ 1.625 for iid U(0,10) regressors.
+  EXPECT_NEAR(fit.coefficients[0], 1.625, 0.15);
+}
+
+TEST(Nnls, AgreesWithOlsWhenAllPositive) {
+  Matrix a{{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  const std::vector<double> b = {2, 3, 5, 7};
+  const auto constrained = nnls(a, b);
+  const auto plain = ols(a, b);
+  EXPECT_NEAR(constrained.coefficients[0], plain.coefficients[0], 1e-9);
+  EXPECT_NEAR(constrained.coefficients[1], plain.coefficients[1], 1e-9);
+}
+
+TEST(WithIntercept, PrependsOnes) {
+  const Matrix a{{2}, {3}};
+  const Matrix x = with_intercept(a);
+  EXPECT_EQ(x.cols(), 2u);
+  EXPECT_DOUBLE_EQ(x(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(x(1, 1), 3.0);
+}
+
+TEST(RSquared, ZeroForMeanPredictor) {
+  const std::vector<double> obs = {1, 2, 3, 4};
+  const std::vector<double> mean_pred = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r_squared(obs, mean_pred), 0.0, 1e-12);
+}
+
+// --- Correlation ---
+
+TEST(Correlation, PerfectLinear) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  std::vector<double> neg(y.rbegin(), y.rend());
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+  EXPECT_NEAR(spearman(x, neg), -1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanInvariantToMonotoneTransform) {
+  util::Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(0.1, 10.0);
+    x.push_back(v);
+    y.push_back(std::exp(v) + 0.0);  // Monotone but very nonlinear.
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 0.9);  // Pearson penalizes the nonlinearity.
+}
+
+TEST(Correlation, HandlesTiesViaAverageRanks) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const auto ranks = fractional_ranks(x);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(Correlation, ZeroVarianceIsZero) {
+  const std::vector<double> flat = {5, 5, 5};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(flat, y), 0.0);
+  const std::vector<double> a = {1};
+  EXPECT_THROW(pearson(a, a), std::invalid_argument);
+}
+
+// --- Feature selection ---
+
+TEST(FeatureSelection, RanksByAbsoluteCorrelation) {
+  util::Rng rng(21);
+  Matrix design(300, 3);
+  std::vector<double> target(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    design(i, 0) = rng.uniform(0, 1);            // Noise.
+    design(i, 1) = rng.uniform(0, 1);            // Strong driver.
+    design(i, 2) = rng.uniform(0, 1);            // Weak driver.
+    target[i] = 10 * design(i, 1) + design(i, 2) + rng.gaussian(0, 0.1);
+  }
+  const std::vector<std::string> names = {"noise", "strong", "weak"};
+  const auto ranked = rank_features(design, target, names, CorrelationKind::kSpearman);
+  EXPECT_EQ(ranked[0].name, "strong");
+  EXPECT_EQ(ranked[2].name, "noise");
+}
+
+TEST(FeatureSelection, DropsRedundantFeatures) {
+  util::Rng rng(22);
+  Matrix design(300, 3);
+  std::vector<double> target(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const double base = rng.uniform(0, 1);
+    design(i, 0) = base;
+    design(i, 1) = base * 2.0 + rng.gaussian(0, 1e-4);  // Near-duplicate of 0.
+    design(i, 2) = rng.uniform(0, 1);
+    target[i] = 5 * base + 2 * design(i, 2);
+  }
+  SelectionOptions options;
+  options.max_features = 3;
+  options.min_abs_correlation = 0.1;
+  const auto picked = select_features(design, target, {}, options);
+  ASSERT_EQ(picked.size(), 2u);  // One of the twins must be dropped.
+  // Columns 0 and 1 are interchangeable (near-identical correlation); the
+  // survivor plus the independent column 2 must be kept.
+  EXPECT_TRUE(picked[0].column == 0u || picked[0].column == 1u);
+  EXPECT_EQ(picked[1].column, 2u);
+}
+
+TEST(FeatureSelection, RespectsMaxFeaturesAndThreshold) {
+  util::Rng rng(23);
+  Matrix design(200, 4);
+  std::vector<double> target(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) design(i, c) = rng.uniform(0, 1);
+    target[i] = design(i, 0) + 0.8 * design(i, 1) + 0.6 * design(i, 2);
+  }
+  SelectionOptions options;
+  options.max_features = 2;
+  const auto picked = select_features(design, target, {}, options);
+  EXPECT_LE(picked.size(), 2u);
+}
+
+// --- Cross-validation ---
+
+TEST(CrossVal, FoldsPartitionRows) {
+  util::Rng rng(31);
+  const auto folds = make_folds(25, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> seen(25, 0);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.validate.size(), 25u);
+    for (std::size_t r : fold.validate) seen[r]++;
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_THROW(make_folds(3, 1, rng), std::invalid_argument);
+  EXPECT_THROW(make_folds(3, 4, rng), std::invalid_argument);
+}
+
+TEST(CrossVal, LowErrorOnLinearData) {
+  util::Rng rng(32);
+  Matrix design(120, 2);
+  std::vector<double> target(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    design(i, 0) = rng.uniform(0, 5);
+    design(i, 1) = rng.uniform(0, 5);
+    target[i] = 2 * design(i, 0) + design(i, 1) + rng.gaussian(0, 0.05);
+  }
+  const auto result = cross_validate(
+      design, target, 4, rng, [](const Matrix& x, std::span<const double> y) {
+        const auto fit = ols(x, y);
+        return [coeffs = fit.coefficients](std::span<const double> row) {
+          double out = 0;
+          for (std::size_t i = 0; i < coeffs.size(); ++i) out += coeffs[i] * row[i];
+          return out;
+        };
+      });
+  EXPECT_EQ(result.fold_rmse.size(), 4u);
+  EXPECT_LT(result.mean_rmse, 0.1);
+}
+
+}  // namespace
+}  // namespace powerapi::mathx

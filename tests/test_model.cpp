@@ -1,0 +1,227 @@
+// Tests for the model layer: the per-frequency power model, its text
+// serialization, and the Figure-1 training pipeline end to end (on reduced
+// grids so the suite stays fast).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/model_io.h"
+#include "model/power_model.h"
+#include "model/trainer.h"
+#include "simcpu/cpu_spec.h"
+
+namespace powerapi::model {
+namespace {
+
+FrequencyFormula make_formula(double hz, double ci, double cr, double cm) {
+  FrequencyFormula f;
+  f.frequency_hz = hz;
+  f.events = {hpc::EventId::kInstructions, hpc::EventId::kCacheReferences,
+              hpc::EventId::kCacheMisses};
+  f.coefficients = {ci, cr, cm};
+  return f;
+}
+
+CpuPowerModel paper_model() {
+  // The paper's published i3-2120 model at 3.3 GHz + a second point.
+  return CpuPowerModel(31.48, {make_formula(3.3e9, 2.22e-9, 2.48e-8, 1.87e-7),
+                               make_formula(1.6e9, 1.0e-9, 2.4e-8, 1.8e-7)});
+}
+
+TEST(PowerModel, EstimateMatchesPaperFormula) {
+  const CpuPowerModel model = paper_model();
+  EventRates rates{};
+  set_rate(rates, hpc::EventId::kInstructions, 1e9);
+  set_rate(rates, hpc::EventId::kCacheReferences, 1e8);
+  set_rate(rates, hpc::EventId::kCacheMisses, 1e7);
+  const double expected = 2.22e-9 * 1e9 + 2.48e-8 * 1e8 + 1.87e-7 * 1e7;
+  EXPECT_NEAR(model.estimate_activity(3.3e9, rates), expected, 1e-9);
+  EXPECT_NEAR(model.estimate_machine(3.3e9, rates), 31.48 + expected, 1e-9);
+}
+
+TEST(PowerModel, PicksNearestFrequencyFormula) {
+  const CpuPowerModel model = paper_model();
+  EXPECT_DOUBLE_EQ(model.formula_for(3.2e9)->frequency_hz, 3.3e9);
+  EXPECT_DOUBLE_EQ(model.formula_for(1.0e9)->frequency_hz, 1.6e9);
+  EXPECT_DOUBLE_EQ(model.formula_for(2.44e9)->frequency_hz, 1.6e9);
+  const CpuPowerModel empty;
+  EXPECT_EQ(empty.formula_for(1e9), nullptr);
+  EXPECT_TRUE(empty.empty());
+  EventRates rates{};
+  EXPECT_THROW(empty.estimate_activity(1e9, rates), std::logic_error);
+}
+
+TEST(PowerModel, ValidatesConstruction) {
+  EXPECT_THROW(CpuPowerModel(-1.0, {}), std::invalid_argument);
+  FrequencyFormula broken = make_formula(1e9, 1, 2, 3);
+  broken.coefficients.pop_back();
+  EXPECT_THROW(CpuPowerModel(10.0, {broken}), std::invalid_argument);
+}
+
+TEST(PowerModel, DescribeShowsPaperNotation) {
+  const std::string text = paper_model().describe();
+  EXPECT_NE(text.find("31.48"), std::string::npos);
+  EXPECT_NE(text.find("instructions"), std::string::npos);
+  EXPECT_NE(text.find("Power_3.3GHz"), std::string::npos);
+}
+
+TEST(RatesFromDelta, DividesByWindow) {
+  hpc::EventValues delta;
+  delta[hpc::EventId::kInstructions] = 500;
+  const auto rates = rates_from_delta(delta, 0.25);
+  EXPECT_DOUBLE_EQ(rate_of(rates, hpc::EventId::kInstructions), 2000.0);
+  EXPECT_THROW(rates_from_delta(delta, 0.0), std::invalid_argument);
+}
+
+// --- model_io ---
+
+TEST(ModelIo, RoundTripsThroughText) {
+  const CpuPowerModel original = paper_model();
+  const std::string text = model_to_string(original);
+  const auto parsed = model_from_string(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  const CpuPowerModel& restored = parsed.value();
+  EXPECT_DOUBLE_EQ(restored.idle_watts(), original.idle_watts());
+  ASSERT_EQ(restored.formulas().size(), original.formulas().size());
+  for (std::size_t i = 0; i < restored.formulas().size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.formulas()[i].frequency_hz,
+                     original.formulas()[i].frequency_hz);
+    EXPECT_EQ(restored.formulas()[i].events, original.formulas()[i].events);
+    for (std::size_t c = 0; c < restored.formulas()[i].coefficients.size(); ++c) {
+      EXPECT_DOUBLE_EQ(restored.formulas()[i].coefficients[c],
+                       original.formulas()[i].coefficients[c]);
+    }
+  }
+}
+
+TEST(ModelIo, AcceptsCommentsAndBlankLines) {
+  const std::string text =
+      "powerapi-model v1\n"
+      "# a comment\n"
+      "\n"
+      "idle 30\n"
+      "frequency 1e9\n"
+      "instructions 2e-9\n";
+  const auto parsed = model_from_string(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  EXPECT_DOUBLE_EQ(parsed.value().idle_watts(), 30.0);
+}
+
+TEST(ModelIo, RejectsMalformedInput) {
+  const char* bad_inputs[] = {
+      "",                                             // Empty.
+      "not-a-model\nidle 3\n",                        // Wrong header.
+      "powerapi-model v1\nfrequency 1e9\ncycles 1\n", // Missing idle.
+      "powerapi-model v1\nidle 3\n",                  // No formulas.
+      "powerapi-model v1\nidle 3\nfrequency 1e9\n",   // Empty formula block.
+      "powerapi-model v1\nidle -3\nfrequency 1e9\ncycles 1\n",     // Negative idle.
+      "powerapi-model v1\nidle 3\ncycles 1\n",        // Coefficient before frequency.
+      "powerapi-model v1\nidle 3\nfrequency 1e9\nwarp-cores 1\n",  // Unknown event.
+      "powerapi-model v1\nidle x\nfrequency 1e9\ncycles 1\n",      // Bad number.
+      "powerapi-model v1\nidle 3\nidle 4\nfrequency 1e9\ncycles 1\n",  // Dup idle.
+  };
+  for (const char* text : bad_inputs) {
+    const auto parsed = model_from_string(text);
+    EXPECT_FALSE(parsed.ok()) << "should reject: " << text;
+  }
+}
+
+// --- Trainer (reduced grid for speed) ---
+
+TrainerOptions quick_options() {
+  TrainerOptions options;
+  options.grid.intensities = {1.0};
+  options.grid.memory_shares = {0.0, 1.0};
+  options.grid.working_sets = {24.0 * 1024 * 1024};
+  options.grid.thread_counts = {1, 4};
+  options.idle_duration = util::seconds_to_ns(2);
+  options.point_duration = util::seconds_to_ns(1);
+  return options;
+}
+
+simcpu::CpuSpec two_point_spec() {
+  simcpu::CpuSpec spec = simcpu::i3_2120();
+  spec.frequencies_hz = {1.6e9, 3.3e9};  // Two points keep the test fast.
+  return spec;
+}
+
+TEST(Trainer, LearnsSaneModelEndToEnd) {
+  const auto spec = two_point_spec();
+  Trainer trainer(spec, simcpu::GroundTruthParams{}, quick_options());
+  const TrainingResult result = trainer.train();
+
+  // Idle lands near platform + near-idle cores (25.6 + ~2x2.6..3.7 W).
+  EXPECT_GT(result.model.idle_watts(), 26.0);
+  EXPECT_LT(result.model.idle_watts(), 34.0);
+
+  ASSERT_EQ(result.model.formulas().size(), 2u);
+  for (const auto& report : result.reports) {
+    EXPECT_GT(report.r_squared, 0.85) << "poor fit at " << report.frequency_hz;
+  }
+
+  // Coefficients are non-negative and the instruction coefficient grows
+  // with frequency (V²f scaling).
+  const auto* slow = result.model.formula_for(1.6e9);
+  const auto* fast = result.model.formula_for(3.3e9);
+  for (double c : slow->coefficients) EXPECT_GE(c, 0.0);
+  EXPECT_GT(fast->coefficients[0], slow->coefficients[0]);
+
+  // The max-frequency instruction coefficient is in the paper's order of
+  // magnitude (nJ per instruction).
+  EXPECT_GT(fast->coefficients[0], 0.5e-9);
+  EXPECT_LT(fast->coefficients[0], 8e-9);
+}
+
+TEST(Trainer, AutoSelectionPicksPowerCorrelatedEvents) {
+  const auto spec = two_point_spec();
+  TrainerOptions options = quick_options();
+  options.auto_select_events = true;
+  options.selection.max_features = 3;
+  Trainer trainer(spec, simcpu::GroundTruthParams{}, options);
+  const TrainingResult result = trainer.train();
+  EXPECT_FALSE(result.selected_events.empty());
+  EXPECT_LE(result.selected_events.size(), 3u);
+  // Whatever was picked, the fit must be good.
+  for (const auto& report : result.reports) EXPECT_GT(report.r_squared, 0.75);
+}
+
+TEST(Trainer, FitRejectsDegenerateInputs) {
+  const auto spec = two_point_spec();
+  Trainer trainer(spec, simcpu::GroundTruthParams{}, quick_options());
+  SampleSet empty;
+  EXPECT_THROW(trainer.fit(empty), std::invalid_argument);
+
+  SampleSet tiny;
+  tiny.idle_watts = 30;
+  tiny.frequencies_hz = {1.6e9};
+  tiny.by_frequency.push_back({TrainingSample{}});  // 1 sample < events + 2.
+  EXPECT_THROW(trainer.fit(tiny), std::runtime_error);
+}
+
+TEST(Trainer, PaperOptionsUseThreeGenericCounters) {
+  const TrainerOptions options = paper_trainer_options();
+  ASSERT_EQ(options.events.size(), 3u);
+  EXPECT_EQ(options.events[0], hpc::EventId::kInstructions);
+  EXPECT_EQ(options.grid.intensities, std::vector<double>{1.0});
+  EXPECT_FALSE(options.auto_select_events);
+}
+
+TEST(Trainer, CollectIsDeterministicForFixedSeed) {
+  const auto spec = two_point_spec();
+  TrainerOptions options = quick_options();
+  options.grid.thread_counts = {1};
+  Trainer a(spec, simcpu::GroundTruthParams{}, options);
+  Trainer b(spec, simcpu::GroundTruthParams{}, options);
+  const SampleSet sa = a.collect();
+  const SampleSet sb = b.collect();
+  ASSERT_EQ(sa.total_samples(), sb.total_samples());
+  EXPECT_DOUBLE_EQ(sa.idle_watts, sb.idle_watts);
+  for (std::size_t f = 0; f < sa.by_frequency.size(); ++f) {
+    for (std::size_t i = 0; i < sa.by_frequency[f].size(); ++i) {
+      EXPECT_DOUBLE_EQ(sa.by_frequency[f][i].watts, sb.by_frequency[f][i].watts);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace powerapi::model

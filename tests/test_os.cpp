@@ -1,0 +1,185 @@
+// Tests for the OS substrate: process lifecycle, schedulers, accounting,
+// the DVFS governor and run_for semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "os/scheduler.h"
+#include "os/system.h"
+#include "workloads/behaviors.h"
+#include "workloads/stress.h"
+
+namespace powerapi::os {
+namespace {
+
+using util::ms_to_ns;
+using util::seconds_to_ns;
+
+std::unique_ptr<TaskBehavior> steady(double intensity = 1.0,
+                                     util::DurationNs duration = 0) {
+  return std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(intensity),
+                                                     duration);
+}
+
+TEST(System, SpawnAssignsIncreasingPids) {
+  System system(simcpu::i3_2120());
+  const Pid a = system.spawn("a", steady());
+  const Pid b = system.spawn("b", steady());
+  EXPECT_LT(a, b);
+  EXPECT_TRUE(system.alive(a));
+  EXPECT_EQ(system.pids().size(), 2u);
+  EXPECT_THROW(system.spawn("empty", std::vector<std::unique_ptr<TaskBehavior>>{}),
+               std::invalid_argument);
+}
+
+TEST(System, KillStopsScheduling) {
+  System system(simcpu::i3_2120());
+  const Pid pid = system.spawn("victim", steady());
+  system.run_for(ms_to_ns(5));
+  const auto before = system.proc_stat(pid)->counters.instructions;
+  EXPECT_GT(before, 0u);
+  system.kill(pid);
+  EXPECT_FALSE(system.alive(pid));
+  system.run_for(ms_to_ns(5));
+  EXPECT_EQ(system.proc_stat(pid)->counters.instructions, before);
+  // Killing an unknown pid is a no-op.
+  system.kill(9999);
+}
+
+TEST(System, TasksExitWhenBehaviorCompletes) {
+  System system(simcpu::i3_2120());
+  const Pid pid = system.spawn("short", steady(1.0, ms_to_ns(3)));
+  system.run_for(ms_to_ns(10));
+  EXPECT_FALSE(system.alive(pid));
+  EXPECT_TRUE(system.pids().empty());
+}
+
+TEST(System, ProcStatAccumulatesAcrossThreads) {
+  System system(simcpu::i3_2120());
+  std::vector<std::unique_ptr<TaskBehavior>> threads;
+  threads.push_back(steady());
+  threads.push_back(steady());
+  const Pid pid = system.spawn("multi", std::move(threads));
+  system.run_for(ms_to_ns(10));
+  const auto stat = system.proc_stat(pid);
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->threads, 2u);
+  EXPECT_GT(stat->counters.instructions, 0u);
+  EXPECT_GT(stat->cpu_time_ns, 0);
+  EXPECT_GT(stat->attributed_energy_joules, 0.0);
+  EXPECT_FALSE(system.proc_stat(12345).has_value());
+}
+
+TEST(System, UtilizationReflectsLoad) {
+  System idle_system(simcpu::i3_2120());
+  idle_system.run_for(ms_to_ns(5));
+  EXPECT_DOUBLE_EQ(idle_system.system_stat().utilization, 0.0);
+
+  System busy_system(simcpu::i3_2120());
+  for (int i = 0; i < 4; ++i) busy_system.spawn("t", steady());
+  busy_system.run_for(ms_to_ns(5));
+  EXPECT_NEAR(busy_system.system_stat().utilization, 1.0, 0.01);
+}
+
+TEST(System, ClockAdvancesByTicks) {
+  System::Options options;
+  options.tick_ns = ms_to_ns(2);
+  System system(simcpu::i3_2120(), std::move(options));
+  EXPECT_EQ(system.now_ns(), 0);
+  system.tick();
+  EXPECT_EQ(system.now_ns(), ms_to_ns(2));
+  system.run_for(ms_to_ns(10));
+  EXPECT_EQ(system.now_ns(), ms_to_ns(12));
+  int ticks = 0;
+  system.run_for(ms_to_ns(6), [&](const System&) { ++ticks; });
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(System, PinFrequencyDisablesGovernor) {
+  System::Options options;
+  options.use_ondemand_governor = true;
+  System system(simcpu::i3_2120(), std::move(options));
+  EXPECT_DOUBLE_EQ(system.pin_frequency(1.6e9), 1.6e9);
+  for (int i = 0; i < 4; ++i) system.spawn("t", steady());
+  system.run_for(ms_to_ns(50));
+  EXPECT_DOUBLE_EQ(system.system_stat().frequency_hz, 1.6e9);  // Stayed pinned.
+}
+
+TEST(OndemandGovernor, RampsUpUnderLoadAndDownWhenIdle) {
+  System::Options options;
+  options.use_ondemand_governor = true;
+  System system(simcpu::i3_2120(), std::move(options));
+  system.machine().set_frequency(1.6e9);
+  for (int i = 0; i < 4; ++i) system.spawn("t", steady());
+  system.run_for(ms_to_ns(20));
+  EXPECT_DOUBLE_EQ(system.system_stat().frequency_hz, 3.3e9);  // Jumped to max.
+
+  // Kill the load: frequency steps back down with hysteresis.
+  for (const Pid pid : system.pids()) system.kill(pid);
+  system.run_for(ms_to_ns(200));
+  EXPECT_LT(system.system_stat().frequency_hz, 3.3e9);
+}
+
+// --- Schedulers ---
+
+/// Behavior probe: captures which hardware thread each task ran on.
+TEST(Schedulers, PackFillsSmtSiblingsFirst) {
+  System::Options options;
+  options.scheduler = std::make_unique<PackScheduler>();
+  System system(simcpu::i3_2120(), std::move(options));
+  const Pid a = system.spawn("a", steady());
+  const Pid b = system.spawn("b", steady());
+  system.run_for(ms_to_ns(2));
+  // Both tasks share core 0 (hw threads 0 and 1): their counters must show
+  // SMT co-residency.
+  EXPECT_GT(system.proc_stat(a)->counters.smt_shared_cycles, 0u);
+  EXPECT_GT(system.proc_stat(b)->counters.smt_shared_cycles, 0u);
+}
+
+TEST(Schedulers, SpreadUsesDistinctCoresFirst) {
+  System::Options options;
+  options.scheduler = std::make_unique<SpreadScheduler>();
+  System system(simcpu::i3_2120(), std::move(options));
+  const Pid a = system.spawn("a", steady());
+  const Pid b = system.spawn("b", steady());
+  system.run_for(ms_to_ns(2));
+  EXPECT_EQ(system.proc_stat(a)->counters.smt_shared_cycles, 0u);
+  EXPECT_EQ(system.proc_stat(b)->counters.smt_shared_cycles, 0u);
+}
+
+TEST(Schedulers, RoundRobinSharesCpuAmongExcessTasks) {
+  System::Options options;
+  options.scheduler = std::make_unique<RoundRobinScheduler>();
+  System system(simcpu::i3_2120(), std::move(options));
+  std::vector<Pid> pids;
+  for (int i = 0; i < 8; ++i) pids.push_back(system.spawn("t", steady()));
+  system.run_for(ms_to_ns(80));
+  // Every task must have made progress (fair sharing), roughly equally.
+  std::uint64_t min_instr = ~0ull;
+  std::uint64_t max_instr = 0;
+  for (const Pid pid : pids) {
+    const auto instr = system.proc_stat(pid)->counters.instructions;
+    EXPECT_GT(instr, 0u);
+    min_instr = std::min(min_instr, instr);
+    max_instr = std::max(max_instr, instr);
+  }
+  EXPECT_LT(static_cast<double>(max_instr) / static_cast<double>(min_instr), 2.0);
+}
+
+TEST(Schedulers, SpreadBeatsPackOnThroughput) {
+  auto run = [](std::unique_ptr<Scheduler> scheduler) {
+    System::Options options;
+    options.scheduler = std::move(scheduler);
+    System system(simcpu::i3_2120(), std::move(options));
+    system.spawn("a", std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(), 0));
+    system.spawn("b", std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(), 0));
+    system.run_for(ms_to_ns(50));
+    return system.machine().machine_counters().instructions;
+  };
+  const auto packed = run(std::make_unique<PackScheduler>());
+  const auto spread = run(std::make_unique<SpreadScheduler>());
+  EXPECT_GT(spread, packed);  // Two full cores beat one SMT-shared core.
+}
+
+}  // namespace
+}  // namespace powerapi::os

@@ -1,0 +1,251 @@
+// Tests for the peripheral power models (disk, NIC), their OS integration,
+// and the TurboBoost machine extension.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "os/system.h"
+#include "periph/disk.h"
+#include "periph/nic.h"
+#include "simcpu/dvfs.h"
+#include "simcpu/machine.h"
+#include "workloads/behaviors.h"
+#include "workloads/stress.h"
+
+namespace powerapi {
+namespace {
+
+using util::ms_to_ns;
+using util::seconds_to_ns;
+
+// --- DiskModel ---
+
+TEST(Disk, IdleSpinningBurnsBasePower) {
+  periph::DiskModel disk;
+  const double joules = disk.tick({}, seconds_to_ns(1));
+  EXPECT_NEAR(joules, disk.params().idle_spinning_watts, 1e-9);
+  EXPECT_EQ(disk.state(), periph::DiskState::kSpinning);
+}
+
+TEST(Disk, IoAddsPerOpAndPerByteEnergy) {
+  periph::DiskModel disk;
+  periph::DiskDemand demand;
+  demand.iops = 100;
+  demand.bytes_per_sec = 50e6;
+  const double joules = disk.tick(demand, seconds_to_ns(1));
+  const auto& p = disk.params();
+  EXPECT_NEAR(joules,
+              p.idle_spinning_watts + 100 * p.joules_per_op + 50 * p.joules_per_megabyte,
+              1e-9);
+}
+
+TEST(Disk, DemandSaturatesAtDeviceLimits) {
+  periph::DiskModel disk;
+  periph::DiskDemand insane;
+  insane.iops = 1e9;
+  insane.bytes_per_sec = 1e12;
+  const double joules = disk.tick(insane, seconds_to_ns(1));
+  const auto& p = disk.params();
+  EXPECT_NEAR(joules,
+              p.idle_spinning_watts + p.max_iops * p.joules_per_op +
+                  p.max_bytes_per_sec / 1e6 * p.joules_per_megabyte,
+              1e-9);
+}
+
+TEST(Disk, SpinsDownAfterIdleTimeoutAndBackUpOnIo) {
+  periph::DiskParams params;
+  params.spindown_after_ns = seconds_to_ns(1);
+  params.spinup_duration_ns = ms_to_ns(500);
+  periph::DiskModel disk(params);
+
+  for (int i = 0; i < 1100; ++i) disk.tick({}, ms_to_ns(1));
+  EXPECT_EQ(disk.state(), periph::DiskState::kSpunDown);
+  EXPECT_NEAR(disk.last_power_watts(), params.spun_down_watts, 1e-9);
+
+  // First IO triggers the spin-up surge...
+  periph::DiskDemand demand;
+  demand.iops = 10;
+  disk.tick(demand, ms_to_ns(1));
+  EXPECT_EQ(disk.state(), periph::DiskState::kSpinningUp);
+  EXPECT_NEAR(disk.last_power_watts(), params.spinup_watts, 1e-9);
+  // ...and after the spin-up duration the disk serves IO again.
+  for (int i = 0; i < 600; ++i) disk.tick(demand, ms_to_ns(1));
+  EXPECT_EQ(disk.state(), periph::DiskState::kSpinning);
+}
+
+TEST(Disk, RejectsBadInput) {
+  periph::DiskModel disk;
+  EXPECT_THROW(disk.tick({}, 0), std::invalid_argument);
+  periph::DiskDemand negative;
+  negative.iops = -1;
+  EXPECT_THROW(disk.tick(negative, ms_to_ns(1)), std::invalid_argument);
+}
+
+// --- NicModel ---
+
+TEST(Nic, EntersLowPowerIdleAfterQuietPeriod) {
+  periph::NicModel nic;
+  EXPECT_FALSE(nic.in_low_power_idle());
+  for (int i = 0; i < 60; ++i) nic.tick({}, ms_to_ns(1));
+  EXPECT_TRUE(nic.in_low_power_idle());
+  EXPECT_NEAR(nic.last_power_watts(), nic.params().lpi_watts, 1e-9);
+
+  periph::NicDemand demand;
+  demand.rx_bytes_per_sec = 1e6;
+  nic.tick(demand, ms_to_ns(1));
+  EXPECT_FALSE(nic.in_low_power_idle());
+}
+
+TEST(Nic, TrafficEnergySplitsTxRx) {
+  periph::NicModel nic;
+  periph::NicDemand demand;
+  demand.tx_bytes_per_sec = 10e6;
+  demand.rx_bytes_per_sec = 20e6;
+  const double joules = nic.tick(demand, seconds_to_ns(1));
+  const auto& p = nic.params();
+  EXPECT_NEAR(joules,
+              p.link_active_watts + 10 * p.joules_per_megabyte_tx +
+                  20 * p.joules_per_megabyte_rx,
+              1e-9);
+}
+
+TEST(Nic, SaturatesAtLinkRate) {
+  periph::NicModel nic;
+  periph::NicDemand demand;
+  demand.tx_bytes_per_sec = 1e12;
+  const double joules = nic.tick(demand, seconds_to_ns(1));
+  const auto& p = nic.params();
+  EXPECT_NEAR(joules,
+              p.link_active_watts + p.link_bytes_per_sec / 1e6 * p.joules_per_megabyte_tx,
+              1e-9);
+  EXPECT_THROW(nic.tick(demand, 0), std::invalid_argument);
+}
+
+// --- OS integration ---
+
+TEST(SystemPeripherals, DisabledByDefault) {
+  os::System system(simcpu::i3_2120());
+  EXPECT_EQ(system.disk(), nullptr);
+  EXPECT_EQ(system.nic(), nullptr);
+  system.run_for(ms_to_ns(5));
+  EXPECT_DOUBLE_EQ(system.total_energy_joules(), system.machine().total_energy_joules());
+  EXPECT_DOUBLE_EQ(system.system_stat().disk_watts, 0.0);
+}
+
+TEST(SystemPeripherals, IoWorkloadBurnsPeripheralPower) {
+  os::System::Options options;
+  options.with_peripherals = true;
+  os::System system(simcpu::i3_2120(), std::move(options));
+  ASSERT_NE(system.disk(), nullptr);
+  system.spawn("fileserver",
+               std::make_unique<workloads::SteadyBehavior>(
+                   workloads::io_stress(/*disk_mb=*/40, /*net_mb=*/30, 1.0), 0));
+  system.run_for(seconds_to_ns(1));
+
+  const auto stat = system.system_stat();
+  EXPECT_GT(stat.disk_watts, system.disk()->params().idle_spinning_watts);
+  EXPECT_GT(stat.nic_watts, system.nic()->params().lpi_watts);
+  // Wall energy = machine + peripherals.
+  EXPECT_NEAR(system.total_energy_joules(),
+              system.machine().total_energy_joules() +
+                  system.disk()->total_energy_joules() +
+                  system.nic()->total_energy_joules(),
+              1e-9);
+  EXPECT_GT(system.total_energy_joules(), system.machine().total_energy_joules());
+}
+
+TEST(SystemPeripherals, IdleSystemSpinsDiskDown) {
+  os::System::Options options;
+  options.with_peripherals = true;
+  options.disk.spindown_after_ns = seconds_to_ns(1);
+  os::System system(simcpu::i3_2120(), std::move(options));
+  system.run_for(seconds_to_ns(2));
+  EXPECT_EQ(system.disk()->state(), periph::DiskState::kSpunDown);
+  EXPECT_TRUE(system.nic()->in_low_power_idle());
+}
+
+// --- TurboBoost ---
+
+TEST(Turbo, SpecValidation) {
+  const auto i7 = simcpu::i7_2600();
+  EXPECT_TRUE(i7.turbo_boost);
+  EXPECT_EQ(i7.turbo_frequencies_hz.size(), 4u);
+  EXPECT_EQ(i7.all_frequencies_hz().size(),
+            i7.frequencies_hz.size() + i7.turbo_frequencies_hz.size());
+
+  simcpu::CpuSpec bad = i7;
+  bad.turbo_boost = false;  // Bins without the feature flag.
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = i7;
+  bad.turbo_frequencies_hz = {1e9};  // Below nominal max.
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Turbo, SingleCoreLoadReachesTopBin) {
+  simcpu::Machine machine(simcpu::i7_2600());
+  std::vector<simcpu::ThreadWork> work(machine.spec().hw_threads());
+  work[0] = {true, 1, workloads::cpu_stress()};
+  machine.tick(work, ms_to_ns(1));
+  EXPECT_DOUBLE_EQ(machine.last_effective_frequency_hz(),
+                   machine.spec().turbo_frequencies_hz.back());
+}
+
+TEST(Turbo, MoreBusyCoresLowerTheBin) {
+  simcpu::Machine machine(simcpu::i7_2600());
+  std::vector<simcpu::ThreadWork> work(machine.spec().hw_threads());
+  // Two busy cores (threads 0 and 2 on a 2-thread-per-core part).
+  work[0] = {true, 1, workloads::cpu_stress()};
+  work[2] = {true, 2, workloads::cpu_stress()};
+  machine.tick(work, ms_to_ns(1));
+  const auto& turbo = machine.spec().turbo_frequencies_hz;
+  EXPECT_DOUBLE_EQ(machine.last_effective_frequency_hz(), turbo[turbo.size() - 2]);
+}
+
+TEST(Turbo, DisengagesBelowNominalMaxOrOnI3) {
+  simcpu::Machine i7(simcpu::i7_2600());
+  i7.set_frequency(2.0e9);
+  std::vector<simcpu::ThreadWork> work(i7.spec().hw_threads());
+  work[0] = {true, 1, workloads::cpu_stress()};
+  i7.tick(work, ms_to_ns(1));
+  EXPECT_DOUBLE_EQ(i7.last_effective_frequency_hz(), 2.0e9);
+
+  simcpu::Machine i3(simcpu::i3_2120());  // Table 1: no TurboBoost.
+  std::vector<simcpu::ThreadWork> i3_work(i3.spec().hw_threads());
+  i3_work[0] = {true, 1, workloads::cpu_stress()};
+  i3.tick(i3_work, ms_to_ns(1));
+  EXPECT_DOUBLE_EQ(i3.last_effective_frequency_hz(), 3.3e9);
+}
+
+TEST(Turbo, BurnsMorePowerThanNominalMax) {
+  // Same single-thread load on the i7 with and without turbo bins.
+  simcpu::CpuSpec no_turbo = simcpu::i7_2600();
+  no_turbo.turbo_boost = false;
+  no_turbo.turbo_frequencies_hz.clear();
+  simcpu::Machine plain(no_turbo);
+  simcpu::Machine boosted(simcpu::i7_2600());
+
+  std::vector<simcpu::ThreadWork> work(plain.spec().hw_threads());
+  work[0] = {true, 1, workloads::cpu_stress()};
+  simcpu::TickResult r_plain;
+  simcpu::TickResult r_boost;
+  for (int i = 0; i < 10; ++i) {
+    r_plain = plain.tick(work, ms_to_ns(1));
+    r_boost = boosted.tick(work, ms_to_ns(1));
+  }
+  // Turbo retires more instructions and burns disproportionately more power
+  // (V² rises with the bin).
+  EXPECT_GT(boosted.machine_counters().instructions, plain.machine_counters().instructions);
+  EXPECT_GT(r_boost.power.cpu_dynamic, r_plain.power.cpu_dynamic * 1.1);
+}
+
+TEST(Turbo, VoltageTableExtendsAboveNominal) {
+  const auto i7 = simcpu::i7_2600();
+  const simcpu::VoltageTable table(i7);
+  const double v_nominal = table.voltage_at(i7.max_frequency_hz());
+  const double v_turbo = table.voltage_at(i7.turbo_frequencies_hz.back());
+  EXPECT_GT(v_turbo, v_nominal);
+  EXPECT_GT(table.dynamic_scale(i7.turbo_frequencies_hz.back()), 1.0);
+}
+
+}  // namespace
+}  // namespace powerapi

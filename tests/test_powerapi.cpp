@@ -1,0 +1,364 @@
+// Integration tests for the PowerAPI pipeline (Figure 2): sensors through
+// formulas and aggregation to reporters, plus the baseline estimators.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "baselines/bertran_model.h"
+#include "baselines/cpuload_model.h"
+#include "baselines/happy_model.h"
+#include "model/trainer.h"
+#include "os/system.h"
+#include "powerapi/power_meter.h"
+#include "util/stats.h"
+#include "workloads/behaviors.h"
+#include "workloads/stress.h"
+
+namespace powerapi::api {
+namespace {
+
+using util::ms_to_ns;
+using util::seconds_to_ns;
+
+model::CpuPowerModel synthetic_model() {
+  std::vector<model::FrequencyFormula> formulas;
+  for (const double hz : simcpu::i3_2120().frequencies_hz) {
+    model::FrequencyFormula f;
+    f.frequency_hz = hz;
+    f.events = {hpc::EventId::kInstructions, hpc::EventId::kCacheReferences,
+                hpc::EventId::kCacheMisses};
+    const double scale = hz / 3.3e9;
+    f.coefficients = {2.2e-9 * scale, 2.1e-8, 1.6e-7};
+    formulas.push_back(std::move(f));
+  }
+  return model::CpuPowerModel(31.0, std::move(formulas));
+}
+
+TEST(PowerMeter, ProducesMachineSeriesThroughThePipeline) {
+  os::System system(simcpu::i3_2120());
+  system.spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                          workloads::mixed_stress(0.5, 8e6), 0));
+  PowerMeter meter(system, synthetic_model());
+  auto& memory = meter.add_memory_reporter();
+  meter.run_for(seconds_to_ns(5));
+  meter.finish();
+
+  const auto estimated = memory.series("powerapi-hpc");
+  const auto measured = memory.series("powerspy");
+  EXPECT_GE(estimated.size(), 15u);  // 250 ms period over 5 s, minus priming.
+  EXPECT_GE(measured.size(), 15u);
+
+  // The estimate must be in a physically sane band and correlate with the
+  // meter (same machine, same windows).
+  for (const auto& row : estimated) {
+    EXPECT_GT(row.watts, 25.0);
+    EXPECT_LT(row.watts, 70.0);
+  }
+  const auto est = MemoryReporter::watts_of(estimated);
+  const auto ref = MemoryReporter::watts_of(measured);
+  const std::size_t n = std::min(est.size(), ref.size());
+  EXPECT_LT(util::mape(std::span(ref).subspan(0, n), std::span(est).subspan(0, n)), 35.0);
+}
+
+TEST(PowerMeter, PerPidAggregationAttributesActivity) {
+  os::System system(simcpu::i3_2120());
+  util::Rng rng(5);
+  const os::Pid heavy = system.spawn(
+      "heavy", std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(1.0), 0));
+  const os::Pid light = system.spawn(
+      "light", std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(0.2), 0));
+
+  PowerMeter::Config config;
+  config.dimension = AggregationDimension::kPid;
+  PowerMeter meter(system, synthetic_model(), config);
+  auto& memory = meter.add_memory_reporter();
+  meter.monitor({heavy, light});
+  meter.run_for(seconds_to_ns(4));
+  meter.finish();
+
+  const auto heavy_series = memory.series("powerapi-hpc", heavy);
+  const auto light_series = memory.series("powerapi-hpc", light);
+  ASSERT_GT(heavy_series.size(), 5u);
+  ASSERT_GT(light_series.size(), 5u);
+  const double heavy_mean = util::mean(MemoryReporter::watts_of(heavy_series));
+  const double light_mean = util::mean(MemoryReporter::watts_of(light_series));
+  EXPECT_GT(heavy_mean, 2.5 * light_mean);  // 5x the duty cycle.
+  EXPECT_GT(light_mean, 0.0);
+}
+
+TEST(PowerMeter, TimestampAggregationPrefersMachineRow) {
+  os::System system(simcpu::i3_2120());
+  const os::Pid pid = system.spawn(
+      "app", std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(), 0));
+  PowerMeter::Config config;
+  config.dimension = AggregationDimension::kTimestamp;
+  PowerMeter meter(system, synthetic_model(), config);
+  auto& memory = meter.add_memory_reporter();
+  meter.monitor({pid});
+  meter.run_for(seconds_to_ns(3));
+  meter.finish();
+
+  // In timestamp mode every emitted row is machine-scope and includes idle.
+  for (const auto& row : memory.all()) {
+    EXPECT_EQ(row.pid, kMachinePid);
+    if (row.formula == "powerapi-hpc") {
+      EXPECT_GT(row.watts, 30.0);
+    }
+  }
+}
+
+TEST(PowerMeter, MonitorAllTracksSpawnedProcesses) {
+  os::System system(simcpu::i3_2120());
+  PowerMeter::Config config;
+  config.dimension = AggregationDimension::kPid;
+  PowerMeter meter(system, synthetic_model(), config);
+  auto& memory = meter.add_memory_reporter();
+  meter.monitor_all();
+  meter.run_for(seconds_to_ns(1));
+  const os::Pid late = system.spawn(
+      "late", std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(), 0));
+  meter.run_for(seconds_to_ns(2));
+  meter.finish();
+  EXPECT_GT(memory.series("powerapi-hpc", late).size(), 2u);
+}
+
+TEST(PowerMeter, GroupAggregationSumsPerVm) {
+  os::System system(simcpu::i3_2120());
+  // Two "VMs": vm-a holds two busy processes, vm-b one light process.
+  const os::Pid a1 = system.spawn(
+      "a1", std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(1.0), 0));
+  const os::Pid a2 = system.spawn(
+      "a2", std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(1.0), 0));
+  const os::Pid b1 = system.spawn(
+      "b1", std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(0.2), 0));
+  system.set_group(a1, "vm-a");
+  system.set_group(a2, "vm-a");
+  system.set_group(b1, "vm-b");
+
+  PowerMeter::Config config;
+  config.dimension = AggregationDimension::kGroup;
+  PowerMeter meter(system, synthetic_model(), config);
+  auto& memory = meter.add_memory_reporter();
+  meter.monitor({a1, a2, b1});
+  meter.run_for(seconds_to_ns(4));
+  meter.finish();
+
+  const auto vm_a = memory.group_series("powerapi-hpc", "vm-a");
+  const auto vm_b = memory.group_series("powerapi-hpc", "vm-b");
+  ASSERT_GT(vm_a.size(), 5u);
+  ASSERT_GT(vm_b.size(), 5u);
+  const double mean_a = util::mean(MemoryReporter::watts_of(vm_a));
+  const double mean_b = util::mean(MemoryReporter::watts_of(vm_b));
+  // vm-a: two full-duty processes; vm-b: one at 20% duty.
+  EXPECT_GT(mean_a, 4.0 * mean_b);
+  // The machine scope appears under its own label and dominates (idle).
+  const auto machine_rows = memory.group_series("powerapi-hpc", "(machine)");
+  ASSERT_GT(machine_rows.size(), 5u);
+  EXPECT_GT(util::mean(MemoryReporter::watts_of(machine_rows)), mean_a);
+}
+
+TEST(PowerMeter, RaplSeriesApproximatesPackagePower) {
+  os::System system(simcpu::i3_2120());
+  system.spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                          workloads::memory_stress(16e6), 0));
+  PowerMeter::Config config;
+  config.with_rapl = true;
+  PowerMeter meter(system, synthetic_model(), config);
+  auto& memory = meter.add_memory_reporter();
+  meter.run_for(seconds_to_ns(3));
+  meter.finish();
+
+  const auto rapl = memory.series("rapl");
+  const auto wall = memory.series("powerspy");
+  ASSERT_GT(rapl.size(), 5u);
+  // RAPL sees the package only: strictly below wall power, but nonzero.
+  const double rapl_mean = util::mean(MemoryReporter::watts_of(rapl));
+  const double wall_mean = util::mean(MemoryReporter::watts_of(wall));
+  EXPECT_GT(rapl_mean, 3.0);
+  EXPECT_LT(rapl_mean, wall_mean - 15.0);  // Platform+DRAM excluded.
+}
+
+TEST(PowerMeter, CsvReporterWritesWellFormedRows) {
+  os::System system(simcpu::i3_2120());
+  system.spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                          workloads::cpu_stress(), 0));
+  std::ostringstream csv;
+  PowerMeter meter(system, synthetic_model());
+  meter.add_csv_reporter(csv);
+  meter.run_for(seconds_to_ns(2));
+  meter.finish();
+
+  std::istringstream in(csv.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "timestamp_s,pid,group,formula,watts");
+  int rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 4);
+    ++rows;
+  }
+  EXPECT_GT(rows, 5);
+}
+
+TEST(PowerMeter, CallbackReporterInvoked) {
+  os::System system(simcpu::i3_2120());
+  system.spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                          workloads::cpu_stress(), 0));
+  int calls = 0;
+  PowerMeter meter(system, synthetic_model());
+  meter.add_callback_reporter([&](const AggregatedPower& row) {
+    EXPECT_FALSE(row.formula.empty());
+    ++calls;
+  });
+  meter.run_for(seconds_to_ns(2));
+  meter.finish();
+  EXPECT_GT(calls, 5);
+}
+
+TEST(PowerMeter, FinishFlushesAndGuards) {
+  os::System system(simcpu::i3_2120());
+  PowerMeter meter(system, synthetic_model());
+  meter.run_for(seconds_to_ns(1));
+  meter.finish();
+  meter.finish();  // Idempotent.
+  EXPECT_THROW(meter.run_for(seconds_to_ns(1)), std::logic_error);
+  EXPECT_THROW(meter.add_estimator(nullptr), std::invalid_argument);
+}
+
+TEST(PowerMeter, DeterministicAcrossRuns) {
+  auto run = [] {
+    os::System system(simcpu::i3_2120());
+    system.spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                            workloads::mixed_stress(0.7, 16e6), 0));
+    PowerMeter meter(system, synthetic_model());
+    auto& memory = meter.add_memory_reporter();
+    meter.run_for(seconds_to_ns(3));
+    meter.finish();
+    return MemoryReporter::watts_of(memory.series("powerspy"));
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+// --- Baselines on a shared synthetic sample set ---
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static model::SampleSet make_samples() {
+    // Synthetic linear world: watts = idle + 5*util + 1e-9*instr.
+    model::SampleSet set;
+    set.idle_watts = 30.0;
+    set.frequencies_hz = {1.6e9, 3.3e9};
+    util::Rng rng(17);
+    for (const double hz : set.frequencies_hz) {
+      std::vector<model::TrainingSample> batch;
+      for (int i = 0; i < 60; ++i) {
+        model::TrainingSample s;
+        s.frequency_hz = hz;
+        s.utilization = rng.uniform(0.05, 1.0);
+        const double instr = s.utilization * hz * 1.2;
+        const double shared = rng.uniform(0.0, 0.5) * s.utilization * hz;
+        model::set_rate(s.rates, hpc::EventId::kInstructions, instr);
+        model::set_rate(s.rates, hpc::EventId::kCycles,
+                        s.utilization * hz * rng.uniform(3.0, 5.0));
+        model::set_rate(s.rates, hpc::EventId::kCacheReferences,
+                        instr * rng.uniform(0.015, 0.03));
+        model::set_rate(s.rates, hpc::EventId::kCacheMisses,
+                        instr * rng.uniform(0.001, 0.004));
+        model::set_rate(s.rates, hpc::EventId::kBranchMisses,
+                        instr * rng.uniform(0.0005, 0.002));
+        s.smt_shared_cycles_per_sec = shared;
+        s.watts = set.idle_watts + 5.0 * s.utilization + 1e-9 * instr +
+                  rng.gaussian(0, 0.05);
+        batch.push_back(s);
+      }
+      set.by_frequency.push_back(std::move(batch));
+    }
+    return set;
+  }
+};
+
+TEST_F(BaselineFixture, CpuLoadModelFitsLinearLoadWorld) {
+  const auto samples = make_samples();
+  const auto model = baselines::CpuLoadModel::train(samples);
+  baselines::Observation obs;
+  obs.frequency_hz = 3.3e9;
+  obs.utilization = 0.5;
+  model::set_rate(obs.rates, hpc::EventId::kInstructions, 0.5 * 3.3e9 * 1.2);
+  const double est = model.estimate(obs);
+  const double truth = 30.0 + 5.0 * 0.5 + 1e-9 * 0.5 * 3.3e9 * 1.2;
+  EXPECT_NEAR(est, truth, 0.8);
+  EXPECT_GT(model.slope_at(3.3e9), 0.0);
+  EXPECT_EQ(model.name(), "cpu-load");
+}
+
+TEST_F(BaselineFixture, BertranDecompositionSumsToEstimate) {
+  const auto samples = make_samples();
+  const auto model = baselines::BertranModel::train(samples);
+  baselines::Observation obs = samples.by_frequency[1][0];
+  const auto parts = model.decompose(obs);
+  ASSERT_EQ(parts.size(), baselines::BertranModel::component_names().size());
+  double sum = 0;
+  for (double p : parts) {
+    EXPECT_GE(p, -1e-9);
+    sum += p;
+  }
+  EXPECT_NEAR(sum + samples.idle_watts, model.estimate(obs), 1e-6);
+  EXPECT_NEAR(model.estimate_task(obs) + samples.idle_watts, model.estimate(obs), 1e-9);
+}
+
+TEST_F(BaselineFixture, HappyModelUsesSharedCycleSignal) {
+  // World where co-resident cycles are cheaper: watts = idle +
+  // 2e-9*solo + 1e-9*shared.
+  model::SampleSet set;
+  set.idle_watts = 30.0;
+  set.frequencies_hz = {3.3e9};
+  util::Rng rng(23);
+  std::vector<model::TrainingSample> batch;
+  for (int i = 0; i < 80; ++i) {
+    model::TrainingSample s;
+    s.frequency_hz = 3.3e9;
+    const double cycles = rng.uniform(0.1, 1.0) * 3.3e9 * 4;
+    const double shared = rng.uniform(0.0, 1.0) * cycles;
+    model::set_rate(s.rates, hpc::EventId::kCycles, cycles);
+    model::set_rate(s.rates, hpc::EventId::kInstructions,
+                    cycles * rng.uniform(0.5, 1.1));
+    model::set_rate(s.rates, hpc::EventId::kCacheMisses,
+                    cycles * rng.uniform(0.0005, 0.003));
+    s.smt_shared_cycles_per_sec = shared;
+    s.watts = 30.0 + 2e-9 * (cycles - shared) + 1e-9 * shared + rng.gaussian(0, 0.02);
+    batch.push_back(s);
+  }
+  set.by_frequency.push_back(std::move(batch));
+  const auto model = baselines::HappyModel::train(set);
+
+  baselines::Observation solo;
+  solo.frequency_hz = 3.3e9;
+  model::set_rate(solo.rates, hpc::EventId::kCycles, 1e9);
+  model::set_rate(solo.rates, hpc::EventId::kInstructions, 0.8e9);
+  model::set_rate(solo.rates, hpc::EventId::kCacheMisses, 1e6);
+  solo.smt_shared_cycles_per_sec = 0.0;
+
+  baselines::Observation shared = solo;
+  shared.smt_shared_cycles_per_sec = 1e9;  // All cycles co-resident.
+
+  // Same counters, different sharing: HAPPY must charge the solo thread more.
+  EXPECT_GT(model.estimate_task(solo), model.estimate_task(shared) * 1.3);
+}
+
+TEST_F(BaselineFixture, PerFrequencyFitRejectsDegenerateInput) {
+  model::SampleSet tiny;
+  tiny.idle_watts = 10;
+  tiny.frequencies_hz = {1e9};
+  tiny.by_frequency.push_back({model::TrainingSample{}, model::TrainingSample{}});
+  std::vector<baselines::FeatureFn> features = {
+      [](const baselines::Observation& o) { return o.utilization; }};
+  EXPECT_THROW(baselines::PerFrequencyFit::fit(tiny, features), std::runtime_error);
+  EXPECT_THROW(baselines::PerFrequencyFit::fit(tiny, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powerapi::api

@@ -1,0 +1,217 @@
+// Property-based suites (parameterized over seeds): invariants that must
+// hold for arbitrary inputs — serialization round-trips, estimator
+// non-negativity, cache-model bounds, machine energy conservation and
+// scheduler progress guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "mathx/correlation.h"
+#include "mathx/ols.h"
+#include "model/model_io.h"
+#include "os/system.h"
+#include "simcpu/cache.h"
+#include "simcpu/machine.h"
+#include "util/rng.h"
+#include "workloads/behaviors.h"
+#include "workloads/stress.h"
+
+namespace powerapi {
+namespace {
+
+using util::ms_to_ns;
+
+class SeededProperty : public ::testing::TestWithParam<int> {
+ protected:
+  util::Rng rng() const { return util::Rng(static_cast<std::uint64_t>(GetParam()) * 7919); }
+};
+
+// --- Model serialization round-trip over random models ---
+
+class ModelRoundTripProperty : public SeededProperty {};
+
+TEST_P(ModelRoundTripProperty, RandomModelsSurviveTextRoundTrip) {
+  util::Rng r = rng();
+  std::vector<model::FrequencyFormula> formulas;
+  const auto n_formulas = static_cast<std::size_t>(r.uniform_int(1, 6));
+  double hz = 1e9;
+  for (std::size_t f = 0; f < n_formulas; ++f) {
+    hz += r.uniform(1e8, 1e9);
+    model::FrequencyFormula formula;
+    formula.frequency_hz = hz;
+    const auto n_events = static_cast<std::size_t>(
+        r.uniform_int(1, static_cast<std::int64_t>(hpc::kEventCount)));
+    for (std::size_t e = 0; e < n_events; ++e) {
+      const auto id = static_cast<hpc::EventId>(e);
+      formula.events.push_back(id);
+      formula.coefficients.push_back(r.uniform(0.0, 1e-6));
+    }
+    formulas.push_back(std::move(formula));
+  }
+  const model::CpuPowerModel original(r.uniform(0.0, 100.0), std::move(formulas));
+
+  const auto parsed = model::model_from_string(model::model_to_string(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  const auto& restored = parsed.value();
+  ASSERT_EQ(restored.formulas().size(), original.formulas().size());
+  EXPECT_DOUBLE_EQ(restored.idle_watts(), original.idle_watts());
+
+  // Behavioral equivalence: identical estimates on random rate vectors.
+  for (int probe = 0; probe < 10; ++probe) {
+    model::EventRates rates{};
+    for (std::size_t e = 0; e < hpc::kEventCount; ++e) {
+      rates[e] = r.uniform(0.0, 1e10);
+    }
+    const double f_probe = r.uniform(5e8, hz * 1.2);
+    EXPECT_DOUBLE_EQ(restored.estimate_machine(f_probe, rates),
+                     original.estimate_machine(f_probe, rates));
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelRoundTripProperty, ::testing::Range(1, 13));
+
+// --- NNLS invariants on random systems ---
+
+class NnlsProperty : public SeededProperty {};
+
+TEST_P(NnlsProperty, CoefficientsNonNegativeAndFitNoWorseThanZero) {
+  util::Rng r = rng();
+  const std::size_t rows = 60;
+  const std::size_t cols = static_cast<std::size_t>(r.uniform_int(1, 5));
+  mathx::Matrix a(rows, cols);
+  std::vector<double> b(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) a(i, j) = r.uniform(0.0, 10.0);
+    b[i] = r.uniform(-5.0, 20.0);
+  }
+  const auto fit = mathx::nnls(a, b);
+  for (const double c : fit.coefficients) EXPECT_GE(c, 0.0);
+  double zero_residual = 0.0;
+  for (const double v : b) zero_residual += v * v;
+  EXPECT_LE(fit.residual_norm, std::sqrt(zero_residual) + 1e-9);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, NnlsProperty, ::testing::Range(1, 13));
+
+// --- Correlations bounded on arbitrary data ---
+
+class CorrelationProperty : public SeededProperty {};
+
+TEST_P(CorrelationProperty, AlwaysWithinUnitInterval) {
+  util::Rng r = rng();
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(r.uniform(-1e6, 1e6));
+    // Mix of correlated, anti-correlated and noisy points.
+    y.push_back(r.bernoulli(0.5) ? x.back() * r.uniform(-2, 2)
+                                 : r.uniform(-1e6, 1e6));
+  }
+  const double p = mathx::pearson(x, y);
+  const double s = mathx::spearman(x, y);
+  EXPECT_GE(p, -1.0);
+  EXPECT_LE(p, 1.0);
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, CorrelationProperty, ::testing::Range(1, 9));
+
+// --- Cache model bounds under random demand mixes ---
+
+class CacheProperty : public SeededProperty {};
+
+TEST_P(CacheProperty, SharesAndMissRatiosStayBounded) {
+  util::Rng r = rng();
+  const auto spec = simcpu::i3_2120();
+  simcpu::CacheHierarchy cache(spec, spec.hw_threads());
+  for (int step = 0; step < 100; ++step) {
+    std::vector<simcpu::CacheDemand> demands(spec.hw_threads());
+    for (auto& d : demands) {
+      d.active = r.bernoulli(0.7);
+      d.working_set_bytes = r.uniform(1e3, 1e8);
+      d.llc_refs_per_sec = r.uniform(0.0, 5e8);
+      d.intrinsic_miss_ratio = r.uniform(0.0, 1.0);
+    }
+    const auto shares = cache.tick(demands, ms_to_ns(1));
+    double total_share = 0.0;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      EXPECT_GE(shares[i].miss_ratio, 0.0);
+      EXPECT_LE(shares[i].miss_ratio, 1.0);
+      EXPECT_GE(shares[i].llc_share_bytes, 0.0);
+      EXPECT_LE(shares[i].llc_share_bytes, static_cast<double>(cache.llc_bytes()) + 1.0);
+      if (demands[i].active) total_share += shares[i].llc_share_bytes;
+      // Miss ratio never drops below the workload's own compulsory misses.
+      if (demands[i].active) {
+        EXPECT_GE(shares[i].miss_ratio, demands[i].intrinsic_miss_ratio - 1e-9);
+      }
+    }
+    EXPECT_LE(total_share, 4.0 * static_cast<double>(cache.llc_bytes()) + 1.0);
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperty, ::testing::Range(1, 9));
+
+// --- Machine conservation laws under random workloads ---
+
+class MachineProperty : public SeededProperty {};
+
+TEST_P(MachineProperty, EnergyAndCounterConservation) {
+  util::Rng r = rng();
+  simcpu::Machine machine(simcpu::i3_2120());
+  machine.set_frequency(r.uniform(1.6e9, 3.3e9));
+
+  double energy_sum = 0.0;
+  double attributed_sum = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    std::vector<simcpu::ThreadWork> work(machine.spec().hw_threads());
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (!r.bernoulli(0.6)) continue;
+      work[i].active = true;
+      work[i].task_id = static_cast<std::int64_t>(i);
+      work[i].profile = workloads::mixed_stress(r.uniform(0, 1), r.uniform(1e5, 6e7),
+                                                r.uniform(0.1, 1.0));
+    }
+    const auto result = machine.tick(work, ms_to_ns(1));
+    EXPECT_GE(result.power.total(), 0.0);
+    energy_sum += result.energy_joules;
+    for (const auto& t : result.threads) {
+      EXPECT_GE(t.attributed_joules, 0.0);
+      attributed_sum += t.attributed_joules;
+      EXPECT_LE(t.delta.cache_misses, t.delta.cache_references);
+      EXPECT_LE(t.delta.branch_misses, t.delta.branch_instructions);
+      EXPECT_LE(t.delta.smt_shared_cycles, t.delta.cycles);
+    }
+  }
+  EXPECT_NEAR(machine.total_energy_joules(), energy_sum, 1e-9);
+  EXPECT_LE(attributed_sum, energy_sum);  // Overheads stay unattributed.
+
+  simcpu::CounterBlock per_thread_sum;
+  for (std::size_t i = 0; i < machine.spec().hw_threads(); ++i) {
+    per_thread_sum += machine.thread_counters(i);
+  }
+  EXPECT_EQ(per_thread_sum, machine.machine_counters());
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineProperty, ::testing::Range(1, 9));
+
+// --- Scheduler progress guarantee for any task population ---
+
+class SchedulerProperty : public SeededProperty {};
+
+TEST_P(SchedulerProperty, EveryRunnableTaskEventuallyProgresses) {
+  util::Rng r = rng();
+  os::System system(simcpu::i3_2120());
+  const auto n_tasks = static_cast<int>(r.uniform_int(1, 12));
+  std::vector<os::Pid> pids;
+  for (int i = 0; i < n_tasks; ++i) {
+    pids.push_back(system.spawn(
+        "t", std::make_unique<workloads::SteadyBehavior>(
+                 workloads::mixed_stress(r.uniform(0, 1), 4e6, 1.0), 0)));
+  }
+  system.run_for(ms_to_ns(20 * n_tasks));
+  for (const os::Pid pid : pids) {
+    EXPECT_GT(system.proc_stat(pid)->counters.instructions, 0u)
+        << "starved pid " << pid << " among " << n_tasks;
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace powerapi

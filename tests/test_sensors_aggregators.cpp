@@ -1,0 +1,308 @@
+// Unit tests for the pipeline actors in isolation: sensors driven by
+// hand-crafted MonitorTicks, formulas fed synthetic SensorReports, and the
+// aggregator's watermark/flush semantics — complementing the end-to-end
+// PowerMeter tests with message-level checks.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <memory>
+
+#include "actors/actor_system.h"
+#include "actors/event_bus.h"
+#include "hpc/sim_backend.h"
+#include "os/system.h"
+#include "powerapi/aggregators.h"
+#include "powerapi/formulas.h"
+#include "powerapi/reporters.h"
+#include "powerapi/sensors.h"
+#include "workloads/behaviors.h"
+#include "workloads/stress.h"
+
+namespace powerapi::api {
+namespace {
+
+using util::ms_to_ns;
+using util::seconds_to_ns;
+
+/// Collects raw payloads of one type from a topic.
+template <typename T>
+class Collector final : public actors::Actor {
+ public:
+  void receive(actors::Envelope& envelope) override {
+    if (const T* value = std::any_cast<T>(&envelope.payload)) {
+      items.push_back(*value);
+    }
+  }
+  std::vector<T> items;
+};
+
+struct PipelineHarness {
+  PipelineHarness() : actors(actors::ActorSystem::Mode::kManual), bus(actors) {}
+
+  /// Stop actors while the bus is still alive: post_stop hooks (e.g. the
+  /// aggregator's flush) may publish.
+  ~PipelineHarness() { actors.shutdown(); }
+
+  template <typename T>
+  Collector<T>& collect(const std::string& topic) {
+    auto owned = std::make_unique<Collector<T>>();
+    Collector<T>& ref = *owned;
+    bus.subscribe(topic, actors.spawn("collector", std::move(owned)));
+    return ref;
+  }
+
+  actors::ActorSystem actors;
+  actors::EventBus bus;
+};
+
+// --- HpcSensor ---
+
+TEST(HpcSensor, FirstTickPrimesSecondTickReports) {
+  os::System system(simcpu::i3_2120());
+  system.spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                          workloads::cpu_stress(), 0));
+  PipelineHarness h;
+  hpc::SimBackend backend(system);
+  auto& reports = h.collect<SensorReport>("sensor:hpc");
+  const auto sensor = h.actors.spawn_as<HpcSensor>(
+      "sensor", h.bus, backend, [] { return std::vector<std::int64_t>{}; }, &system);
+
+  system.run_for(ms_to_ns(10));
+  sensor.tell(MonitorTick{system.now_ns()});
+  h.actors.drain();
+  EXPECT_TRUE(reports.items.empty());  // Priming tick: no window yet.
+
+  system.run_for(ms_to_ns(10));
+  sensor.tell(MonitorTick{system.now_ns()});
+  h.actors.drain();
+  ASSERT_EQ(reports.items.size(), 1u);  // Machine scope only.
+  const SensorReport& r = reports.items[0];
+  EXPECT_EQ(r.pid, kMachinePid);
+  EXPECT_EQ(r.sensor, "hpc");
+  EXPECT_NEAR(r.window_seconds, 0.010, 1e-9);
+  EXPECT_GT(model::rate_of(r.rates, hpc::EventId::kInstructions), 0.0);
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(r.frequency_hz, 3.3e9);
+}
+
+TEST(HpcSensor, ReportsEachMonitoredPidAndForgetsDeadOnes) {
+  os::System system(simcpu::i3_2120());
+  const os::Pid pid = system.spawn(
+      "app", std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(), 0));
+  PipelineHarness h;
+  hpc::SimBackend backend(system);
+  auto& reports = h.collect<SensorReport>("sensor:hpc");
+  std::vector<std::int64_t> targets = {pid};
+  const auto sensor = h.actors.spawn_as<HpcSensor>(
+      "sensor", h.bus, backend, [&targets] { return targets; }, &system);
+
+  for (int i = 0; i < 3; ++i) {
+    system.run_for(ms_to_ns(10));
+    sensor.tell(MonitorTick{system.now_ns()});
+    h.actors.drain();
+  }
+  // 2 reporting ticks x (machine + pid).
+  ASSERT_EQ(reports.items.size(), 4u);
+  int pid_rows = 0;
+  for (const auto& r : reports.items) {
+    if (r.pid == pid) ++pid_rows;
+  }
+  EXPECT_EQ(pid_rows, 2);
+
+  // Kill the process and drop it from the target list (as monitor_all's
+  // dynamic provider does): the sensor must keep going without failing.
+  system.kill(pid);
+  targets.clear();
+  reports.items.clear();
+  system.run_for(ms_to_ns(10));
+  sensor.tell(MonitorTick{system.now_ns()});
+  h.actors.drain();
+  ASSERT_EQ(reports.items.size(), 1u);
+  EXPECT_EQ(reports.items[0].pid, kMachinePid);
+  EXPECT_EQ(h.actors.failures(), 0u);
+}
+
+TEST(HpcSensor, IgnoresNonTickPayloadsAndStaleTimestamps) {
+  os::System system(simcpu::i3_2120());
+  PipelineHarness h;
+  hpc::SimBackend backend(system);
+  auto& reports = h.collect<SensorReport>("sensor:hpc");
+  const auto sensor = h.actors.spawn_as<HpcSensor>(
+      "sensor", h.bus, backend, [] { return std::vector<std::int64_t>{}; }, &system);
+
+  sensor.tell(std::string("not a tick"));
+  h.actors.drain();
+  EXPECT_TRUE(reports.items.empty());
+
+  system.run_for(ms_to_ns(5));
+  sensor.tell(MonitorTick{system.now_ns()});  // Prime.
+  sensor.tell(MonitorTick{system.now_ns()});  // Same timestamp: no window.
+  h.actors.drain();
+  EXPECT_TRUE(reports.items.empty());
+  EXPECT_EQ(h.actors.failures(), 0u);
+}
+
+// --- RegressionFormula ---
+
+TEST(RegressionFormula, MachineRowsGetIdleProcessRowsDoNot) {
+  PipelineHarness h;
+  model::FrequencyFormula f;
+  f.frequency_hz = 3.3e9;
+  f.events = {hpc::EventId::kInstructions};
+  f.coefficients = {2e-9};
+  model::CpuPowerModel model(30.0, {f});
+  const auto formula = h.actors.spawn_as<RegressionFormula>("formula", h.bus, model);
+  auto& estimates = h.collect<PowerEstimate>("power:estimate");
+
+  SensorReport machine;
+  machine.sensor = "hpc";
+  machine.pid = kMachinePid;
+  machine.frequency_hz = 3.3e9;
+  model::set_rate(machine.rates, hpc::EventId::kInstructions, 1e9);
+  formula.tell(machine);
+
+  SensorReport process = machine;
+  process.pid = 42;
+  formula.tell(process);
+
+  // A non-hpc report must be ignored.
+  SensorReport io = machine;
+  io.sensor = "io";
+  formula.tell(io);
+
+  h.actors.drain();
+  ASSERT_EQ(estimates.items.size(), 2u);
+  EXPECT_NEAR(estimates.items[0].watts, 30.0 + 2.0, 1e-9);  // Idle + activity.
+  EXPECT_EQ(estimates.items[1].pid, 42);
+  EXPECT_NEAR(estimates.items[1].watts, 2.0, 1e-9);  // Activity only.
+}
+
+// --- Aggregator watermark semantics ---
+
+PowerEstimate estimate_of(util::TimestampNs t, std::int64_t pid, double watts,
+                          const char* formula = "powerapi-hpc") {
+  PowerEstimate e;
+  e.timestamp = t;
+  e.pid = pid;
+  e.formula = formula;
+  e.watts = watts;
+  return e;
+}
+
+TEST(AggregatorUnit, TimestampModeEmitsOnWatermarkAdvance) {
+  PipelineHarness h;
+  const auto agg = h.actors.spawn_as<Aggregator>("agg", h.bus,
+                                                 AggregationDimension::kTimestamp);
+  auto& rows = h.collect<AggregatedPower>("power:aggregated");
+
+  agg.tell(estimate_of(100, 1, 3.0));
+  agg.tell(estimate_of(100, 2, 4.0));
+  h.actors.drain();
+  EXPECT_TRUE(rows.items.empty());  // Group still open.
+
+  agg.tell(estimate_of(200, 1, 5.0));  // Watermark advances: t=100 emits.
+  h.actors.drain();
+  ASSERT_EQ(rows.items.size(), 1u);
+  EXPECT_EQ(rows.items[0].timestamp, 100);
+  EXPECT_NEAR(rows.items[0].watts, 7.0, 1e-12);  // Sum of per-pid rows.
+}
+
+TEST(AggregatorUnit, MachineRowWinsOverPerPidSum) {
+  PipelineHarness h;
+  const auto agg = h.actors.spawn_as<Aggregator>("agg", h.bus,
+                                                 AggregationDimension::kTimestamp);
+  auto& rows = h.collect<AggregatedPower>("power:aggregated");
+  agg.tell(estimate_of(100, 1, 3.0));
+  agg.tell(estimate_of(100, kMachinePid, 40.0));  // Includes idle.
+  agg.tell(estimate_of(200, 1, 1.0));
+  h.actors.drain();
+  ASSERT_EQ(rows.items.size(), 1u);
+  EXPECT_NEAR(rows.items[0].watts, 40.0, 1e-12);
+}
+
+TEST(AggregatorUnit, FormulasAggregateIndependently) {
+  PipelineHarness h;
+  const auto agg = h.actors.spawn_as<Aggregator>("agg", h.bus,
+                                                 AggregationDimension::kTimestamp);
+  auto& rows = h.collect<AggregatedPower>("power:aggregated");
+  agg.tell(estimate_of(100, 1, 3.0, "a"));
+  agg.tell(estimate_of(100, 1, 9.0, "b"));
+  agg.tell(estimate_of(200, 1, 1.0, "a"));  // Only formula a's watermark moves.
+  h.actors.drain();
+  ASSERT_EQ(rows.items.size(), 1u);
+  EXPECT_EQ(rows.items[0].formula, "a");
+  EXPECT_NEAR(rows.items[0].watts, 3.0, 1e-12);
+}
+
+TEST(AggregatorUnit, StopFlushesPendingGroups) {
+  PipelineHarness h;
+  const auto agg = h.actors.spawn_as<Aggregator>("agg", h.bus,
+                                                 AggregationDimension::kTimestamp);
+  auto& rows = h.collect<AggregatedPower>("power:aggregated");
+  agg.tell(estimate_of(100, 1, 3.0, "a"));
+  agg.tell(estimate_of(100, 1, 9.0, "b"));
+  h.actors.drain();
+  h.actors.stop(agg);  // post_stop flush.
+  h.actors.drain();
+  EXPECT_EQ(rows.items.size(), 2u);
+}
+
+TEST(AggregatorUnit, GroupModeRoutesByResolver) {
+  PipelineHarness h;
+  Aggregator::GroupResolver resolver = [](std::int64_t pid) {
+    return pid < 10 ? "small" : "large";
+  };
+  const auto agg = h.actors.spawn_as<Aggregator>(
+      "agg", h.bus, AggregationDimension::kGroup, resolver);
+  auto& rows = h.collect<AggregatedPower>("power:aggregated");
+
+  agg.tell(estimate_of(100, 1, 1.0));
+  agg.tell(estimate_of(100, 2, 2.0));
+  agg.tell(estimate_of(100, 20, 7.0));
+  agg.tell(estimate_of(100, kMachinePid, 50.0));
+  agg.tell(estimate_of(200, 1, 1.0));  // Advance watermark.
+  h.actors.drain();
+
+  ASSERT_EQ(rows.items.size(), 3u);  // small, large, (machine).
+  double small = 0;
+  double large = 0;
+  double machine = 0;
+  for (const auto& row : rows.items) {
+    if (row.group == "small") small = row.watts;
+    if (row.group == "large") large = row.watts;
+    if (row.group == "(machine)") machine = row.watts;
+  }
+  EXPECT_NEAR(small, 3.0, 1e-12);
+  EXPECT_NEAR(large, 7.0, 1e-12);
+  EXPECT_NEAR(machine, 50.0, 1e-12);
+}
+
+// --- IoFormula unit ---
+
+TEST(IoFormulaUnit, ChargesDatasheetEnergies) {
+  PipelineHarness h;
+  periph::DiskParams disk;
+  periph::NicParams nic;
+  const auto formula = h.actors.spawn_as<IoFormula>("formula", h.bus, disk, nic);
+  auto& estimates = h.collect<PowerEstimate>("power:estimate");
+
+  SensorReport report;
+  report.sensor = "io";
+  report.pid = kMachinePid;
+  report.disk_iops = 50;
+  report.disk_bytes_per_sec = 10e6;
+  report.net_bytes_per_sec = 20e6;
+  formula.tell(report);
+  h.actors.drain();
+
+  ASSERT_EQ(estimates.items.size(), 1u);
+  const double expected =
+      disk.idle_spinning_watts + nic.link_active_watts + 50 * disk.joules_per_op +
+      10 * disk.joules_per_megabyte +
+      20 * (nic.joules_per_megabyte_tx + nic.joules_per_megabyte_rx) / 2.0;
+  EXPECT_NEAR(estimates.items[0].watts, expected, 1e-9);
+  EXPECT_EQ(estimates.items[0].formula, "io-datasheet");
+}
+
+}  // namespace
+}  // namespace powerapi::api

@@ -1,0 +1,335 @@
+// Unit tests for the util layer: statistics, clock, RNG, CSV, strings,
+// ring buffer, Result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/clock.h"
+#include "util/csv.h"
+#include "util/result.h"
+#include "util/ring_buffer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/units.h"
+
+namespace powerapi::util {
+namespace {
+
+// --- units ---
+
+TEST(Units, SecondConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(ns_to_seconds(seconds_to_ns(1.5)), 1.5);
+  EXPECT_EQ(ms_to_ns(250), 250'000'000);
+  EXPECT_DOUBLE_EQ(ghz_to_hz(3.3), 3.3e9);
+  EXPECT_DOUBLE_EQ(hz_to_ghz(1.6e9), 1.6);
+}
+
+TEST(Units, EnergyIntegration) {
+  EXPECT_DOUBLE_EQ(energy_joules(10.0, seconds_to_ns(2.0)), 20.0);
+  EXPECT_DOUBLE_EQ(energy_joules(0.0, seconds_to_ns(100.0)), 0.0);
+}
+
+// --- RunningStats ---
+
+TEST(RunningStats, MatchesBatchComputation) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(42.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+// --- percentile / median ---
+
+TEST(Percentile, KnownValues) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile(xs, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101), std::invalid_argument);
+}
+
+class PercentileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileProperty, MonotoneAndBounded) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform(-100, 100));
+  double prev = percentile(xs, 0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double v = percentile(xs, p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), *std::max_element(xs.begin(), xs.end()));
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty, ::testing::Range(1, 8));
+
+// --- error metrics ---
+
+TEST(ErrorMetrics, PerfectEstimateIsZero) {
+  const std::vector<double> ref = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(mape(ref, ref), 0.0);
+  EXPECT_DOUBLE_EQ(median_ape(ref, ref), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(ref, ref), 0.0);
+}
+
+TEST(ErrorMetrics, KnownErrors) {
+  const std::vector<double> ref = {10, 10, 10};
+  const std::vector<double> est = {11, 9, 12};
+  EXPECT_NEAR(mape(ref, est), (10 + 10 + 20) / 3.0, 1e-12);
+  EXPECT_NEAR(median_ape(ref, est), 10.0, 1e-12);
+  EXPECT_NEAR(rmse(ref, est), std::sqrt((1 + 1 + 4) / 3.0), 1e-12);
+}
+
+TEST(ErrorMetrics, SkipsNearZeroReference) {
+  const std::vector<double> ref = {0.0, 10.0};
+  const std::vector<double> est = {5.0, 11.0};
+  const auto errs = absolute_percentage_errors(ref, est);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NEAR(errs[0], 10.0, 1e-12);
+}
+
+TEST(ErrorMetrics, LengthMismatchThrows) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1};
+  EXPECT_THROW(mape(a, b), std::invalid_argument);
+  EXPECT_THROW(rmse(a, b), std::invalid_argument);
+}
+
+// --- Histogram ---
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(3.9);
+  h.add(9.99);
+  h.add(10.0);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_low(2), 4.0);
+  EXPECT_THROW(h.bin_low(5), std::out_of_range);
+  EXPECT_THROW(Histogram(0, 0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+}
+
+// --- Clock ---
+
+TEST(SimClock, AdvancesAndRejectsBackwards) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.now(), 100);
+  EXPECT_EQ(clock.advance(50), 150);
+  clock.set(200);
+  EXPECT_EQ(clock.now(), 200);
+  EXPECT_THROW(clock.set(199), std::invalid_argument);
+}
+
+TEST(WallClock, MonotonicNonNegative) {
+  WallClock clock;
+  const auto a = clock.now();
+  const auto b = clock.now();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+// --- Rng ---
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.uniform_int(0, 1'000'000) == c2.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+// --- CSV ---
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterEnforcesWidth) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"a", "b"});
+  writer.row({"1", "2"});
+  EXPECT_THROW(writer.row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(writer.header({"again"}), std::logic_error);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+  EXPECT_EQ(writer.rows_written(), 1u);
+}
+
+TEST(Csv, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.5, -2.25, 31.48, 2.22e-9, 1e300}) {
+    EXPECT_DOUBLE_EQ(std::stod(format_double(v)), v);
+  }
+}
+
+// --- string_util ---
+
+TEST(StringUtil, TrimAndSplit) {
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_EQ(trim(""), "");
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  const auto trimmed = split_trimmed(" a ; ;b ", ';');
+  ASSERT_EQ(trimmed.size(), 2u);
+  EXPECT_EQ(trimmed[0], "a");
+  EXPECT_EQ(trimmed[1], "b");
+}
+
+TEST(StringUtil, Parsers) {
+  EXPECT_EQ(parse_double("3.5").value(), 3.5);
+  EXPECT_EQ(parse_double(" 2e-9 ").value(), 2e-9);
+  EXPECT_FALSE(parse_double("3.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_EQ(parse_int("-42").value(), -42);
+  EXPECT_FALSE(parse_int("12.5").has_value());
+  const auto kv = parse_key_value(" key = value ");
+  ASSERT_TRUE(kv.has_value());
+  EXPECT_EQ(kv->first, "key");
+  EXPECT_EQ(kv->second, "value");
+  EXPECT_FALSE(parse_key_value("no equals").has_value());
+}
+
+TEST(StringUtil, JoinAndLower) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(to_lower("PowerAPI"), "powerapi");
+  EXPECT_TRUE(starts_with("powerapi-model", "powerapi"));
+  EXPECT_FALSE(starts_with("po", "powerapi"));
+}
+
+// --- RingBuffer ---
+
+TEST(RingBuffer, KeepsMostRecent) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.at(0), 3);
+  EXPECT_EQ(rb.at(2), 5);
+  EXPECT_EQ(rb.back(), 5);
+  const auto snap = rb.snapshot();
+  EXPECT_EQ(snap, (std::vector<int>{3, 4, 5}));
+  EXPECT_THROW(rb.at(3), std::out_of_range);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_THROW(rb.back(), std::out_of_range);
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+// --- Result ---
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_EQ(ok.value_or(9), 5);
+
+  auto err = Result<int>::failure("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error_message(), "boom");
+  EXPECT_EQ(err.value_or(9), 9);
+  EXPECT_THROW(err.value(), std::runtime_error);
+  EXPECT_THROW(ok.error_message(), std::logic_error);
+}
+
+TEST(Result, MapAndAndThen) {
+  Result<int> ok(5);
+  const auto doubled = ok.map([](int v) { return v * 2; });
+  EXPECT_EQ(doubled.value(), 10);
+  const auto chained = ok.and_then([](int v) -> Result<std::string> {
+    return std::string(static_cast<std::size_t>(v), 'x');
+  });
+  EXPECT_EQ(chained.value(), "xxxxx");
+  const auto err = Result<int>::failure("e").map([](int v) { return v; });
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error_message(), "e");
+}
+
+}  // namespace
+}  // namespace powerapi::util

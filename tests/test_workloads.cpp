@@ -1,0 +1,236 @@
+// Tests for the workload library: behavior combinators, the stress grid,
+// the SPECjbb-like benchmark and the SPEC2006-like suite.
+#include <gtest/gtest.h>
+
+#include "workloads/behaviors.h"
+#include "workloads/spec2006.h"
+#include "workloads/specjbb.h"
+#include "workloads/stress.h"
+
+namespace powerapi::workloads {
+namespace {
+
+using util::ms_to_ns;
+using util::seconds_to_ns;
+
+TEST(SteadyBehavior, BoundedRunsForDuration) {
+  SteadyBehavior b(cpu_stress(), ms_to_ns(5));
+  int ticks = 0;
+  while (b.next(0, ms_to_ns(1))) ++ticks;
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(SteadyBehavior, UnboundedNeverEnds) {
+  SteadyBehavior b(cpu_stress(), 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(b.next(0, ms_to_ns(1)).has_value());
+  }
+}
+
+TEST(PhasedBehavior, PlaysPhasesInOrder) {
+  auto p1 = cpu_stress(0.25);
+  auto p2 = cpu_stress(0.75);
+  PhasedBehavior b({{p1, ms_to_ns(2)}, {p2, ms_to_ns(3)}}, /*loop=*/false);
+  std::vector<double> seen;
+  while (const auto p = b.next(0, ms_to_ns(1))) seen.push_back(p->active_fraction);
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_DOUBLE_EQ(seen[0], 0.25);
+  EXPECT_DOUBLE_EQ(seen[1], 0.25);
+  EXPECT_DOUBLE_EQ(seen[2], 0.75);
+  EXPECT_DOUBLE_EQ(seen[4], 0.75);
+}
+
+TEST(PhasedBehavior, LoopRepeats) {
+  PhasedBehavior b({{cpu_stress(0.1), ms_to_ns(1)}, {cpu_stress(0.9), ms_to_ns(1)}},
+                   /*loop=*/true);
+  std::vector<double> seen;
+  for (int i = 0; i < 6; ++i) seen.push_back(b.next(0, ms_to_ns(1))->active_fraction);
+  EXPECT_DOUBLE_EQ(seen[0], 0.1);
+  EXPECT_DOUBLE_EQ(seen[1], 0.9);
+  EXPECT_DOUBLE_EQ(seen[2], 0.1);
+  EXPECT_DOUBLE_EQ(seen[5], 0.9);
+}
+
+TEST(PhasedBehavior, RejectsEmptyOrZeroPhases) {
+  EXPECT_THROW(PhasedBehavior({}, false), std::invalid_argument);
+  EXPECT_THROW(PhasedBehavior({{cpu_stress(), 0}}, false), std::invalid_argument);
+}
+
+TEST(JitterBehavior, PerturbsButClampsFields) {
+  auto inner = std::make_unique<SteadyBehavior>(memory_stress(1e7, 0.9), 0);
+  JitterBehavior b(std::move(inner), util::Rng(5));
+  bool saw_difference = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto p = b.next(0, ms_to_ns(1));
+    ASSERT_TRUE(p.has_value());
+    EXPECT_GE(p->active_fraction, 0.0);
+    EXPECT_LE(p->active_fraction, 1.0);
+    EXPECT_GE(p->intrinsic_miss_ratio, 0.0);
+    EXPECT_LE(p->intrinsic_miss_ratio, 1.0);
+    if (std::abs(p->active_fraction - 0.9) > 1e-6) saw_difference = true;
+  }
+  EXPECT_TRUE(saw_difference);
+}
+
+TEST(BurstyBehavior, AlternatesBurstsAndGaps) {
+  BurstyBehavior b(cpu_stress(), ms_to_ns(5), ms_to_ns(5), seconds_to_ns(2), util::Rng(7));
+  int active = 0;
+  int idle = 0;
+  while (const auto p = b.next(0, ms_to_ns(1))) {
+    (p->active_fraction > 0 ? active : idle)++;
+  }
+  EXPECT_GT(active, 100);  // Roughly half of 2000 ticks each.
+  EXPECT_GT(idle, 100);
+  EXPECT_NEAR(static_cast<double>(active) / (active + idle), 0.5, 0.2);
+}
+
+TEST(BurstyBehavior, RejectsBadDurations) {
+  EXPECT_THROW(BurstyBehavior(cpu_stress(), 0, 1, 1, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(BurstyBehavior(cpu_stress(), 1, -1, 1, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(Stress, ProfilesHaveExpectedCharacter) {
+  const auto cpu = cpu_stress();
+  const auto mem = memory_stress(32.0 * 1024 * 1024);
+  EXPECT_LT(cpu.cache_refs_per_kinstr, mem.cache_refs_per_kinstr);
+  EXPECT_LT(cpu.working_set_bytes, mem.working_set_bytes);
+  EXPECT_LT(cpu.cpi_base, mem.cpi_base);
+  const auto branchy = branchy_stress();
+  EXPECT_GT(branchy.branch_miss_ratio, cpu.branch_miss_ratio * 5);
+  EXPECT_DOUBLE_EQ(idle_profile().active_fraction, 0.0);
+}
+
+TEST(Stress, MixedInterpolates) {
+  const auto half = mixed_stress(0.5, 16e6);
+  const auto cpu = cpu_stress();
+  const auto mem = memory_stress(16e6);
+  EXPECT_GT(half.cache_refs_per_kinstr, cpu.cache_refs_per_kinstr);
+  EXPECT_LT(half.cache_refs_per_kinstr, mem.cache_refs_per_kinstr);
+  // Intensity clamps.
+  EXPECT_DOUBLE_EQ(cpu_stress(2.0).active_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cpu_stress(-1.0).active_fraction, 0.0);
+}
+
+TEST(Stress, GridCoversAxesWithoutRedundantCells) {
+  StressGridOptions options;
+  const auto grid = make_stress_grid(options);
+  EXPECT_GT(grid.size(), 50u);
+  // Pure-ALU cells must appear once per (intensity, threads), not per ws.
+  int pure_alu = 0;
+  for (const auto& point : grid) {
+    if (point.name.find("/m0/") != std::string::npos) ++pure_alu;
+    EXPECT_GE(point.threads, 1u);
+    EXPECT_FALSE(point.name.empty());
+  }
+  EXPECT_EQ(pure_alu, static_cast<int>(options.intensities.size() *
+                                       options.thread_counts.size()));
+  // Branchy cells are present for the branch-unit dimension.
+  bool has_branchy = false;
+  for (const auto& point : grid) {
+    if (point.name.find("branchy") != std::string::npos) has_branchy = true;
+  }
+  EXPECT_TRUE(has_branchy);
+}
+
+TEST(Stress, MaterializeYieldsRequestedThreads) {
+  StressPoint point;
+  point.profile = cpu_stress();
+  point.threads = 3;
+  auto behaviors = materialize(point, ms_to_ns(10));
+  EXPECT_EQ(behaviors.size(), 3u);
+}
+
+TEST(SpecJbb, DurationMatchesPhases) {
+  SpecJbbOptions options;
+  const auto total = specjbb_duration(options);
+  EXPECT_EQ(total, options.warmup +
+                       static_cast<util::DurationNs>(options.staircase_steps) *
+                           options.staircase_step +
+                       options.search_phase + options.cooldown);
+}
+
+TEST(SpecJbb, StaircaseRampsInjection) {
+  SpecJbbOptions options;
+  options.backend_threads = 1;
+  options.warmup = ms_to_ns(10);
+  options.staircase_step = ms_to_ns(10);
+  options.search_phase = ms_to_ns(20);
+  options.cooldown = ms_to_ns(10);
+  auto threads = make_specjbb(options, util::Rng(3));
+  ASSERT_EQ(threads.size(), 1u);
+  // Average duty over the early staircase must be below the late staircase.
+  auto& b = *threads[0];
+  double early = 0;
+  double late = 0;
+  for (int t = 0; t < 110; ++t) {
+    const auto p = b.next(0, ms_to_ns(1));
+    ASSERT_TRUE(p.has_value());
+    if (t >= 10 && t < 40) early += p->active_fraction;
+    if (t >= 80 && t < 110) late += p->active_fraction;
+  }
+  EXPECT_LT(early, late * 0.6);
+}
+
+TEST(SpecJbb, TerminatesAfterDuration) {
+  SpecJbbOptions options;
+  options.backend_threads = 2;
+  options.warmup = ms_to_ns(5);
+  options.staircase_step = ms_to_ns(2);
+  options.search_phase = ms_to_ns(10);
+  options.cooldown = ms_to_ns(5);
+  auto threads = make_specjbb(options, util::Rng(4));
+  const auto total = specjbb_duration(options);
+  for (auto& thread : threads) {
+    util::DurationNs elapsed = 0;
+    while (thread->next(elapsed, ms_to_ns(1))) {
+      elapsed += ms_to_ns(1);
+      ASSERT_LE(elapsed, total + ms_to_ns(5));
+    }
+  }
+}
+
+TEST(Spec2006, SuiteHasSixDistinctApps) {
+  const auto suite = spec2006_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (std::size_t j = i + 1; j < suite.size(); ++j) {
+      EXPECT_NE(suite[i].name, suite[j].name);
+    }
+  }
+  EXPECT_NO_THROW(spec2006_app(suite, "mcf-like"));
+  EXPECT_THROW(spec2006_app(suite, "doom-like"), std::invalid_argument);
+}
+
+TEST(Spec2006, McfIsMemoryBoundPerlbenchIsNot) {
+  const auto suite = spec2006_suite();
+  const auto& mcf = spec2006_app(suite, "mcf-like");
+  const auto& perl = spec2006_app(suite, "perlbench-like");
+  EXPECT_GT(mcf.cache_refs_per_kinstr, 10 * perl.cache_refs_per_kinstr);
+  EXPECT_GT(mcf.working_set_bytes, perl.working_set_bytes);
+  EXPECT_GT(perl.branches_per_kinstr, mcf.branches_per_kinstr);
+}
+
+TEST(Spec2006, MadeBehaviorRunsBounded) {
+  const auto suite = spec2006_suite();
+  auto b = suite[0].make(ms_to_ns(20), util::Rng(9));
+  int ticks = 0;
+  while (b->next(0, ms_to_ns(1))) ++ticks;
+  EXPECT_GE(ticks, 19);
+  EXPECT_LE(ticks, 21);
+}
+
+TEST(BackgroundDaemon, HasTinyDutyCycle) {
+  auto daemon = make_background_daemon(util::Rng(11));
+  double duty = 0;
+  const int ticks = 5000;
+  for (int i = 0; i < ticks; ++i) {
+    const auto p = daemon->next(0, ms_to_ns(1));
+    ASSERT_TRUE(p.has_value());
+    duty += p->active_fraction;
+  }
+  EXPECT_LT(duty / ticks, 0.2);
+  EXPECT_GT(duty / ticks, 0.005);
+}
+
+}  // namespace
+}  // namespace powerapi::workloads
