@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "gbench_json.h"
 #include "hpc/sim_backend.h"
 #include "model/power_model.h"
 #include "os/system.h"
@@ -87,4 +88,6 @@ BENCHMARK(BM_PipelineTick)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return powerapi::benchx::run_benchmarks_with_json(argc, argv, "overhead");
+}

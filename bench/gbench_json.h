@@ -1,0 +1,55 @@
+// Glue between google-benchmark and the BENCH_<name>.json sidecar emitter
+// in harness.h: a console reporter that also captures every run, and a
+// main() body shared by the micro-benchmark binaries.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness.h"
+
+namespace powerapi::benchx {
+
+/// Console output as usual, plus capture of every run for the JSON sidecar.
+class JsonTeeReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      BenchMetric metric;
+      metric.name = run.benchmark_name();
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        metric.value = items->second;
+        metric.unit = "items/s";
+      } else {
+        metric.value = run.GetAdjustedRealTime();
+        metric.unit = "ns";
+      }
+      metric.iterations = static_cast<std::uint64_t>(run.iterations);
+      metrics_.push_back(std::move(metric));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchMetric>& metrics() const noexcept { return metrics_; }
+
+ private:
+  std::vector<BenchMetric> metrics_;
+};
+
+/// Runs the registered benchmarks and writes BENCH_<json_name>.json.
+inline int run_benchmarks_with_json(int argc, char** argv, const std::string& json_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_bench_json(json_name, reporter.metrics());
+  return 0;
+}
+
+}  // namespace powerapi::benchx

@@ -3,6 +3,7 @@
 // error-table printing. Header-only; used by the cmp_* and abl_* benches.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <span>
@@ -174,6 +175,61 @@ inline void print_error_row(const std::string& label, const ErrorSummary& summar
 inline void print_error_header() {
   std::printf("%-28s %12s %13s %10s\n", "estimator / workload", "mean err", "median err",
               "samples");
+}
+
+// --- Machine-readable results -------------------------------------------
+// Each benchmark binary can emit a BENCH_<name>.json sidecar so runs can be
+// diffed across commits (pre/post optimisation bookkeeping in CHANGES.md,
+// CI trend tracking) without scraping console output.
+
+/// One metric row destined for the JSON sidecar.
+struct BenchMetric {
+  std::string name;          ///< e.g. "ThreadedDispatch/8192".
+  double value = 0.0;
+  std::string unit;          ///< e.g. "items/s" or "ns".
+  std::uint64_t iterations = 0;
+};
+
+/// Short git revision of the working tree, or "unknown" outside a checkout.
+inline std::string git_revision() {
+  std::string rev = "unknown";
+  if (FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buffer[64];
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      rev.assign(buffer);
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) rev.pop_back();
+      if (rev.empty()) rev = "unknown";
+    }
+    ::pclose(pipe);
+  }
+  return rev;
+}
+
+/// Writes BENCH_<bench_name>.json in the current directory. Metric names in
+/// this codebase are benchmark identifiers (no quotes/backslashes), so no
+/// string escaping is needed.
+inline void write_bench_json(const std::string& bench_name,
+                             const std::vector<BenchMetric>& metrics) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"%s\",\n  \"git_rev\": \"%s\",\n  \"metrics\": [\n",
+               bench_name.c_str(), git_revision().c_str());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const BenchMetric& m = metrics[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
+                 "\"iterations\": %llu}%s\n",
+                 m.name.c_str(), m.value, m.unit.c_str(),
+                 static_cast<unsigned long long>(m.iterations),
+                 i + 1 == metrics.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace powerapi::benchx

@@ -3,12 +3,22 @@
 // Two dispatch modes cover the library's needs:
 //  * kManual    — no threads; drain() processes messages deterministically.
 //                 All simulation experiments and most tests run here.
-//  * kThreaded  — a worker pool dispatches actors concurrently with the
-//                 classic schedule-on-first-message protocol; used for live
-//                 monitoring and exercised by the concurrency tests and the
-//                 Figure-2 throughput benchmark.
+//  * kThreaded  — a work-stealing worker pool dispatches actors concurrently
+//                 with the classic schedule-on-first-message protocol; used
+//                 for live monitoring and exercised by the concurrency tests
+//                 and the Figure-2 throughput benchmark.
+//
+// Hot-path design (see DESIGN.md §4 "Dispatcher architecture"):
+//  * Actor lookup is a wait-free chunked slot table indexed by ActorId —
+//    tell() never scans the actor list or blocks on a concurrent spawn.
+//  * Mailboxes are lock-free Vyukov MPSC queues (see mailbox.h).
+//  * Each worker owns a run queue; idle workers steal from random victims
+//    and park on a condition variable only when the whole system is empty.
+//  * Idle tracking folds per-message counter traffic into one atomic
+//    add/sub per scheduling slot instead of two per message.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -46,7 +56,7 @@ class ActorSystem {
 
   /// Enqueues a message (any thread). Messages to stopped/unknown actors
   /// count as dead letters.
-  void tell(const ActorRef& target, std::any payload, ActorRef sender = {});
+  void tell(const ActorRef& target, Payload payload, ActorRef sender = {});
 
   /// Stops an actor after its current message: post_stop() runs, its
   /// remaining mailbox drains to dead letters.
@@ -89,29 +99,68 @@ class ActorSystem {
     std::atomic<bool> stopped{false};
   };
 
-  Cell* find_cell(ActorId id) const;
+  // --- O(1) registry: a lazily grown chunked slot table indexed by id. ---
+  // Lookup is two acquire loads; chunks are allocated under cells_mutex_ at
+  // spawn time and never freed before the system is destroyed, so readers
+  // need no locks and no hazard tracking.
+  static constexpr std::size_t kChunkBits = 10;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;  // 1024
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+  static constexpr std::size_t kMaxChunks = 4096;  // ~4M actors per system.
+
+  struct SlotChunk {
+    std::array<std::atomic<Cell*>, kChunkSize> slots{};
+  };
+
+  // --- Work-stealing dispatcher state. ---
+  struct alignas(64) WorkerQueue {
+    std::mutex mutex;
+    std::deque<Cell*> cells;
+  };
+
+  Cell* lookup(ActorId id) const noexcept;
+  Cell* find_cell(ActorId id) const noexcept;  ///< lookup + not-stopped.
   void process_one(Cell& cell, Envelope& envelope);
+  std::size_t drain_dead_letters(Cell& cell);
   void schedule(Cell& cell);
-  void worker_loop();
+  void enqueue_cell(Cell& cell);
+  Cell* try_pop_local(std::size_t index);
+  Cell* try_steal(std::size_t thief_index, std::uint64_t& rng_state);
+  Cell* acquire_work(std::size_t index, std::uint64_t& rng_state);
+  void run_cell(Cell& cell);
+  void worker_loop(std::size_t index);
   void handle_failure(Cell& cell, const std::exception& error);
+  void fold_processed(std::uint64_t handled);
 
   Mode mode_;
-  mutable std::mutex cells_mutex_;
+  mutable std::mutex cells_mutex_;  ///< Guards spawns/chunk growth, not lookups.
   std::vector<std::unique_ptr<Cell>> cells_;
+  std::atomic<std::uint64_t> cells_version_{1};  ///< Bumped per spawn; lets drain() cache its snapshot.
+  std::array<std::atomic<SlotChunk*>, kMaxChunks> chunks_{};
   std::atomic<ActorId> next_id_{1};
-  std::atomic<std::uint64_t> next_sequence_{0};
-  std::atomic<std::uint64_t> messages_processed_{0};
-  std::atomic<std::uint64_t> dead_letters_{0};
+  // Hot counters on separate cache lines: producers hammer pending_ while
+  // workers hammer messages_processed_.
+  alignas(64) std::atomic<std::uint64_t> messages_processed_{0};
+  alignas(64) std::atomic<std::uint64_t> dead_letters_{0};
   std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint64_t> restarts_{0};
 
   // Threaded dispatch state.
-  std::mutex runq_mutex_;
-  std::condition_variable runq_cv_;
-  std::deque<Cell*> runq_;
+  std::vector<std::unique_ptr<WorkerQueue>> worker_queues_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
-  std::atomic<std::int64_t> pending_{0};  ///< Enqueued but not yet processed.
+  std::atomic<std::uint64_t> external_rr_{0};  ///< Round-robin for non-worker producers.
+
+  // Parked-worker wakeup protocol: producers bump the epoch after enqueueing
+  // and notify only when someone is actually parked.
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::atomic<int> parked_{0};
+  std::atomic<std::uint64_t> unpark_epoch_{0};
+
+  // Idle tracking: producers add one relaxed increment per tell; workers
+  // fold one subtraction per scheduling slot (not per message).
+  alignas(64) std::atomic<std::int64_t> pending_{0};  ///< Enqueued but not yet processed.
   std::condition_variable idle_cv_;
   std::mutex idle_mutex_;
 };

@@ -4,43 +4,90 @@
 
 namespace powerapi::actors {
 
-void EventBus::subscribe(const std::string& topic, ActorRef subscriber) {
+EventBus::TopicId EventBus::intern_locked(std::string_view topic) {
+  const auto it = ids_.find(topic);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<TopicId>(topics_.size());
+  ids_.emplace(std::string(topic), id);
+  topics_.push_back(std::make_shared<const SubscriberList>());
+  return id;
+}
+
+EventBus::TopicId EventBus::intern(std::string_view topic) {
+  std::unique_lock lock(mutex_);
+  return intern_locked(topic);
+}
+
+EventBus::TopicId EventBus::find(std::string_view topic) const {
+  std::shared_lock lock(mutex_);
+  const auto it = ids_.find(topic);
+  return it == ids_.end() ? kNoTopic : it->second;
+}
+
+void EventBus::subscribe(std::string_view topic, ActorRef subscriber) {
   if (!subscriber.valid()) return;
   std::unique_lock lock(mutex_);
-  auto& subs = topics_[topic];
-  if (std::find(subs.begin(), subs.end(), subscriber) == subs.end()) {
-    subs.push_back(subscriber);
+  const TopicId id = intern_locked(topic);
+  const auto& current = topics_[id];
+  if (std::find(current->begin(), current->end(), subscriber) != current->end()) {
+    return;  // Duplicate ignored.
   }
+  auto next = std::make_shared<SubscriberList>(*current);
+  next->push_back(subscriber);
+  topics_[id] = std::move(next);
 }
 
-void EventBus::unsubscribe(const std::string& topic, ActorRef subscriber) {
+void EventBus::subscribe(TopicId topic, ActorRef subscriber) {
+  if (!subscriber.valid()) return;
   std::unique_lock lock(mutex_);
-  const auto it = topics_.find(topic);
-  if (it == topics_.end()) return;
-  auto& subs = it->second;
-  subs.erase(std::remove(subs.begin(), subs.end(), subscriber), subs.end());
-  if (subs.empty()) topics_.erase(it);
+  if (topic >= topics_.size()) return;
+  const auto& current = topics_[topic];
+  if (std::find(current->begin(), current->end(), subscriber) != current->end()) {
+    return;
+  }
+  auto next = std::make_shared<SubscriberList>(*current);
+  next->push_back(subscriber);
+  topics_[topic] = std::move(next);
 }
 
-std::size_t EventBus::publish(const std::string& topic, const std::any& payload,
-                              ActorRef sender) {
-  std::vector<ActorRef> subs;
-  {
-    std::shared_lock lock(mutex_);
-    const auto it = topics_.find(topic);
-    if (it == topics_.end()) return 0;
-    subs = it->second;  // Copy out so delivery runs without the lock.
-  }
-  for (const auto& ref : subs) {
-    system_->tell(ref, payload, sender);
-  }
-  return subs.size();
+void EventBus::unsubscribe(std::string_view topic, ActorRef subscriber) {
+  unsubscribe(find(topic), subscriber);
 }
 
-std::size_t EventBus::subscriber_count(const std::string& topic) const {
+void EventBus::unsubscribe(TopicId topic, ActorRef subscriber) {
+  std::unique_lock lock(mutex_);
+  if (topic >= topics_.size()) return;
+  const auto& current = topics_[topic];
+  if (std::find(current->begin(), current->end(), subscriber) == current->end()) return;
+  auto next = std::make_shared<SubscriberList>();
+  next->reserve(current->size() - 1);
+  for (const auto& ref : *current) {
+    if (!(ref == subscriber)) next->push_back(ref);
+  }
+  topics_[topic] = std::move(next);
+}
+
+std::shared_ptr<const EventBus::SubscriberList> EventBus::snapshot(TopicId topic) const {
   std::shared_lock lock(mutex_);
-  const auto it = topics_.find(topic);
-  return it == topics_.end() ? 0 : it->second.size();
+  if (topic >= topics_.size()) return nullptr;
+  return topics_[topic];
+}
+
+std::shared_ptr<const EventBus::SubscriberList> EventBus::snapshot_named(
+    std::string_view topic) const {
+  std::shared_lock lock(mutex_);
+  const auto it = ids_.find(topic);
+  if (it == ids_.end()) return nullptr;
+  return topics_[it->second];
+}
+
+std::size_t EventBus::subscriber_count(std::string_view topic) const {
+  return subscriber_count(find(topic));
+}
+
+std::size_t EventBus::subscriber_count(TopicId topic) const {
+  const auto subs = snapshot(topic);
+  return subs ? subs->size() : 0;
 }
 
 }  // namespace powerapi::actors

@@ -4,12 +4,24 @@
 // an event bus with topic classification (Akka's EventBus); Sensors publish,
 // Formulas subscribe, and so on down the pipeline. Topics are strings like
 // "sensor:hpc" or "power:estimation".
+//
+// Hot-path design: topic strings are interned to dense integer TopicIds at
+// subscribe time (one string lookup ever, integer indexing per publish), and
+// subscriber lists are copy-on-write snapshots, so a publish is: one shared
+// lock, one shared_ptr copy, one payload allocation — then a refcount bump
+// per subscriber. Publishing to a topic with no subscribers constructs and
+// copies nothing.
 #pragma once
 
-#include <any>
+#include <cstdint>
+#include <limits>
 #include <map>
+#include <memory>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "actors/actor_system.h"
@@ -19,22 +31,84 @@ namespace powerapi::actors {
 
 class EventBus {
  public:
+  /// Dense handle for an interned topic string.
+  using TopicId = std::uint32_t;
+  static constexpr TopicId kNoTopic = std::numeric_limits<TopicId>::max();
+
   explicit EventBus(ActorSystem& system) : system_(&system) {}
 
-  void subscribe(const std::string& topic, ActorRef subscriber);
-  void unsubscribe(const std::string& topic, ActorRef subscriber);
+  /// Returns the id for `topic`, interning it on first use. Components
+  /// call this once (typically at construction) and publish by id.
+  TopicId intern(std::string_view topic);
 
-  /// Delivers `payload` to every subscriber of `topic` (copying the payload
-  /// per subscriber). Returns the number of actors notified.
-  std::size_t publish(const std::string& topic, const std::any& payload,
-                      ActorRef sender = {});
+  /// Id lookup without interning; kNoTopic when the topic was never seen.
+  TopicId find(std::string_view topic) const;
 
-  std::size_t subscriber_count(const std::string& topic) const;
+  void subscribe(std::string_view topic, ActorRef subscriber);
+  void subscribe(TopicId topic, ActorRef subscriber);
+  void unsubscribe(std::string_view topic, ActorRef subscriber);
+  void unsubscribe(TopicId topic, ActorRef subscriber);
+
+  /// Delivers `payload` to every subscriber of `topic`: the payload is
+  /// materialized once and shared by refcount across deliveries. Returns
+  /// the number of actors notified. With zero subscribers the payload is
+  /// never constructed.
+  template <typename T>
+  std::size_t publish(TopicId topic, T&& payload, ActorRef sender = {}) {
+    const auto subs = snapshot(topic);
+    return deliver(subs, std::forward<T>(payload), sender);
+  }
+
+  /// String-topic convenience overload (cold paths and tests). An unknown
+  /// topic is the zero-subscriber fast path: nothing is constructed.
+  template <typename T>
+  std::size_t publish(std::string_view topic, T&& payload, ActorRef sender = {}) {
+    const auto subs = snapshot_named(topic);
+    return deliver(subs, std::forward<T>(payload), sender);
+  }
+
+  std::size_t subscriber_count(std::string_view topic) const;
+  std::size_t subscriber_count(TopicId topic) const;
 
  private:
+  using SubscriberList = std::vector<ActorRef>;
+
+  std::shared_ptr<const SubscriberList> snapshot(TopicId topic) const;
+  std::shared_ptr<const SubscriberList> snapshot_named(std::string_view topic) const;
+  TopicId intern_locked(std::string_view topic);
+
+  /// A single subscriber gets the payload inline (no refcount allocation).
+  /// Fan-out of a value small enough for std::any's inline storage is
+  /// copied per delivery — cheaper than a refcount bump, and allocation-
+  /// free either way. Larger values are materialized once and shared by
+  /// refcount across deliveries.
+  template <typename T>
+  std::size_t deliver(const std::shared_ptr<const SubscriberList>& subs, T&& payload,
+                      ActorRef sender) {
+    using Value = std::decay_t<T>;
+    if (!subs || subs->empty()) return 0;
+    if (subs->size() == 1) {
+      system_->tell(subs->front(), Payload(std::forward<T>(payload)), sender);
+      return 1;
+    }
+    if constexpr (std::is_trivially_copyable_v<Value> && sizeof(Value) <= sizeof(void*)) {
+      const Value& value = payload;
+      for (const auto& ref : *subs) {
+        system_->tell(ref, Payload(value), sender);
+      }
+    } else {
+      const Payload shared = Payload::shared(std::forward<T>(payload));
+      for (const auto& ref : *subs) {
+        system_->tell(ref, shared, sender);
+      }
+    }
+    return subs->size();
+  }
+
   ActorSystem* system_;
   mutable std::shared_mutex mutex_;
-  std::map<std::string, std::vector<ActorRef>> topics_;
+  std::map<std::string, TopicId, std::less<>> ids_;
+  std::vector<std::shared_ptr<const SubscriberList>> topics_;  ///< Indexed by TopicId.
 };
 
 }  // namespace powerapi::actors

@@ -1,14 +1,19 @@
 // Message envelope and actor identity.
 //
-// Messages are immutable-by-convention std::any payloads; actors pattern-
-// match with std::any_cast, the C++ analogue of the Scala receive block the
-// paper's toolkit uses. Envelopes carry the sender for reply patterns and a
-// sequence number for deterministic ordering diagnostics.
+// Messages are immutable std::any payloads behind a refcounted handle:
+// actors pattern-match with Payload::get<T>() — the C++ analogue of the
+// Scala receive block the paper's toolkit uses. The refcount makes 1-to-N
+// event-bus fan-out a pointer copy per subscriber instead of a deep copy
+// of the payload (one allocation per publish, not per delivery). Envelopes
+// carry the sender for reply patterns.
 #pragma once
 
 #include <any>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 namespace powerapi::actors {
 
@@ -16,6 +21,50 @@ using ActorId = std::uint64_t;
 inline constexpr ActorId kNoActor = 0;
 
 class ActorSystem;
+
+/// Immutable, cheaply copyable message payload with two representations:
+///  * inline  — a plain std::any, used for point-to-point tells so small
+///              values (ints, ticks) keep std::any's no-allocation storage;
+///  * shared  — a refcounted std::any, produced by Payload::shared() for
+///              event-bus fan-out so a 1-to-N publish materializes the value
+///              once and each delivery is a refcount bump, not a deep copy.
+/// Implicitly constructible from any copyable value so `ref.tell(42)` works.
+class Payload {
+ public:
+  Payload() = default;
+
+  template <typename T,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<T>, Payload> &&
+                                        !std::is_same_v<std::decay_t<T>, std::any>>>
+  Payload(T&& value)  // NOLINT(google-explicit-constructor): message sugar.
+      : inline_(std::in_place_type<std::decay_t<T>>, std::forward<T>(value)) {}
+
+  /// Wraps an existing std::any directly (no any-in-any nesting).
+  Payload(std::any value)  // NOLINT(google-explicit-constructor)
+      : inline_(std::move(value)) {}
+
+  /// Builds a refcounted payload: copies of it share one materialized value.
+  template <typename T>
+  static Payload shared(T&& value) {
+    Payload p;
+    p.shared_ = std::make_shared<const std::any>(std::in_place_type<std::decay_t<T>>,
+                                                 std::forward<T>(value));
+    return p;
+  }
+
+  /// Typed view of the payload; nullptr when empty or a different type.
+  template <typename T>
+  const T* get() const noexcept {
+    if (shared_) return std::any_cast<T>(shared_.get());
+    return std::any_cast<T>(&inline_);
+  }
+
+  bool has_value() const noexcept { return shared_ != nullptr || inline_.has_value(); }
+
+ private:
+  std::any inline_;
+  std::shared_ptr<const std::any> shared_;
+};
 
 /// Cheap copyable handle to an actor. Valid as long as its system lives;
 /// telling a stopped actor is a silent no-op (dead letter), as in Akka.
@@ -29,8 +78,8 @@ class ActorRef {
   ActorSystem* system() const noexcept { return system_; }
 
   /// Enqueues `payload` to this actor. Implemented in actor_system.cpp.
-  void tell(std::any payload) const;
-  void tell(std::any payload, ActorRef sender) const;
+  void tell(Payload payload) const;
+  void tell(Payload payload, ActorRef sender) const;
 
   bool operator==(const ActorRef& other) const noexcept {
     return system_ == other.system_ && id_ == other.id_;
@@ -42,9 +91,8 @@ class ActorRef {
 };
 
 struct Envelope {
-  std::any payload;
+  Payload payload;
   ActorRef sender;
-  std::uint64_t sequence = 0;  ///< System-wide enqueue order (diagnostics).
 };
 
 }  // namespace powerapi::actors

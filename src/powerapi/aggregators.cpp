@@ -6,7 +6,10 @@ namespace powerapi::api {
 
 Aggregator::Aggregator(actors::EventBus& bus, AggregationDimension dimension,
                        GroupResolver group_of)
-    : bus_(&bus), dimension_(dimension), group_of_(std::move(group_of)) {}
+    : bus_(&bus),
+      out_topic_(bus.intern("power:aggregated")),
+      dimension_(dimension),
+      group_of_(std::move(group_of)) {}
 
 void Aggregator::emit_group_rows(const std::string& formula) {
   auto& bucket = pending_groups_[formula];
@@ -17,7 +20,7 @@ void Aggregator::emit_group_rows(const std::string& formula) {
     out.group = group;
     out.formula = formula;
     out.watts = watts;
-    bus_->publish("power:aggregated", out, self());
+    bus_->publish(out_topic_, std::move(out), self());
   }
   bucket.watts_by_group.clear();
 }
@@ -45,11 +48,11 @@ void Aggregator::emit(const std::string& formula, const Group& group) {
   // Prefer the machine-scope estimate when the formula produced one (it
   // includes the idle floor); otherwise sum the per-process estimates.
   out.watts = group.has_machine_row ? group.machine_watts : group.sum_watts;
-  bus_->publish("power:aggregated", out, self());
+  bus_->publish(out_topic_, std::move(out), self());
 }
 
 void Aggregator::receive(actors::Envelope& envelope) {
-  const auto* estimate = std::any_cast<PowerEstimate>(&envelope.payload);
+  const auto* estimate = envelope.payload.get<PowerEstimate>();
   if (estimate == nullptr) return;
 
   if (dimension_ == AggregationDimension::kGroup) {
@@ -64,7 +67,7 @@ void Aggregator::receive(actors::Envelope& envelope) {
     out.pid = estimate->pid;
     out.formula = estimate->formula;
     out.watts = estimate->watts;
-    bus_->publish("power:aggregated", out, self());
+    bus_->publish(out_topic_, std::move(out), self());
     return;
   }
 

@@ -49,6 +49,7 @@ class Aggregator final : public actors::Actor {
   void receive_group_dimension(const PowerEstimate& estimate);
 
   actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;  ///< "power:aggregated", interned once.
   AggregationDimension dimension_;
   GroupResolver group_of_;
   /// Per-formula group under construction; emitted when a newer timestamp

@@ -6,14 +6,14 @@ namespace powerapi::api {
 
 namespace {
 const SensorReport* as_report(const actors::Envelope& envelope) {
-  return std::any_cast<SensorReport>(&envelope.payload);
+  return envelope.payload.get<SensorReport>();
 }
 }  // namespace
 
 // --- RegressionFormula ---
 
 RegressionFormula::RegressionFormula(actors::EventBus& bus, model::CpuPowerModel model)
-    : bus_(&bus), model_(std::move(model)) {}
+    : bus_(&bus), out_topic_(bus.intern("power:estimate")), model_(std::move(model)) {}
 
 void RegressionFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
@@ -25,7 +25,7 @@ void RegressionFormula::receive(actors::Envelope& envelope) {
   estimate.formula = "powerapi-hpc";
   const double activity = model_.estimate_activity(report->frequency_hz, report->rates);
   estimate.watts = report->pid == kMachinePid ? model_.idle_watts() + activity : activity;
-  bus_->publish("power:estimate", estimate, self());
+  bus_->publish(out_topic_, std::move(estimate), self());
 }
 
 // --- EstimatorFormula ---
@@ -33,7 +33,7 @@ void RegressionFormula::receive(actors::Envelope& envelope) {
 EstimatorFormula::EstimatorFormula(
     actors::EventBus& bus, std::string /*subscribe_sensor*/,
     std::shared_ptr<const baselines::MachinePowerEstimator> estimator)
-    : bus_(&bus), estimator_(std::move(estimator)) {}
+    : bus_(&bus), out_topic_(bus.intern("power:estimate")), estimator_(std::move(estimator)) {}
 
 void EstimatorFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
@@ -50,14 +50,14 @@ void EstimatorFormula::receive(actors::Envelope& envelope) {
   estimate.pid = kMachinePid;
   estimate.formula = estimator_->name();
   estimate.watts = estimator_->estimate(obs);
-  bus_->publish("power:estimate", estimate, self());
+  bus_->publish(out_topic_, std::move(estimate), self());
 }
 
 // --- IoFormula ---
 
 IoFormula::IoFormula(actors::EventBus& bus, periph::DiskParams disk,
                      periph::NicParams nic)
-    : bus_(&bus), disk_(disk), nic_(nic) {}
+    : bus_(&bus), out_topic_(bus.intern("power:estimate")), disk_(disk), nic_(nic) {}
 
 void IoFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
@@ -78,13 +78,13 @@ void IoFormula::receive(actors::Envelope& envelope) {
   estimate.pid = kMachinePid;
   estimate.formula = "io-datasheet";
   estimate.watts = watts;
-  bus_->publish("power:estimate", estimate, self());
+  bus_->publish(out_topic_, std::move(estimate), self());
 }
 
 // --- MeterFormula ---
 
 MeterFormula::MeterFormula(actors::EventBus& bus, std::string formula_name)
-    : bus_(&bus), formula_name_(std::move(formula_name)) {}
+    : bus_(&bus), out_topic_(bus.intern("power:estimate")), formula_name_(std::move(formula_name)) {}
 
 void MeterFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
@@ -94,7 +94,7 @@ void MeterFormula::receive(actors::Envelope& envelope) {
   estimate.pid = report->pid;
   estimate.formula = formula_name_;
   estimate.watts = report->measured_watts;
-  bus_->publish("power:estimate", estimate, self());
+  bus_->publish(out_topic_, std::move(estimate), self());
 }
 
 }  // namespace powerapi::api

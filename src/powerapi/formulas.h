@@ -26,6 +26,7 @@ class RegressionFormula final : public actors::Actor {
 
  private:
   actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;  ///< "power:estimate", interned once.
   model::CpuPowerModel model_;
 };
 
@@ -40,6 +41,7 @@ class EstimatorFormula final : public actors::Actor {
 
  private:
   actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;  ///< "power:estimate", interned once.
   std::shared_ptr<const baselines::MachinePowerEstimator> estimator_;
 };
 
@@ -56,6 +58,7 @@ class IoFormula final : public actors::Actor {
 
  private:
   actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;  ///< "power:estimate", interned once.
   periph::DiskParams disk_;
   periph::NicParams nic_;
 };
@@ -70,6 +73,7 @@ class MeterFormula final : public actors::Actor {
 
  private:
   actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;  ///< "power:estimate", interned once.
   std::string formula_name_;
 };
 

@@ -9,6 +9,7 @@ PowerMeter::PowerMeter(os::System& system, model::CpuPowerModel model, Config co
       config_(config),
       actors_(actors::ActorSystem::Mode::kManual),
       bus_(actors_),
+      tick_topic_(bus_.intern("tick")),
       backend_(system),
       fixed_targets_(std::make_shared<std::vector<std::int64_t>>()),
       ticker_(system.now_ns(), config.period) {
@@ -135,7 +136,7 @@ void PowerMeter::run_for(util::DurationNs duration) {
     system_->run_for(chunk);
     const std::uint64_t due = ticker_.due(system_->now_ns());
     for (std::uint64_t i = 0; i < due; ++i) {
-      bus_.publish("tick", MonitorTick{system_->now_ns()});
+      bus_.publish(tick_topic_, MonitorTick{system_->now_ns()});
     }
     actors_.drain();
   }

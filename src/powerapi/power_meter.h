@@ -91,6 +91,7 @@ class PowerMeter {
   Config config_;
   actors::ActorSystem actors_;
   actors::EventBus bus_;
+  actors::EventBus::TopicId tick_topic_;  ///< "tick", interned once.
   hpc::SimBackend backend_;
   std::shared_ptr<std::vector<std::int64_t>> fixed_targets_;
   bool monitor_all_ = false;

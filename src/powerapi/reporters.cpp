@@ -7,7 +7,7 @@ namespace powerapi::api {
 
 namespace {
 const AggregatedPower* as_row(const actors::Envelope& envelope) {
-  return std::any_cast<AggregatedPower>(&envelope.payload);
+  return envelope.payload.get<AggregatedPower>();
 }
 }  // namespace
 

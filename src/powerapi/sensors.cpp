@@ -8,7 +8,7 @@ namespace powerapi::api {
 
 namespace {
 const MonitorTick* as_tick(const actors::Envelope& envelope) {
-  return std::any_cast<MonitorTick>(&envelope.payload);
+  return envelope.payload.get<MonitorTick>();
 }
 }  // namespace
 
@@ -16,7 +16,11 @@ const MonitorTick* as_tick(const actors::Envelope& envelope) {
 
 HpcSensor::HpcSensor(actors::EventBus& bus, hpc::CounterBackend& backend, TargetsFn targets,
                      const os::System* system)
-    : bus_(&bus), backend_(&backend), targets_(std::move(targets)), system_(system) {}
+    : bus_(&bus),
+      out_topic_(bus.intern("sensor:hpc")),
+      backend_(&backend),
+      targets_(std::move(targets)),
+      system_(system) {}
 
 void HpcSensor::observe(std::int64_t pid, util::TimestampNs now) {
   const hpc::Target target =
@@ -77,7 +81,7 @@ void HpcSensor::observe(std::int64_t pid, util::TimestampNs now) {
   st.last_cpu_time = cpu_time;
   st.last_time = now;
 
-  bus_->publish("sensor:hpc", report, self());
+  bus_->publish(out_topic_, std::move(report), self());
 }
 
 void HpcSensor::receive(actors::Envelope& envelope) {
@@ -91,7 +95,7 @@ void HpcSensor::receive(actors::Envelope& envelope) {
 
 PowerSpySensor::PowerSpySensor(actors::EventBus& bus,
                                std::shared_ptr<powermeter::PowerSpy> meter)
-    : bus_(&bus), meter_(std::move(meter)) {}
+    : bus_(&bus), out_topic_(bus.intern("sensor:powerspy")), meter_(std::move(meter)) {}
 
 void PowerSpySensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
@@ -103,13 +107,13 @@ void PowerSpySensor::receive(actors::Envelope& envelope) {
   report.pid = kMachinePid;
   report.sensor = "powerspy";
   report.measured_watts = sample->watts;
-  bus_->publish("sensor:powerspy", report, self());
+  bus_->publish(out_topic_, std::move(report), self());
 }
 
 // --- RaplSensor ---
 
 RaplSensor::RaplSensor(actors::EventBus& bus, std::shared_ptr<powermeter::RaplMsr> msr)
-    : bus_(&bus), msr_(std::move(msr)) {}
+    : bus_(&bus), out_topic_(bus.intern("sensor:rapl")), msr_(std::move(msr)) {}
 
 void RaplSensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
@@ -134,13 +138,13 @@ void RaplSensor::receive(actors::Envelope& envelope) {
   report.sensor = "rapl";
   report.window_seconds = window_s;
   report.measured_watts = joules / window_s;
-  bus_->publish("sensor:rapl", report, self());
+  bus_->publish(out_topic_, std::move(report), self());
 }
 
 // --- IoSensor ---
 
 IoSensor::IoSensor(actors::EventBus& bus, const os::System& system)
-    : bus_(&bus), system_(&system) {}
+    : bus_(&bus), out_topic_(bus.intern("sensor:io")), system_(&system) {}
 
 void IoSensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
@@ -167,14 +171,17 @@ void IoSensor::receive(actors::Envelope& envelope) {
   report.net_bytes_per_sec = (totals.net_bytes - last_.net_bytes) / window_s;
   last_ = totals;
   last_time_ = tick->timestamp;
-  bus_->publish("sensor:io", report, self());
+  bus_->publish(out_topic_, std::move(report), self());
 }
 
 // --- CpuLoadSensor ---
 
 CpuLoadSensor::CpuLoadSensor(actors::EventBus& bus, const os::System& system,
                              TargetsFn targets)
-    : bus_(&bus), system_(&system), targets_(std::move(targets)) {}
+    : bus_(&bus),
+      out_topic_(bus.intern("sensor:cpu-load")),
+      system_(&system),
+      targets_(std::move(targets)) {}
 
 void CpuLoadSensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
@@ -187,7 +194,7 @@ void CpuLoadSensor::receive(actors::Envelope& envelope) {
     report.sensor = "cpu-load";
     report.frequency_hz = system_->system_stat().frequency_hz;
     report.utilization = utilization;
-    bus_->publish("sensor:cpu-load", report, self());
+    bus_->publish(out_topic_, std::move(report), self());
   };
 
   // Machine scope: immediate utilization from the last tick.

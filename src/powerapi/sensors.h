@@ -46,6 +46,7 @@ class HpcSensor final : public actors::Actor {
   void observe(std::int64_t pid, util::TimestampNs now);
 
   actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;  ///< "sensor:hpc", interned once.
   hpc::CounterBackend* backend_;
   TargetsFn targets_;
   const os::System* system_;
@@ -61,6 +62,7 @@ class PowerSpySensor final : public actors::Actor {
 
  private:
   actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;  ///< "sensor:powerspy", interned once.
   std::shared_ptr<powermeter::PowerSpy> meter_;
 };
 
@@ -74,6 +76,7 @@ class RaplSensor final : public actors::Actor {
 
  private:
   actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;  ///< "sensor:rapl", interned once.
   std::shared_ptr<powermeter::RaplMsr> msr_;
   std::uint32_t last_raw_ = 0;
   util::TimestampNs last_time_ = 0;
@@ -91,6 +94,7 @@ class IoSensor final : public actors::Actor {
 
  private:
   actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;  ///< "sensor:io", interned once.
   const os::System* system_;
   os::System::IoTotals last_;
   util::TimestampNs last_time_ = 0;
@@ -113,6 +117,7 @@ class CpuLoadSensor final : public actors::Actor {
   };
 
   actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;  ///< "sensor:cpu-load", interned once.
   const os::System* system_;
   TargetsFn targets_;
   std::map<std::int64_t, TargetState> states_;

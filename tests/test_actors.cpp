@@ -17,7 +17,7 @@ namespace {
 class Recorder final : public Actor {
  public:
   void receive(Envelope& envelope) override {
-    if (const auto* v = std::any_cast<int>(&envelope.payload)) {
+    if (const auto* v = envelope.payload.get<int>()) {
       values.push_back(*v);
     }
   }
@@ -79,6 +79,23 @@ TEST(ActorSystem, StopDrainsRemainingToDeadLetters) {
   EXPECT_EQ(system.actor_count(), 0u);
 }
 
+TEST(ActorSystem, StoppedThenDrainedMessageIsDeadLetteredExactlyOnce) {
+  // A message queued before stop() must be converted to a dead letter by the
+  // drain-dead-letters path exactly once: repeated drains must not double
+  // count, and the books must balance (nothing processed, nothing lost).
+  ActorSystem system(ActorSystem::Mode::kManual);
+  const auto ref = system.spawn("r", std::make_unique<Recorder>());
+  ref.tell(1);
+  system.stop(ref);
+  EXPECT_EQ(system.dead_letters(), 0u);  // Backlog not yet drained.
+  system.drain();
+  EXPECT_EQ(system.dead_letters(), 1u);
+  system.drain();
+  system.drain();
+  EXPECT_EQ(system.dead_letters(), 1u);  // Exactly once, not re-counted.
+  EXPECT_EQ(system.messages_processed(), 0u);
+}
+
 TEST(ActorSystem, MaxMessagesBoundsDrain) {
   ActorSystem system(ActorSystem::Mode::kManual);
   const auto ref = system.spawn("r", std::make_unique<Recorder>());
@@ -96,7 +113,7 @@ class Flaky final : public Actor {
   void pre_start() override { ++starts; }
   void post_stop() override { ++stops; }
   void receive(Envelope& envelope) override {
-    if (std::any_cast<std::string>(&envelope.payload)) {
+    if (envelope.payload.get<std::string>()) {
       throw std::runtime_error("poison");
     }
     ++handled;
@@ -178,6 +195,42 @@ TEST(EventBus, FanoutAndUnsubscribe) {
   EXPECT_EQ(r1->values.size(), 1u);
   EXPECT_EQ(r2->values.size(), 2u);
   EXPECT_EQ(bus.publish("other-topic", 1), 0u);
+}
+
+/// Counts copies/moves of itself; used to prove fast paths construct nothing.
+struct CopyCounted {
+  CopyCounted() = default;
+  CopyCounted(const CopyCounted&) { copies.fetch_add(1, std::memory_order_relaxed); }
+  CopyCounted& operator=(const CopyCounted&) = delete;
+  CopyCounted(CopyCounted&&) noexcept { moves.fetch_add(1, std::memory_order_relaxed); }
+  CopyCounted& operator=(CopyCounted&&) = delete;
+  static inline std::atomic<int> copies{0};
+  static inline std::atomic<int> moves{0};
+};
+
+TEST(EventBus, ZeroSubscriberPublishConstructsNothing) {
+  // Publishing to a topic with no subscribers (or one never seen) must take
+  // the early-return fast path: no Payload is built, no copy of the value is
+  // made, and the call reports zero deliveries.
+  ActorSystem system(ActorSystem::Mode::kManual);
+  EventBus bus(system);
+  const CopyCounted value;
+  CopyCounted::copies.store(0);
+  CopyCounted::moves.store(0);
+
+  EXPECT_EQ(bus.publish("never-subscribed", value), 0u);  // Unknown topic.
+  const auto topic = bus.intern("known-but-empty");
+  EXPECT_EQ(bus.publish(topic, value), 0u);  // Interned, zero subscribers.
+  EXPECT_EQ(CopyCounted::copies.load(), 0);
+  EXPECT_EQ(CopyCounted::moves.load(), 0);
+  EXPECT_EQ(system.messages_processed(), 0u);
+  EXPECT_EQ(system.dead_letters(), 0u);
+
+  // Sanity: with a subscriber the same publish does copy (exactly once into
+  // the envelope for the single-subscriber inline path).
+  bus.subscribe(topic, system.spawn_as<Recorder>("sub"));
+  EXPECT_EQ(bus.publish(topic, value), 1u);
+  EXPECT_EQ(CopyCounted::copies.load(), 1);
 }
 
 // --- Ticker ---

@@ -29,7 +29,7 @@ template <typename T>
 class Collector final : public actors::Actor {
  public:
   void receive(actors::Envelope& envelope) override {
-    if (const T* value = std::any_cast<T>(&envelope.payload)) {
+    if (const T* value = envelope.payload.get<T>()) {
       items.push_back(*value);
     }
   }
