@@ -1,0 +1,99 @@
+// fleet_monitor: one actor system, many machines — the middleware scaled
+// from a single host to a (simulated) rack. Eight hosts with heterogeneous
+// workloads are advanced concurrently on the threaded work-stealing
+// dispatcher; each runs the full PowerAPI pipeline under its own topic
+// namespace ("h0/", "h1/", ...), and a fleet-dimension aggregator sums the
+// per-host estimates into one rack-level power series.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "model/trainer.h"
+#include "os/system.h"
+#include "powerapi/fleet_monitor.h"
+#include "util/stats.h"
+#include "workloads/behaviors.h"
+#include "workloads/stress.h"
+
+using namespace powerapi;
+
+namespace {
+
+constexpr std::size_t kHosts = 8;
+
+/// A rack of unlike machines: web-ish bursty hosts, batch crunchers, a
+/// mostly idle spare — each deterministic given its index.
+std::unique_ptr<os::System> make_host(std::size_t i) {
+  auto host = std::make_unique<os::System>(simcpu::i3_2120());
+  util::Rng rng(1000 + static_cast<std::uint64_t>(i));
+  switch (i % 4) {
+    case 0:  // Batch cruncher: sustained compute.
+      host->spawn("batch", std::make_unique<workloads::SteadyBehavior>(
+                               workloads::cpu_stress(0.9), 0));
+      break;
+    case 1:  // Web host: bursty mixed load.
+      host->spawn("web", std::make_unique<workloads::BurstyBehavior>(
+                             workloads::mixed_stress(0.5, 8e6, 0.9),
+                             util::ms_to_ns(60), util::ms_to_ns(120), 0, rng.fork(1)));
+      break;
+    case 2:  // Cache node: memory-bound.
+      host->spawn("cache", std::make_unique<workloads::SteadyBehavior>(
+                               workloads::memory_stress(24e6), 0));
+      break;
+    default:  // Spare: background daemon only.
+      break;
+  }
+  host->spawn("kdaemon", workloads::make_background_daemon(rng.fork(2)));
+  return host;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== fleet_monitor: %zu hosts, one actor system ===\n", kHosts);
+
+  // One model serves the whole (homogeneous-CPU) fleet, as one calibration
+  // serves every identical machine in a real deployment.
+  model::TrainerOptions options;
+  options.grid.intensities = {0.5, 1.0};
+  options.point_duration = util::seconds_to_ns(1);
+  model::Trainer trainer(simcpu::i3_2120(), simcpu::GroundTruthParams{}, options);
+  const model::CpuPowerModel power_model = trainer.train().model;
+
+  std::vector<std::unique_ptr<os::System>> hosts;
+  for (std::size_t i = 0; i < kHosts; ++i) hosts.push_back(make_host(i));
+
+  api::FleetMonitor::Options fleet_options;
+  fleet_options.mode = actors::ActorSystem::Mode::kThreaded;
+  fleet_options.workers = 4;
+  api::FleetMonitor fleet(fleet_options);
+
+  std::vector<api::MemoryReporter*> per_host;
+  for (auto& host : hosts) {
+    api::PipelineSpec spec;
+    spec.model = power_model;
+    spec.period = util::ms_to_ns(250);
+    const std::size_t index = fleet.add_host(*host, spec);
+    per_host.push_back(&fleet.add_memory_reporter(index));
+  }
+  api::MemoryReporter& rack = fleet.add_fleet_reporter();
+
+  fleet.run_for(util::seconds_to_ns(30));
+  fleet.finish();
+
+  std::printf("\n%-6s %-10s %12s %12s\n", "host", "role", "est (W)", "meter (W)");
+  const char* roles[] = {"batch", "web", "cache", "spare"};
+  for (std::size_t i = 0; i < kHosts; ++i) {
+    const double est = util::mean(
+        api::MemoryReporter::watts_of(per_host[i]->series("powerapi-hpc")));
+    const double wall = util::mean(
+        api::MemoryReporter::watts_of(per_host[i]->series("powerspy")));
+    std::printf("h%-5zu %-10s %12.2f %12.2f\n", i, roles[i % 4], est, wall);
+  }
+
+  const auto rack_series = rack.group_series("powerapi-hpc", "(fleet)");
+  std::printf("\nrack-level series: %zu samples, mean %.2f W (sum of %zu hosts)\n",
+              rack_series.size(),
+              util::mean(api::MemoryReporter::watts_of(rack_series)), kHosts);
+  return 0;
+}

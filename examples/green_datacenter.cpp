@@ -7,16 +7,20 @@
 // batch queue (deferrable). A synthetic solar feed rises and falls with
 // cloud noise. The controller polls PowerAPI's ESTIMATES (not the hidden
 // ground truth) once per second and gates the batch work + DVFS so
-// consumption tracks the supply; we compare brown (non-renewable) energy
-// with and without the strategy.
+// consumption tracks the supply.
+//
+// Both strategies — always-on (naive) and estimate-driven (adaptive) — run
+// CONCURRENTLY as two hosts of one FleetMonitor on the threaded dispatcher:
+// the same compressed day, side by side, one actor system.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "model/trainer.h"
 #include "os/system.h"
-#include "powerapi/power_meter.h"
+#include "powerapi/fleet_monitor.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "workloads/behaviors.h"
@@ -37,79 +41,44 @@ double solar_watts(int t, util::Rng& clouds) {
   return std::max(0.0, supply);
 }
 
-struct DayResult {
-  double brown_joules = 0.0;     ///< Demand above the renewable supply.
-  double wasted_joules = 0.0;    ///< Unused renewable supply.
-  double batch_instr = 0.0;      ///< Work the batch queue completed.
+/// One strategy's world: a host, its deferrable batch gate, and the latest
+/// power estimate its controller acts on.
+struct Strategy {
+  bool adaptive = false;
+  std::unique_ptr<os::System> system;
+  std::shared_ptr<bool> gate = std::make_shared<bool>(true);
+  std::vector<os::Pid> batch_pids;
+  double latest_estimate = 0.0;
+  util::Rng clouds{0};
+  double brown_joules = 0.0;   ///< Demand above the renewable supply.
+  double wasted_joules = 0.0;  ///< Unused renewable supply.
+  double batch_instr = 0.0;    ///< Work the batch queue completed.
 };
 
-DayResult run_day(bool adaptive, const model::CpuPowerModel& power_model) {
-  os::System system(simcpu::i3_2120());
-  util::Rng rng(7411);
-  system.spawn("kdaemon", workloads::make_background_daemon(rng.fork(1)));
+std::unique_ptr<Strategy> make_strategy(bool adaptive, double idle_watts) {
+  auto s = std::make_unique<Strategy>();
+  s->adaptive = adaptive;
+  s->system = std::make_unique<os::System>(simcpu::i3_2120());
+  s->latest_estimate = idle_watts;
+  util::Rng rng(7411);  // Same seed both strategies: identical workloads.
+  s->clouds = rng.fork(3);
+  s->system->spawn("kdaemon", workloads::make_background_daemon(rng.fork(1)));
 
   // Latency-sensitive service: bursty, never gated.
   util::Rng wl = rng.fork(2);
-  system.spawn("service", std::make_unique<workloads::BurstyBehavior>(
-                              workloads::mixed_stress(0.4, 4e6, 0.9),
-                              util::ms_to_ns(80), util::ms_to_ns(160), 0, wl.fork(1)));
+  s->system->spawn("service", std::make_unique<workloads::BurstyBehavior>(
+                                  workloads::mixed_stress(0.4, 4e6, 0.9),
+                                  util::ms_to_ns(80), util::ms_to_ns(160), 0,
+                                  wl.fork(1)));
 
   // Batch queue: three compute tasks behind a shared gate.
-  auto gate = std::make_shared<bool>(true);
-  std::vector<os::Pid> batch_pids;
   for (int i = 0; i < 3; ++i) {
-    auto inner = std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(0.9), 0);
-    batch_pids.push_back(system.spawn(
-        "batch", std::make_unique<workloads::GatedBehavior>(std::move(inner), gate)));
+    auto inner =
+        std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(0.9), 0);
+    s->batch_pids.push_back(s->system->spawn(
+        "batch", std::make_unique<workloads::GatedBehavior>(std::move(inner), s->gate)));
   }
-
-  api::PowerMeter::Config config;
-  config.period = util::ms_to_ns(250);
-  api::PowerMeter meter(system, power_model, config);
-  double latest_estimate = power_model.idle_watts();
-  meter.add_callback_reporter([&](const api::AggregatedPower& row) {
-    if (row.formula == "powerapi-hpc") latest_estimate = row.watts;
-  });
-
-  util::Rng clouds = rng.fork(3);
-  DayResult result;
-  double batch_instr_start = 0;
-  for (const os::Pid pid : batch_pids) {
-    batch_instr_start += static_cast<double>(system.proc_stat(pid)->counters.instructions);
-  }
-
-  for (int t = 0; t < kDaySeconds; ++t) {
-    const double supply = solar_watts(t, clouds);
-
-    if (adaptive) {
-      // Controller: act on the estimate from the previous second.
-      const double headroom = supply - latest_estimate;
-      if (headroom < -2.0) {
-        *gate = false;  // Defer batch work.
-        system.pin_frequency(1.6e9);
-      } else if (headroom > 8.0) {
-        *gate = true;  // Plenty of sun: full speed ahead.
-        system.pin_frequency(3.3e9);
-      } else if (headroom > 2.0) {
-        *gate = true;
-        system.pin_frequency(2.4e9);
-      }
-    }
-
-    const double e0 = system.total_energy_joules();
-    meter.run_for(util::seconds_to_ns(1));
-    const double used = system.total_energy_joules() - e0;
-    result.brown_joules += std::max(0.0, used - supply);
-    result.wasted_joules += std::max(0.0, supply - used);
-  }
-  meter.finish();
-
-  for (const os::Pid pid : batch_pids) {
-    result.batch_instr +=
-        static_cast<double>(system.proc_stat(pid)->counters.instructions);
-  }
-  result.batch_instr -= batch_instr_start;
-  return result;
+  return s;
 }
 
 }  // namespace
@@ -123,9 +92,79 @@ int main() {
   model::Trainer trainer(simcpu::i3_2120(), simcpu::GroundTruthParams{}, options);
   const model::CpuPowerModel power_model = trainer.train().model;
 
-  const DayResult naive = run_day(/*adaptive=*/false, power_model);
-  const DayResult adaptive = run_day(/*adaptive=*/true, power_model);
+  std::vector<std::unique_ptr<Strategy>> strategies;
+  strategies.push_back(make_strategy(/*adaptive=*/false, power_model.idle_watts()));
+  strategies.push_back(make_strategy(/*adaptive=*/true, power_model.idle_watts()));
 
+  // Both days run concurrently: two hosts, one threaded actor system.
+  api::FleetMonitor::Options fleet_options;
+  fleet_options.mode = actors::ActorSystem::Mode::kThreaded;
+  fleet_options.workers = 2;
+  fleet_options.fleet_aggregation = false;  // The days are compared, not summed.
+  api::FleetMonitor fleet(fleet_options);
+  for (auto& s : strategies) {
+    api::PipelineSpec spec;
+    spec.model = power_model;
+    spec.period = util::ms_to_ns(250);
+    const std::size_t index = fleet.add_host(*s->system, spec);
+    fleet.add_callback_reporter(index, [state = s.get()](const api::AggregatedPower& row) {
+      if (row.formula == "powerapi-hpc") state->latest_estimate = row.watts;
+    });
+  }
+
+  std::vector<double> batch_start(strategies.size(), 0.0);
+  std::vector<double> energy_mark(strategies.size(), 0.0);
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    for (const os::Pid pid : strategies[i]->batch_pids) {
+      batch_start[i] += static_cast<double>(
+          strategies[i]->system->proc_stat(pid)->counters.instructions);
+    }
+  }
+
+  std::vector<double> supply_now(strategies.size(), 0.0);
+  for (int t = 0; t < kDaySeconds; ++t) {
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+      Strategy& s = *strategies[i];
+      supply_now[i] = solar_watts(t, s.clouds);
+
+      if (s.adaptive) {
+        // Controller: act on the estimate from the previous second.
+        const double headroom = supply_now[i] - s.latest_estimate;
+        if (headroom < -2.0) {
+          *s.gate = false;  // Defer batch work.
+          s.system->pin_frequency(1.6e9);
+        } else if (headroom > 8.0) {
+          *s.gate = true;  // Plenty of sun: full speed ahead.
+          s.system->pin_frequency(3.3e9);
+        } else if (headroom > 2.0) {
+          *s.gate = true;
+          s.system->pin_frequency(2.4e9);
+        }
+      }
+      energy_mark[i] = s.system->total_energy_joules();
+    }
+
+    fleet.run_for(util::seconds_to_ns(1));  // Both days advance in parallel.
+
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+      Strategy& s = *strategies[i];
+      const double used = s.system->total_energy_joules() - energy_mark[i];
+      s.brown_joules += std::max(0.0, used - supply_now[i]);
+      s.wasted_joules += std::max(0.0, supply_now[i] - used);
+    }
+  }
+  fleet.finish();
+
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    for (const os::Pid pid : strategies[i]->batch_pids) {
+      strategies[i]->batch_instr += static_cast<double>(
+          strategies[i]->system->proc_stat(pid)->counters.instructions);
+    }
+    strategies[i]->batch_instr -= batch_start[i];
+  }
+
+  const Strategy& naive = *strategies[0];
+  const Strategy& adaptive = *strategies[1];
   std::printf("\n%-26s %14s %14s %16s\n", "strategy", "brown (kJ)", "wasted (kJ)",
               "batch Ginstr");
   std::printf("%-26s %14.2f %14.2f %16.1f\n", "always-on (naive)",

@@ -1,12 +1,14 @@
 #include "hpc/sim_backend.h"
 
+#include <string>
+
 namespace powerapi::hpc {
 
 util::Result<EventValues> SimBackend::read(Target target) {
   if (target.is_machine()) {
-    return EventValues::from_block(system_->machine().machine_counters());
+    return EventValues::from_block(host_->machine_counters());
   }
-  const auto stat = system_->proc_stat(target.pid);
+  const auto stat = host_->proc_stat(target.pid);
   if (!stat) {
     return util::Result<EventValues>::failure("sim backend: unknown pid " +
                                               std::to_string(target.pid));

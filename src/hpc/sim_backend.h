@@ -1,24 +1,26 @@
-// Counter backend over the simulated OS: per-process reads come from the
-// kernel's task accounting, machine-wide reads from the machine counters.
+// Counter backend over a monitorable host: per-process reads come from the
+// host's task accounting, machine-wide reads from the machine counters.
+// Depends only on the MonitorableHost interface, so the same backend serves
+// the simulated System and any other host implementation.
 #pragma once
 
 #include "hpc/backend.h"
-#include "os/system.h"
+#include "os/monitorable_host.h"
 
 namespace powerapi::hpc {
 
 class SimBackend final : public CounterBackend {
  public:
-  /// The backend observes but never mutates the system; the reference must
+  /// The backend observes but never mutates the host; the reference must
   /// outlive the backend.
-  explicit SimBackend(const os::System& system) : system_(&system) {}
+  explicit SimBackend(const os::MonitorableHost& host) : host_(&host) {}
 
   std::string name() const override { return "sim"; }
   bool supports(EventId) const override { return true; }
   util::Result<EventValues> read(Target target) override;
 
  private:
-  const os::System* system_;
+  const os::MonitorableHost* host_;
 };
 
 }  // namespace powerapi::hpc

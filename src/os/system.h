@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "os/monitorable_host.h"
 #include "os/scheduler.h"
 #include "os/task.h"
 #include "periph/disk.h"
@@ -19,32 +20,6 @@
 #include "util/clock.h"
 
 namespace powerapi::os {
-
-/// Snapshot of one process's accounting, in the spirit of /proc/<pid>/stat.
-struct ProcStat {
-  Pid pid = 0;
-  std::string name;
-  std::string group;  ///< cgroup/VM label; empty when ungrouped.
-  bool alive = false;
-  std::size_t threads = 0;
-  simcpu::CounterBlock counters;     ///< Cumulative over all its tasks.
-  util::DurationNs cpu_time_ns = 0;  ///< Summed over tasks.
-  /// Ground-truth activity energy (joules) the simulator attributed to this
-  /// process — evaluation-only, see Task::attributed_energy_joules.
-  double attributed_energy_joules = 0.0;
-  double last_utilization = 0.0;     ///< CPU share over the last tick, in
-                                     ///< units of hardware threads (0..N).
-};
-
-/// Machine-wide view over the last tick.
-struct SystemStat {
-  double utilization = 0.0;  ///< Busy hw threads / total hw threads, 0..1.
-  double power_watts = 0.0;  ///< Ground truth incl. peripherals (meters only).
-  double frequency_hz = 0.0;
-  util::TimestampNs now_ns = 0;
-  double disk_watts = 0.0;   ///< 0 when peripherals are disabled.
-  double nic_watts = 0.0;
-};
 
 /// Simple DVFS governor in the style of Linux "ondemand".
 class OndemandGovernor {
@@ -65,7 +40,7 @@ class OndemandGovernor {
   int calm_ticks_ = 0;
 };
 
-class System {
+class System final : public MonitorableHost {
  public:
   struct Options {
     util::DurationNs tick_ns = util::ms_to_ns(1);
@@ -92,7 +67,7 @@ class System {
   void set_group(Pid pid, std::string group);
   void kill(Pid pid);
   bool alive(Pid pid) const;
-  std::vector<Pid> pids() const;
+  std::vector<Pid> pids() const override;
 
   // --- Time ---
   /// Advances one tick: schedule → execute → account.
@@ -101,28 +76,35 @@ class System {
   /// after each tick.
   void run_for(util::DurationNs duration,
                const std::function<void(const System&)>& on_tick = {});
-  util::TimestampNs now_ns() const { return clock_.now(); }
+  /// MonitorableHost time control: one kernel run, no per-tick callback.
+  void advance(util::DurationNs duration) override { run_for(duration); }
+  util::TimestampNs now_ns() const override { return clock_.now(); }
   util::DurationNs tick_ns() const noexcept { return tick_ns_; }
   const util::SimClock& clock() const noexcept { return clock_; }
 
   // --- Introspection (the sensors' substrate) ---
-  std::optional<ProcStat> proc_stat(Pid pid) const;
-  SystemStat system_stat() const;
+  std::optional<ProcStat> proc_stat(Pid pid) const override;
+  SystemStat system_stat() const override;
   /// Whole-system energy (machine + peripherals) — what a wall meter
   /// integrates. Equals machine energy when peripherals are disabled.
-  double total_energy_joules() const noexcept;
+  double total_energy_joules() const noexcept override;
+  double package_energy_joules() const noexcept override {
+    return machine_.package_energy_joules();
+  }
+  const simcpu::CounterBlock& machine_counters() const noexcept override {
+    return machine_.machine_counters();
+  }
+  std::size_t hw_threads() const noexcept override {
+    return machine_.spec().hw_threads();
+  }
 
-  /// Cumulative IO issued by tasks since boot (iostat/ifconfig-style
-  /// counters; zero when peripherals are disabled). Sensors difference
-  /// these into rates.
-  struct IoTotals {
-    double disk_ops = 0.0;
-    double disk_bytes = 0.0;
-    double net_bytes = 0.0;
-  };
-  const IoTotals& io_totals() const noexcept { return io_totals_; }
-  const periph::DiskModel* disk() const noexcept { return disk_ ? &*disk_ : nullptr; }
-  const periph::NicModel* nic() const noexcept { return nic_ ? &*nic_ : nullptr; }
+  const IoTotals& io_totals() const noexcept override { return io_totals_; }
+  const periph::DiskModel* disk() const noexcept override {
+    return disk_ ? &*disk_ : nullptr;
+  }
+  const periph::NicModel* nic() const noexcept override {
+    return nic_ ? &*nic_ : nullptr;
+  }
   const simcpu::Machine& machine() const noexcept { return machine_; }
   simcpu::Machine& machine() noexcept { return machine_; }
   Scheduler& scheduler() noexcept { return *scheduler_; }

@@ -4,10 +4,10 @@
 
 namespace powerapi::api {
 
-Aggregator::Aggregator(actors::EventBus& bus, AggregationDimension dimension,
-                       GroupResolver group_of)
+Aggregator::Aggregator(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                       AggregationDimension dimension, GroupResolver group_of)
     : bus_(&bus),
-      out_topic_(bus.intern("power:aggregated")),
+      out_topic_(out_topic),
       dimension_(dimension),
       group_of_(std::move(group_of)) {}
 

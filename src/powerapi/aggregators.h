@@ -26,10 +26,11 @@ class Aggregator final : public actors::Actor {
   /// whose resolver returns "" aggregate under the empty group.
   using GroupResolver = std::function<std::string(std::int64_t pid)>;
 
-  Aggregator(actors::EventBus& bus, AggregationDimension dimension)
-      : Aggregator(bus, dimension, GroupResolver{}) {}
-  Aggregator(actors::EventBus& bus, AggregationDimension dimension,
-             GroupResolver group_of);
+  Aggregator(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+             AggregationDimension dimension)
+      : Aggregator(bus, out_topic, dimension, GroupResolver{}) {}
+  Aggregator(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+             AggregationDimension dimension, GroupResolver group_of);
 
   void receive(actors::Envelope& envelope) override;
 
@@ -49,7 +50,7 @@ class Aggregator final : public actors::Actor {
   void receive_group_dimension(const PowerEstimate& estimate);
 
   actors::EventBus* bus_;
-  actors::EventBus::TopicId out_topic_;  ///< "power:aggregated", interned once.
+  actors::EventBus::TopicId out_topic_;  ///< The namespace's "power:aggregated".
   AggregationDimension dimension_;
   GroupResolver group_of_;
   /// Per-formula group under construction; emitted when a newer timestamp

@@ -1,0 +1,190 @@
+#include "powerapi/fleet_monitor.h"
+
+#include <algorithm>
+#include <any>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace powerapi::api {
+
+namespace {
+
+/// Advances one host and fires its due monitor ticks. The only writer of
+/// its host: the single-threaded receive guarantee makes host advancement
+/// race-free even on the work-stealing dispatcher.
+class HostAgent final : public actors::Actor {
+ public:
+  HostAgent(os::MonitorableHost& host, Pipeline& pipeline)
+      : host_(&host), pipeline_(&pipeline) {}
+
+  void receive(actors::Envelope& envelope) override {
+    const AdvanceHost* cmd = envelope.payload.get<AdvanceHost>();
+    if (cmd == nullptr) return;
+    host_->advance(cmd->duration);
+    pipeline_->publish_due_ticks();
+  }
+
+ private:
+  os::MonitorableHost* host_;
+  Pipeline* pipeline_;
+};
+
+/// Sums machine-scope aggregated rows across hosts per (formula, timestamp)
+/// and emits a "(fleet)" row once every host has reported — order-robust
+/// under concurrent dispatch, where host pipelines interleave arbitrarily.
+class FleetAggregator final : public actors::Actor {
+ public:
+  FleetAggregator(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                  std::shared_ptr<const std::size_t> host_count)
+      : bus_(&bus), out_topic_(out_topic), host_count_(std::move(host_count)) {}
+
+  void receive(actors::Envelope& envelope) override {
+    const auto* row = envelope.payload.get<AggregatedPower>();
+    if (row == nullptr) return;
+    // Fleet dimension sums the per-host machine view; per-pid and per-group
+    // rows stay host-local.
+    if (row->pid != kMachinePid || !row->group.empty()) return;
+    Bucket& bucket = pending_[{row->formula, row->timestamp}];
+    bucket.watts += row->watts;
+    ++bucket.hosts;
+    if (bucket.hosts >= *host_count_) {
+      emit(row->formula, row->timestamp, bucket);
+      pending_.erase({row->formula, row->timestamp});
+    }
+  }
+
+  /// Flushes buckets still waiting on stragglers (end of monitoring).
+  void post_stop() override {
+    for (const auto& [key, bucket] : pending_) emit(key.first, key.second, bucket);
+    pending_.clear();
+  }
+
+ private:
+  struct Bucket {
+    double watts = 0.0;
+    std::size_t hosts = 0;
+  };
+
+  void emit(const std::string& formula, util::TimestampNs timestamp,
+            const Bucket& bucket) {
+    AggregatedPower out;
+    out.timestamp = timestamp;
+    out.pid = kMachinePid;
+    out.group = "(fleet)";
+    out.formula = formula;
+    out.watts = bucket.watts;
+    bus_->publish(out_topic_, std::move(out), self());
+  }
+
+  actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;
+  std::shared_ptr<const std::size_t> host_count_;
+  std::map<std::pair<std::string, util::TimestampNs>, Bucket> pending_;
+};
+
+}  // namespace
+
+FleetMonitor::FleetMonitor(Options options)
+    : options_(options),
+      actors_(options.mode, options.workers),
+      bus_(actors_),
+      fleet_topic_(bus_.intern("fleet/power:aggregated")),
+      host_count_(std::make_shared<std::size_t>(0)) {
+  if (options_.fleet_aggregation) {
+    fleet_aggregator_ = actors_.spawn_as<FleetAggregator>("fleet-aggregator", bus_,
+                                                          fleet_topic_, host_count_);
+  }
+}
+
+FleetMonitor::~FleetMonitor() {
+  finish();
+  actors_.shutdown();
+  if (actors_.mode() == actors::ActorSystem::Mode::kManual) actors_.drain();
+}
+
+std::size_t FleetMonitor::add_host(os::MonitorableHost& host, PipelineSpec spec) {
+  const std::size_t index = entries_.size();
+  auto entry = std::make_unique<HostEntry>();
+  entry->host = &host;
+  PipelineBuilder builder(actors_, bus_);
+  entry->pipeline = builder.build(host, std::move(spec), "h" + std::to_string(index) + "/");
+  entry->agent = actors_.spawn_as<HostAgent>("h" + std::to_string(index) + "/agent",
+                                             host, *entry->pipeline);
+  if (options_.fleet_aggregation) {
+    bus_.subscribe(entry->pipeline->aggregated_topic(), fleet_aggregator_);
+  }
+  entries_.push_back(std::move(entry));
+  *host_count_ = entries_.size();
+  return index;
+}
+
+void FleetMonitor::monitor(std::size_t host, std::vector<std::int64_t> pids) {
+  entries_[host]->pipeline->monitor(std::move(pids));
+}
+
+void FleetMonitor::monitor_all(std::size_t host) {
+  entries_[host]->pipeline->monitor_all();
+}
+
+MemoryReporter& FleetMonitor::add_memory_reporter(std::size_t host) {
+  return entries_[host]->pipeline->add_memory_reporter();
+}
+
+void FleetMonitor::add_callback_reporter(std::size_t host,
+                                         CallbackReporter::Callback callback) {
+  entries_[host]->pipeline->add_callback_reporter(std::move(callback));
+}
+
+MemoryReporter& FleetMonitor::add_fleet_reporter() {
+  if (!options_.fleet_aggregation) {
+    throw std::logic_error("FleetMonitor: fleet_aggregation disabled in Options");
+  }
+  auto owned = std::make_unique<MemoryReporter>();
+  MemoryReporter& ref = *owned;
+  const auto reporter = actors_.spawn("fleet/reporter-memory", std::move(owned));
+  bus_.subscribe(fleet_topic_, reporter);
+  return ref;
+}
+
+void FleetMonitor::settle() {
+  if (actors_.mode() == actors::ActorSystem::Mode::kThreaded) {
+    actors_.await_idle();
+  } else {
+    actors_.drain();
+  }
+}
+
+void FleetMonitor::run_for(util::DurationNs duration) {
+  if (finished_) throw std::logic_error("FleetMonitor::run_for after finish()");
+  if (entries_.empty() || duration <= 0) return;
+  // Chunk at the smallest monitoring period so no host's ticks coalesce
+  // beyond what its own PowerMeter-equivalent run would produce.
+  util::DurationNs chunk = entries_.front()->pipeline->ticker().period();
+  for (const auto& entry : entries_) {
+    chunk = std::min(chunk, entry->pipeline->ticker().period());
+  }
+  util::DurationNs advanced = 0;
+  while (advanced < duration) {
+    const util::DurationNs step = std::min(chunk, duration - advanced);
+    for (const auto& entry : entries_) {
+      actors_.tell(entry->agent, actors::Payload(AdvanceHost{step}));
+    }
+    settle();  // Barrier: every host advanced, every pipeline drained.
+    advanced += step;
+  }
+}
+
+void FleetMonitor::finish() {
+  if (finished_) return;
+  finished_ = true;
+  settle();
+  // Host aggregators flush first (their pending groups feed the fleet
+  // dimension), then the fleet aggregator flushes its partial buckets.
+  for (const auto& entry : entries_) entry->pipeline->finish();
+  settle();
+  if (options_.fleet_aggregation) actors_.stop(fleet_aggregator_);
+  settle();
+}
+
+}  // namespace powerapi::api

@@ -1,0 +1,103 @@
+// FleetMonitor: one actor system monitoring N hosts concurrently.
+//
+// Each host gets its own pipeline under topic namespace "h<i>/" plus a
+// HostAgent actor that advances the host's clock and fires its monitor
+// ticks. run_for() sends every agent an AdvanceHost command per chunk and
+// barriers on the actor system, so on the threaded work-stealing dispatcher
+// all hosts advance — and all their pipelines process — in parallel, while
+// each host is only ever touched by its own actors (no locks needed).
+// kManual mode runs the identical graph deterministically for tests; a
+// host's series is bit-for-bit the same as a standalone kManual PowerMeter
+// over an identically constructed host.
+//
+// The fleet dimension: a FleetAggregator subscribes to every host's
+// "h<i>/power:aggregated" topic and re-publishes per-formula machine-power
+// sums across hosts on "fleet/power:aggregated" once all hosts have
+// reported a timestamp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actors/actor_system.h"
+#include "actors/event_bus.h"
+#include "powerapi/pipeline.h"
+#include "powerapi/reporters.h"
+
+namespace powerapi::api {
+
+/// Command to a HostAgent: advance your host by `duration`, then fire any
+/// monitor ticks that became due.
+struct AdvanceHost {
+  util::DurationNs duration = 0;
+};
+
+class FleetMonitor {
+ public:
+  struct Options {
+    actors::ActorSystem::Mode mode = actors::ActorSystem::Mode::kThreaded;
+    std::size_t workers = 4;        ///< Threaded mode only.
+    bool fleet_aggregation = true;  ///< Spawn the fleet-dimension aggregator.
+  };
+
+  FleetMonitor() : FleetMonitor(Options{}) {}
+  explicit FleetMonitor(Options options);
+  ~FleetMonitor();
+
+  FleetMonitor(const FleetMonitor&) = delete;
+  FleetMonitor& operator=(const FleetMonitor&) = delete;
+
+  /// Adds a host under namespace "h<index>/" and returns its index. The
+  /// host must outlive the monitor. Add all hosts before the first
+  /// run_for().
+  std::size_t add_host(os::MonitorableHost& host, PipelineSpec spec);
+
+  /// The host's pipeline: retarget monitoring, attach reporters, etc.
+  Pipeline& pipeline(std::size_t host) { return *entries_[host]->pipeline; }
+
+  // Per-host conveniences (mirroring PowerMeter's surface).
+  void monitor(std::size_t host, std::vector<std::int64_t> pids);
+  void monitor_all(std::size_t host);
+  MemoryReporter& add_memory_reporter(std::size_t host);
+  void add_callback_reporter(std::size_t host, CallbackReporter::Callback callback);
+
+  /// Reporter over the fleet dimension: rows carry group "(fleet)" and the
+  /// per-formula machine power summed across hosts.
+  MemoryReporter& add_fleet_reporter();
+
+  /// Advances every host by `duration`, chunked at the smallest pipeline
+  /// period, firing due ticks per host per chunk. Hosts advance and their
+  /// pipelines run concurrently in threaded mode.
+  void run_for(util::DurationNs duration);
+
+  /// Flushes every pipeline's pending aggregation groups, then the fleet
+  /// aggregator's; call once after the last run_for.
+  void finish();
+
+  std::size_t host_count() const noexcept { return entries_.size(); }
+  actors::ActorSystem& actor_system() noexcept { return actors_; }
+  actors::EventBus& bus() noexcept { return bus_; }
+
+ private:
+  struct HostEntry {
+    os::MonitorableHost* host = nullptr;
+    std::unique_ptr<Pipeline> pipeline;
+    actors::ActorRef agent;
+  };
+
+  /// Blocks/drains until the system is quiescent (mode-appropriate).
+  void settle();
+
+  Options options_;
+  actors::ActorSystem actors_;
+  actors::EventBus bus_;
+  actors::EventBus::TopicId fleet_topic_;
+  std::vector<std::unique_ptr<HostEntry>> entries_;
+  std::shared_ptr<std::size_t> host_count_;  ///< Read by the FleetAggregator.
+  actors::ActorRef fleet_aggregator_;
+  bool finished_ = false;
+};
+
+}  // namespace powerapi::api

@@ -12,12 +12,14 @@ const SensorReport* as_report(const actors::Envelope& envelope) {
 
 // --- RegressionFormula ---
 
-RegressionFormula::RegressionFormula(actors::EventBus& bus, model::CpuPowerModel model)
-    : bus_(&bus), out_topic_(bus.intern("power:estimate")), model_(std::move(model)) {}
+RegressionFormula::RegressionFormula(actors::EventBus& bus,
+                                     actors::EventBus::TopicId out_topic,
+                                     model::CpuPowerModel model)
+    : bus_(&bus), out_topic_(out_topic), model_(std::move(model)) {}
 
 void RegressionFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
-  if (report == nullptr || report->sensor != "hpc") return;
+  if (report == nullptr || report->sensor != SensorKind::kHpc) return;
 
   PowerEstimate estimate;
   estimate.timestamp = report->timestamp;
@@ -31,9 +33,9 @@ void RegressionFormula::receive(actors::Envelope& envelope) {
 // --- EstimatorFormula ---
 
 EstimatorFormula::EstimatorFormula(
-    actors::EventBus& bus, std::string /*subscribe_sensor*/,
+    actors::EventBus& bus, actors::EventBus::TopicId out_topic,
     std::shared_ptr<const baselines::MachinePowerEstimator> estimator)
-    : bus_(&bus), out_topic_(bus.intern("power:estimate")), estimator_(std::move(estimator)) {}
+    : bus_(&bus), out_topic_(out_topic), estimator_(std::move(estimator)) {}
 
 void EstimatorFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
@@ -55,13 +57,13 @@ void EstimatorFormula::receive(actors::Envelope& envelope) {
 
 // --- IoFormula ---
 
-IoFormula::IoFormula(actors::EventBus& bus, periph::DiskParams disk,
-                     periph::NicParams nic)
-    : bus_(&bus), out_topic_(bus.intern("power:estimate")), disk_(disk), nic_(nic) {}
+IoFormula::IoFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                     periph::DiskParams disk, periph::NicParams nic)
+    : bus_(&bus), out_topic_(out_topic), disk_(disk), nic_(nic) {}
 
 void IoFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
-  if (report == nullptr || report->sensor != "io") return;
+  if (report == nullptr || report->sensor != SensorKind::kIo) return;
 
   // Base power assumes the common steady states (platters spinning, link
   // awake); transition states (spin-up surges, LPI) are below this formula's
@@ -83,8 +85,9 @@ void IoFormula::receive(actors::Envelope& envelope) {
 
 // --- MeterFormula ---
 
-MeterFormula::MeterFormula(actors::EventBus& bus, std::string formula_name)
-    : bus_(&bus), out_topic_(bus.intern("power:estimate")), formula_name_(std::move(formula_name)) {}
+MeterFormula::MeterFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                           std::string formula_name)
+    : bus_(&bus), out_topic_(out_topic), formula_name_(std::move(formula_name)) {}
 
 void MeterFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);

@@ -1,4 +1,7 @@
 // Formula actors: turn SensorReports into PowerEstimates.
+//
+// Each formula publishes on the "power:estimate" topic of its pipeline's
+// namespace; the builder interns the topic and injects the id.
 #pragma once
 
 #include <memory>
@@ -20,13 +23,14 @@ namespace powerapi::api {
 /// process).
 class RegressionFormula final : public actors::Actor {
  public:
-  RegressionFormula(actors::EventBus& bus, model::CpuPowerModel model);
+  RegressionFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                    model::CpuPowerModel model);
 
   void receive(actors::Envelope& envelope) override;
 
  private:
   actors::EventBus* bus_;
-  actors::EventBus::TopicId out_topic_;  ///< "power:estimate", interned once.
+  actors::EventBus::TopicId out_topic_;
   model::CpuPowerModel model_;
 };
 
@@ -34,31 +38,32 @@ class RegressionFormula final : public actors::Actor {
 /// Bertran, HAPPY). Machine scope only — these models are machine models.
 class EstimatorFormula final : public actors::Actor {
  public:
-  EstimatorFormula(actors::EventBus& bus, std::string subscribe_sensor,
+  EstimatorFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
                    std::shared_ptr<const baselines::MachinePowerEstimator> estimator);
 
   void receive(actors::Envelope& envelope) override;
 
  private:
   actors::EventBus* bus_;
-  actors::EventBus::TopicId out_topic_;  ///< "power:estimate", interned once.
+  actors::EventBus::TopicId out_topic_;
   std::shared_ptr<const baselines::MachinePowerEstimator> estimator_;
 };
 
 /// Datasheet-based IO power formula: unlike CPU cores, disk and NIC power
 /// characteristics are published by their vendors, so the component model
 /// needs no regression — base power plus per-op and per-byte energies from
-/// the device parameters. Consumes "sensor:io", emits machine-scope
-/// "io-datasheet" estimates of the peripheral power share.
+/// the device parameters. Consumes SensorKind::kIo reports, emits
+/// machine-scope "io-datasheet" estimates of the peripheral power share.
 class IoFormula final : public actors::Actor {
  public:
-  IoFormula(actors::EventBus& bus, periph::DiskParams disk, periph::NicParams nic);
+  IoFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+            periph::DiskParams disk, periph::NicParams nic);
 
   void receive(actors::Envelope& envelope) override;
 
  private:
   actors::EventBus* bus_;
-  actors::EventBus::TopicId out_topic_;  ///< "power:estimate", interned once.
+  actors::EventBus::TopicId out_topic_;
   periph::DiskParams disk_;
   periph::NicParams nic_;
 };
@@ -67,13 +72,14 @@ class IoFormula final : public actors::Actor {
 /// the estimate — with the meter's scope limitation (package, machine-wide).
 class MeterFormula final : public actors::Actor {
  public:
-  MeterFormula(actors::EventBus& bus, std::string formula_name);
+  MeterFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+               std::string formula_name);
 
   void receive(actors::Envelope& envelope) override;
 
  private:
   actors::EventBus* bus_;
-  actors::EventBus::TopicId out_topic_;  ///< "power:estimate", interned once.
+  actors::EventBus::TopicId out_topic_;
   std::string formula_name_;
 };
 

@@ -1,17 +1,22 @@
 // Message vocabulary of the PowerAPI pipeline (Figure 2).
 //
-// Topics:
+// Topics (within one pipeline's namespace — see pipeline.h):
 //   "tick"              MonitorTick   → all sensors
 //   "sensor:hpc"        SensorReport  → formulas
 //   "sensor:cpu-load"   SensorReport  → CPU-load formula
 //   "sensor:powerspy"   SensorReport  → reporters wanting ground truth
 //   "sensor:rapl"       SensorReport  → RAPL formula
+//   "sensor:io"         SensorReport  → IO datasheet formula
 //   "power:estimate"    PowerEstimate → aggregators
 //   "power:aggregated"  AggregatedPower → reporters
+//
+// In a multi-host fleet each host's pipeline lives under a namespace prefix
+// ("h3/sensor:hpc"); the fleet dimension adds "fleet/power:aggregated".
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "model/sample.h"
 #include "util/units.h"
@@ -26,11 +31,33 @@ struct MonitorTick {
   util::TimestampNs timestamp = 0;
 };
 
+/// Which sensor produced a report. An enum rather than a string: reports are
+/// hot-path messages (one per target per tick), and an interned tag removes
+/// a heap allocation + string compare per hop.
+enum class SensorKind : std::uint8_t {
+  kHpc,
+  kCpuLoad,
+  kPowerSpy,
+  kRapl,
+  kIo,
+};
+
+constexpr std::string_view to_string(SensorKind kind) noexcept {
+  switch (kind) {
+    case SensorKind::kHpc: return "hpc";
+    case SensorKind::kCpuLoad: return "cpu-load";
+    case SensorKind::kPowerSpy: return "powerspy";
+    case SensorKind::kRapl: return "rapl";
+    case SensorKind::kIo: return "io";
+  }
+  return "?";
+}
+
 /// One sensor's observation of one target over the last window.
 struct SensorReport {
   util::TimestampNs timestamp = 0;
   std::int64_t pid = kMachinePid;
-  std::string sensor;             ///< "hpc", "cpu-load", "powerspy", "rapl".
+  SensorKind sensor = SensorKind::kHpc;
   double frequency_hz = 0.0;
   double window_seconds = 0.0;
   model::EventRates rates{};      ///< Event rates over the window (hpc sensor).

@@ -1,0 +1,165 @@
+#include "powerapi/pipeline.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "hpc/sim_backend.h"
+#include "periph/disk.h"
+#include "periph/nic.h"
+#include "powerapi/formulas.h"
+#include "powerapi/sensors.h"
+#include "powermeter/powerspy.h"
+#include "powermeter/rapl.h"
+#include "util/rng.h"
+
+namespace powerapi::api {
+
+Pipeline::Pipeline(actors::ActorSystem& actors, actors::EventBus& bus,
+                   os::MonitorableHost& host, PipelineSpec spec, std::string ns)
+    : actors_(&actors),
+      bus_(&bus),
+      host_(&host),
+      ns_(std::move(ns)),
+      with_powerspy_(spec.with_powerspy),
+      backend_(std::make_unique<hpc::SimBackend>(host)),
+      targets_(std::make_shared<TargetsState>()),
+      ticker_(host.now_ns(), spec.period),
+      tick_topic_(bus.intern(ns_ + "tick")),
+      hpc_topic_(bus.intern(ns_ + "sensor:hpc")),
+      estimate_topic_(bus.intern(ns_ + "power:estimate")),
+      aggregated_topic_(bus.intern(ns_ + "power:aggregated")) {
+  targets_->host = host_;
+  util::Rng rng(spec.seed);
+
+  // Targets provider shared by the sensors.
+  TargetsFn targets = [state = targets_]() -> std::vector<std::int64_t> {
+    if (state->all) return state->host->pids();
+    return state->fixed;
+  };
+
+  // --- Sensors ---
+  const auto hpc_sensor = actors_->spawn_as<HpcSensor>(
+      ns_ + "sensor-hpc", *bus_, hpc_topic_, *backend_, targets, host_);
+  bus_->subscribe(tick_topic_, hpc_sensor);
+
+  if (spec.with_powerspy) {
+    auto meter = std::make_shared<powermeter::PowerSpy>(
+        [h = host_] { return h->total_energy_joules(); },
+        [h = host_] { return h->now_ns(); }, rng.fork(1));
+    const auto sensor_topic = bus_->intern(ns_ + "sensor:powerspy");
+    const auto sensor = actors_->spawn_as<PowerSpySensor>(
+        ns_ + "sensor-powerspy", *bus_, sensor_topic, std::move(meter));
+    bus_->subscribe(tick_topic_, sensor);
+    const auto formula = actors_->spawn_as<MeterFormula>(
+        ns_ + "formula-powerspy", *bus_, estimate_topic_, "powerspy");
+    bus_->subscribe(sensor_topic, formula);
+  }
+
+  if (spec.with_rapl) {
+    auto msr = std::make_shared<powermeter::RaplMsr>(
+        [h = host_] { return h->package_energy_joules(); },
+        [h = host_] { return h->now_ns(); });
+    const auto sensor_topic = bus_->intern(ns_ + "sensor:rapl");
+    const auto sensor = actors_->spawn_as<RaplSensor>(ns_ + "sensor-rapl", *bus_,
+                                                      sensor_topic, std::move(msr));
+    bus_->subscribe(tick_topic_, sensor);
+    const auto formula = actors_->spawn_as<MeterFormula>(ns_ + "formula-rapl", *bus_,
+                                                         estimate_topic_, "rapl");
+    bus_->subscribe(sensor_topic, formula);
+  }
+
+  if (spec.with_io && host_->disk() != nullptr) {
+    const auto sensor_topic = bus_->intern(ns_ + "sensor:io");
+    const auto sensor =
+        actors_->spawn_as<IoSensor>(ns_ + "sensor-io", *bus_, sensor_topic, *host_);
+    bus_->subscribe(tick_topic_, sensor);
+    const auto formula =
+        actors_->spawn_as<IoFormula>(ns_ + "formula-io", *bus_, estimate_topic_,
+                                     host_->disk()->params(), host_->nic()->params());
+    bus_->subscribe(sensor_topic, formula);
+  }
+
+  if (spec.with_cpu_load) {
+    const auto sensor_topic = bus_->intern(ns_ + "sensor:cpu-load");
+    const auto sensor = actors_->spawn_as<CpuLoadSensor>(
+        ns_ + "sensor-cpu-load", *bus_, sensor_topic, *host_, targets);
+    bus_->subscribe(tick_topic_, sensor);
+  }
+
+  // --- The paper's formula ---
+  if (!spec.model.empty()) {
+    const auto formula = actors_->spawn_as<RegressionFormula>(
+        ns_ + "formula-hpc", *bus_, estimate_topic_, std::move(spec.model));
+    bus_->subscribe(hpc_topic_, formula);
+  }
+
+  // --- Aggregation ---
+  Aggregator::GroupResolver group_of = [h = host_](std::int64_t pid) {
+    const auto stat = h->proc_stat(pid);
+    return stat ? stat->group : std::string();
+  };
+  aggregator_ = actors_->spawn_as<Aggregator>(ns_ + "aggregator", *bus_,
+                                              aggregated_topic_, spec.dimension,
+                                              std::move(group_of));
+  bus_->subscribe(estimate_topic_, aggregator_);
+
+  // --- Declaratively attached baseline formulas ---
+  for (auto& estimator : spec.estimators) add_estimator(std::move(estimator));
+}
+
+void Pipeline::monitor(std::vector<std::int64_t> pids) {
+  targets_->all = false;
+  targets_->fixed = std::move(pids);
+}
+
+void Pipeline::monitor_all() { targets_->all = true; }
+
+std::uint64_t Pipeline::publish_due_ticks() {
+  const util::TimestampNs now = host_->now_ns();
+  const std::uint64_t due = ticker_.due(now);
+  for (std::uint64_t i = 0; i < due; ++i) {
+    bus_->publish(tick_topic_, MonitorTick{now});
+  }
+  return due;
+}
+
+void Pipeline::add_estimator(
+    std::shared_ptr<const baselines::MachinePowerEstimator> estimator) {
+  if (!estimator) throw std::invalid_argument("Pipeline::add_estimator: null estimator");
+  const std::string name = ns_ + "formula-" + estimator->name();
+  const auto formula = actors_->spawn_as<EstimatorFormula>(
+      name, *bus_, estimate_topic_, std::move(estimator));
+  bus_->subscribe(hpc_topic_, formula);
+}
+
+void Pipeline::add_console_reporter(std::ostream& out) {
+  const auto reporter = actors_->spawn_as<ConsoleReporter>(ns_ + "reporter-console", out);
+  bus_->subscribe(aggregated_topic_, reporter);
+}
+
+void Pipeline::add_csv_reporter(std::ostream& out) {
+  const auto reporter = actors_->spawn_as<CsvReporter>(ns_ + "reporter-csv", out);
+  bus_->subscribe(aggregated_topic_, reporter);
+}
+
+void Pipeline::add_callback_reporter(CallbackReporter::Callback callback) {
+  const auto reporter = actors_->spawn_as<CallbackReporter>(ns_ + "reporter-callback",
+                                                            std::move(callback));
+  bus_->subscribe(aggregated_topic_, reporter);
+}
+
+MemoryReporter& Pipeline::add_memory_reporter() {
+  auto owned = std::make_unique<MemoryReporter>();
+  MemoryReporter& ref = *owned;
+  const auto reporter = actors_->spawn(ns_ + "reporter-memory", std::move(owned));
+  bus_->subscribe(aggregated_topic_, reporter);
+  return ref;
+}
+
+void Pipeline::finish() {
+  if (finished_) return;
+  finished_ = true;
+  actors_->stop(aggregator_);  // post_stop flushes pending groups.
+}
+
+}  // namespace powerapi::api

@@ -1,81 +1,20 @@
 #include "powerapi/power_meter.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace powerapi::api {
 
-PowerMeter::PowerMeter(os::System& system, model::CpuPowerModel model, Config config)
-    : system_(&system),
+PowerMeter::PowerMeter(os::MonitorableHost& host, model::CpuPowerModel model,
+                       Config config)
+    : host_(&host),
       config_(config),
       actors_(actors::ActorSystem::Mode::kManual),
-      bus_(actors_),
-      tick_topic_(bus_.intern("tick")),
-      backend_(system),
-      fixed_targets_(std::make_shared<std::vector<std::int64_t>>()),
-      ticker_(system.now_ns(), config.period) {
-  util::Rng rng(config_.seed);
-
-  // Targets provider shared by the sensors.
-  auto targets = [this]() -> std::vector<std::int64_t> {
-    if (monitor_all_) return system_->pids();
-    return *fixed_targets_;
-  };
-
-  // --- Sensors ---
-  const auto hpc_sensor = actors_.spawn_as<HpcSensor>("sensor-hpc", bus_, backend_,
-                                                      targets, system_);
-  bus_.subscribe("tick", hpc_sensor);
-
-  if (config_.with_powerspy) {
-    auto meter = std::make_shared<powermeter::PowerSpy>(
-        [sys = system_] { return sys->total_energy_joules(); },
-        [sys = system_] { return sys->now_ns(); }, rng.fork(1));
-    const auto sensor =
-        actors_.spawn_as<PowerSpySensor>("sensor-powerspy", bus_, std::move(meter));
-    bus_.subscribe("tick", sensor);
-    const auto formula = actors_.spawn_as<MeterFormula>("formula-powerspy", bus_, "powerspy");
-    bus_.subscribe("sensor:powerspy", formula);
-  }
-
-  if (config_.with_rapl) {
-    auto msr = std::make_shared<powermeter::RaplMsr>(
-        [sys = system_] { return sys->machine().package_energy_joules(); },
-        [sys = system_] { return sys->now_ns(); });
-    const auto sensor = actors_.spawn_as<RaplSensor>("sensor-rapl", bus_, std::move(msr));
-    bus_.subscribe("tick", sensor);
-    const auto formula = actors_.spawn_as<MeterFormula>("formula-rapl", bus_, "rapl");
-    bus_.subscribe("sensor:rapl", formula);
-  }
-
-  if (config_.with_io && system_->disk() != nullptr) {
-    const auto sensor = actors_.spawn_as<IoSensor>("sensor-io", bus_, *system_);
-    bus_.subscribe("tick", sensor);
-    const auto formula = actors_.spawn_as<IoFormula>(
-        "formula-io", bus_, system_->disk()->params(), system_->nic()->params());
-    bus_.subscribe("sensor:io", formula);
-  }
-
-  if (config_.with_cpu_load) {
-    const auto sensor =
-        actors_.spawn_as<CpuLoadSensor>("sensor-cpu-load", bus_, *system_, targets);
-    bus_.subscribe("tick", sensor);
-  }
-
-  // --- The paper's formula ---
-  if (!model.empty()) {
-    const auto formula =
-        actors_.spawn_as<RegressionFormula>("formula-hpc", bus_, std::move(model));
-    bus_.subscribe("sensor:hpc", formula);
-  }
-
-  // --- Aggregation ---
-  Aggregator::GroupResolver group_of = [sys = system_](std::int64_t pid) {
-    const auto stat = sys->proc_stat(pid);
-    return stat ? stat->group : std::string();
-  };
-  aggregator_ = actors_.spawn_as<Aggregator>("aggregator", bus_, config_.dimension,
-                                             std::move(group_of));
-  bus_.subscribe("power:estimate", aggregator_);
+      bus_(actors_) {
+  PipelineSpec spec = std::move(config);
+  if (!model.empty()) spec.model = std::move(model);
+  pipeline_ = PipelineBuilder(actors_, bus_).build(*host_, std::move(spec));
 }
 
 PowerMeter::~PowerMeter() {
@@ -87,57 +26,41 @@ PowerMeter::~PowerMeter() {
 }
 
 void PowerMeter::monitor(std::vector<std::int64_t> pids) {
-  monitor_all_ = false;
-  *fixed_targets_ = std::move(pids);
+  pipeline_->monitor(std::move(pids));
 }
 
-void PowerMeter::monitor_all() { monitor_all_ = true; }
+void PowerMeter::monitor_all() { pipeline_->monitor_all(); }
 
 void PowerMeter::add_estimator(
     std::shared_ptr<const baselines::MachinePowerEstimator> estimator) {
-  if (!estimator) throw std::invalid_argument("PowerMeter::add_estimator: null estimator");
-  const std::string name = "formula-" + estimator->name();
-  const auto formula =
-      actors_.spawn_as<EstimatorFormula>(name, bus_, "sensor:hpc", std::move(estimator));
-  bus_.subscribe("sensor:hpc", formula);
+  pipeline_->add_estimator(std::move(estimator));
 }
 
 void PowerMeter::add_console_reporter(std::ostream& out) {
-  const auto reporter = actors_.spawn_as<ConsoleReporter>("reporter-console", out);
-  bus_.subscribe("power:aggregated", reporter);
+  pipeline_->add_console_reporter(out);
 }
 
 void PowerMeter::add_csv_reporter(std::ostream& out) {
-  const auto reporter = actors_.spawn_as<CsvReporter>("reporter-csv", out);
-  bus_.subscribe("power:aggregated", reporter);
+  pipeline_->add_csv_reporter(out);
 }
 
 void PowerMeter::add_callback_reporter(CallbackReporter::Callback callback) {
-  const auto reporter =
-      actors_.spawn_as<CallbackReporter>("reporter-callback", std::move(callback));
-  bus_.subscribe("power:aggregated", reporter);
+  pipeline_->add_callback_reporter(std::move(callback));
 }
 
 MemoryReporter& PowerMeter::add_memory_reporter() {
-  auto owned = std::make_unique<MemoryReporter>();
-  MemoryReporter& ref = *owned;
-  const auto reporter = actors_.spawn("reporter-memory", std::move(owned));
-  bus_.subscribe("power:aggregated", reporter);
-  return ref;
+  return pipeline_->add_memory_reporter();
 }
 
 void PowerMeter::run_for(util::DurationNs duration) {
   if (finished_) throw std::logic_error("PowerMeter::run_for after finish()");
-  const util::TimestampNs deadline = system_->now_ns() + duration;
-  while (system_->now_ns() < deadline) {
-    // Advance the OS by one monitoring period (in OS ticks), then fire.
+  const util::TimestampNs deadline = host_->now_ns() + duration;
+  while (host_->now_ns() < deadline) {
+    // Advance the host by one monitoring period (in host ticks), then fire.
     const util::DurationNs chunk =
-        std::min<util::DurationNs>(config_.period, deadline - system_->now_ns());
-    system_->run_for(chunk);
-    const std::uint64_t due = ticker_.due(system_->now_ns());
-    for (std::uint64_t i = 0; i < due; ++i) {
-      bus_.publish(tick_topic_, MonitorTick{system_->now_ns()});
-    }
+        std::min<util::DurationNs>(config_.period, deadline - host_->now_ns());
+    host_->advance(chunk);
+    pipeline_->publish_due_ticks();
     actors_.drain();
   }
 }
@@ -145,7 +68,7 @@ void PowerMeter::run_for(util::DurationNs duration) {
 void PowerMeter::finish() {
   if (finished_) return;
   finished_ = true;
-  actors_.stop(aggregator_);  // post_stop flushes pending groups.
+  pipeline_->finish();  // Aggregator post_stop flushes pending groups.
   actors_.drain();
 }
 

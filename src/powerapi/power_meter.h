@@ -1,8 +1,11 @@
-// PowerMeter: the library facade.
+// PowerMeter: the single-host library facade.
 //
-// Wires the Figure-2 pipeline over a simulated System: a monitoring clock
-// ("tick" topic) drives Sensor actors, whose reports flow through Formula
-// actors into an Aggregator and out to Reporters — all over the event bus.
+// A thin driver over a PipelineBuilder-assembled pipeline (see pipeline.h):
+// one MonitorableHost, one kManual actor system, the empty topic namespace.
+// A monitoring clock ("tick" topic) drives Sensor actors, whose reports
+// flow through Formula actors into an Aggregator and out to Reporters —
+// all over the event bus. For many hosts on the threaded dispatcher, see
+// fleet_monitor.h.
 // Usage:
 //
 //   os::System system(simcpu::i3_2120());
@@ -21,39 +24,24 @@
 
 #include "actors/actor_system.h"
 #include "actors/event_bus.h"
-#include "actors/timers.h"
 #include "baselines/estimator.h"
-#include "hpc/sim_backend.h"
 #include "model/power_model.h"
-#include "os/system.h"
-#include "powerapi/aggregators.h"
-#include "powerapi/formulas.h"
+#include "os/monitorable_host.h"
 #include "powerapi/messages.h"
+#include "powerapi/pipeline.h"
 #include "powerapi/reporters.h"
-#include "powerapi/sensors.h"
-#include "powermeter/powerspy.h"
-#include "powermeter/rapl.h"
-#include "util/rng.h"
 
 namespace powerapi::api {
 
 class PowerMeter {
  public:
-  struct Config {
-    util::DurationNs period = util::ms_to_ns(250);  ///< Monitoring period.
-    bool with_powerspy = true;   ///< Reference wall meter ("powerspy" series).
-    bool with_rapl = false;      ///< Emulated RAPL package meter ("rapl").
-    bool with_cpu_load = false;  ///< CPU-load sensor (for baseline formulas).
-    /// IO sensor + datasheet formula ("io-datasheet" series); only emits on
-    /// systems built with peripherals.
-    bool with_io = false;
-    AggregationDimension dimension = AggregationDimension::kTimestamp;
-    std::uint64_t seed = 7;      ///< Seeds the meter noise stream.
-  };
+  /// The meter's configuration IS the pipeline spec: the model and
+  /// estimators slots are filled from the constructor arguments.
+  using Config = PipelineSpec;
 
-  PowerMeter(os::System& system, model::CpuPowerModel model)
-      : PowerMeter(system, std::move(model), Config{}) {}
-  PowerMeter(os::System& system, model::CpuPowerModel model, Config config);
+  PowerMeter(os::MonitorableHost& host, model::CpuPowerModel model)
+      : PowerMeter(host, std::move(model), Config{}) {}
+  PowerMeter(os::MonitorableHost& host, model::CpuPowerModel model, Config config);
 
   /// Flushes via finish(): the aggregator's pending groups must drain while
   /// the event bus still exists (members are destroyed in reverse order, so
@@ -75,8 +63,8 @@ class PowerMeter {
   void add_callback_reporter(CallbackReporter::Callback callback);
   MemoryReporter& add_memory_reporter();
 
-  /// Advances the simulated system by `duration`, firing monitor ticks at
-  /// the configured period and draining the pipeline after each.
+  /// Advances the host by `duration`, firing monitor ticks at the
+  /// configured period and draining the pipeline after each.
   void run_for(util::DurationNs duration);
 
   /// Flushes pending aggregation groups; call once after the last run_for.
@@ -85,18 +73,14 @@ class PowerMeter {
   actors::ActorSystem& actor_system() noexcept { return actors_; }
   actors::EventBus& bus() noexcept { return bus_; }
   const Config& config() const noexcept { return config_; }
+  Pipeline& pipeline() noexcept { return *pipeline_; }
 
  private:
-  os::System* system_;
-  Config config_;
+  os::MonitorableHost* host_;
+  Config config_;  ///< As configured (model slot left empty; it moves into the formula).
   actors::ActorSystem actors_;
   actors::EventBus bus_;
-  actors::EventBus::TopicId tick_topic_;  ///< "tick", interned once.
-  hpc::SimBackend backend_;
-  std::shared_ptr<std::vector<std::int64_t>> fixed_targets_;
-  bool monitor_all_ = false;
-  actors::Ticker ticker_;
-  actors::ActorRef aggregator_;
+  std::unique_ptr<Pipeline> pipeline_;
   bool finished_ = false;
 };
 

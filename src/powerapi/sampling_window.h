@@ -1,0 +1,61 @@
+// SamplingWindow: the prime-then-difference bookkeeping every sensor needs.
+//
+// Sensors observe cumulative quantities (counters, energy, CPU time) and
+// report rates over the window between two observations. That takes the
+// same three-state dance everywhere: the first observation primes (no
+// window yet), a non-advancing timestamp is ignored, and every later
+// observation yields [previous snapshot, window length] and rolls the
+// state forward. This class is that dance, extracted once and unit-tested,
+// instead of four hand-maintained copies of `primed_`/`last_*` fields.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "util/units.h"
+
+namespace powerapi::api {
+
+template <typename Snapshot>
+class SamplingWindow {
+ public:
+  /// One completed window: the snapshot that opened it and its length.
+  struct Window {
+    Snapshot previous{};
+    double seconds = 0.0;
+    util::TimestampNs start = 0;
+  };
+
+  /// Feeds one observation. Returns nullopt on the priming call and on a
+  /// non-advancing timestamp; otherwise the completed window. Either way
+  /// (except on stale timestamps) the state rolls forward to `current`.
+  std::optional<Window> advance(util::TimestampNs now, Snapshot current) {
+    if (!primed_) {
+      last_ = std::move(current);
+      last_time_ = now;
+      primed_ = true;
+      return std::nullopt;
+    }
+    if (now <= last_time_) return std::nullopt;
+    Window window{std::move(last_), util::ns_to_seconds(now - last_time_), last_time_};
+    last_ = std::move(current);
+    last_time_ = now;
+    return window;
+  }
+
+  /// Forgets everything: the next advance() primes again. Sensors call this
+  /// when the observed quantity regressed (counter reset, pid reuse).
+  void reset() noexcept { primed_ = false; }
+
+  bool primed() const noexcept { return primed_; }
+  /// Snapshot of the last observation (valid only when primed()).
+  const Snapshot& last() const noexcept { return last_; }
+  util::TimestampNs last_time() const noexcept { return last_time_; }
+
+ private:
+  Snapshot last_{};
+  util::TimestampNs last_time_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace powerapi::api

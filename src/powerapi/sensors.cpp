@@ -14,13 +14,14 @@ const MonitorTick* as_tick(const actors::Envelope& envelope) {
 
 // --- HpcSensor ---
 
-HpcSensor::HpcSensor(actors::EventBus& bus, hpc::CounterBackend& backend, TargetsFn targets,
-                     const os::System* system)
+HpcSensor::HpcSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                     hpc::CounterBackend& backend, TargetsFn targets,
+                     const os::MonitorableHost* host)
     : bus_(&bus),
-      out_topic_(bus.intern("sensor:hpc")),
+      out_topic_(out_topic),
       backend_(&backend),
       targets_(std::move(targets)),
-      system_(system) {}
+      host_(host) {}
 
 void HpcSensor::observe(std::int64_t pid, util::TimestampNs now) {
   const hpc::Target target =
@@ -29,57 +30,64 @@ void HpcSensor::observe(std::int64_t pid, util::TimestampNs now) {
   if (!read.ok()) {
     POWERAPI_LOG_DEBUG("sensor.hpc") << "read failed for pid " << pid << ": "
                                      << read.error_message();
-    states_.erase(pid);
+    windows_.erase(pid);
     return;
   }
 
-  TargetState& st = states_[pid];
-  std::uint64_t smt_cycles = 0;
-  util::DurationNs cpu_time = 0;
-  if (system_ != nullptr) {
+  Snapshot current;
+  current.values = read.value();
+  if (host_ != nullptr) {
     if (pid == kMachinePid) {
-      smt_cycles = system_->machine().machine_counters().smt_shared_cycles;
-    } else if (const auto stat = system_->proc_stat(pid)) {
-      smt_cycles = stat->counters.smt_shared_cycles;
-      cpu_time = stat->cpu_time_ns;
+      current.smt_cycles = host_->machine_counters().smt_shared_cycles;
+    } else if (const auto stat = host_->proc_stat(pid)) {
+      current.smt_cycles = stat->counters.smt_shared_cycles;
+      current.cpu_time = stat->cpu_time_ns;
     }
   }
 
-  if (!st.primed) {
-    st.last_values = read.value();
-    st.last_smt_cycles = smt_cycles;
-    st.last_cpu_time = cpu_time;
-    st.last_time = now;
-    st.primed = true;
-    return;
+  SamplingWindow<Snapshot>& window = windows_[pid];
+  // Counter-delta underflow guard: a cumulative quantity went backwards,
+  // which means the pid was reused or the counter source reset. Unsigned
+  // subtraction would wrap into an absurd rate, so drop the window and
+  // re-prime from the new baseline instead.
+  if (window.primed()) {
+    const Snapshot& last = window.last();
+    bool regressed = current.smt_cycles < last.smt_cycles ||
+                     current.cpu_time < last.cpu_time;
+    for (const hpc::EventId id : hpc::all_events()) {
+      regressed = regressed || current.values[id] < last.values[id];
+    }
+    if (regressed) {
+      POWERAPI_LOG_DEBUG("sensor.hpc")
+          << "counters regressed for pid " << pid << " — re-priming";
+      window.reset();
+    }
   }
-  if (now <= st.last_time) return;
 
-  const double window_s = util::ns_to_seconds(now - st.last_time);
+  const auto completed = window.advance(now, current);
+  if (!completed) return;
+
+  const double window_s = completed->seconds;
+  const Snapshot& prev = completed->previous;
   SensorReport report;
   report.timestamp = now;
   report.pid = pid;
-  report.sensor = "hpc";
+  report.sensor = SensorKind::kHpc;
   report.window_seconds = window_s;
-  report.rates = model::rates_from_delta(read.value().delta_since(st.last_values), window_s);
+  report.rates = model::rates_from_delta(current.values.delta_since(prev.values), window_s);
   report.smt_shared_cycles_per_sec =
-      static_cast<double>(smt_cycles - st.last_smt_cycles) / window_s;
-  if (system_ != nullptr) {
-    const auto sys = system_->system_stat();
+      static_cast<double>(current.smt_cycles - prev.smt_cycles) / window_s;
+  if (host_ != nullptr) {
+    const auto sys = host_->system_stat();
     report.frequency_hz = sys.frequency_hz;
     if (pid == kMachinePid) {
       report.utilization = model::rate_of(report.rates, hpc::EventId::kCycles) /
-                           (sys.frequency_hz *
-                            static_cast<double>(system_->machine().spec().hw_threads()));
+                           (sys.frequency_hz * static_cast<double>(host_->hw_threads()));
     } else {
-      report.utilization = util::ns_to_seconds(cpu_time - st.last_cpu_time) / window_s;
+      report.utilization =
+          util::ns_to_seconds(current.cpu_time - prev.cpu_time) / window_s;
     }
   }
-
-  st.last_values = read.value();
-  st.last_smt_cycles = smt_cycles;
-  st.last_cpu_time = cpu_time;
-  st.last_time = now;
 
   bus_->publish(out_topic_, std::move(report), self());
 }
@@ -93,9 +101,9 @@ void HpcSensor::receive(actors::Envelope& envelope) {
 
 // --- PowerSpySensor ---
 
-PowerSpySensor::PowerSpySensor(actors::EventBus& bus,
+PowerSpySensor::PowerSpySensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
                                std::shared_ptr<powermeter::PowerSpy> meter)
-    : bus_(&bus), out_topic_(bus.intern("sensor:powerspy")), meter_(std::move(meter)) {}
+    : bus_(&bus), out_topic_(out_topic), meter_(std::move(meter)) {}
 
 void PowerSpySensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
@@ -105,83 +113,68 @@ void PowerSpySensor::receive(actors::Envelope& envelope) {
   SensorReport report;
   report.timestamp = tick->timestamp;
   report.pid = kMachinePid;
-  report.sensor = "powerspy";
+  report.sensor = SensorKind::kPowerSpy;
   report.measured_watts = sample->watts;
   bus_->publish(out_topic_, std::move(report), self());
 }
 
 // --- RaplSensor ---
 
-RaplSensor::RaplSensor(actors::EventBus& bus, std::shared_ptr<powermeter::RaplMsr> msr)
-    : bus_(&bus), out_topic_(bus.intern("sensor:rapl")), msr_(std::move(msr)) {}
+RaplSensor::RaplSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                       std::shared_ptr<powermeter::RaplMsr> msr)
+    : bus_(&bus), out_topic_(out_topic), msr_(std::move(msr)) {}
 
 void RaplSensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
   if (tick == nullptr) return;
   if (!msr_->available()) return;
   const std::uint32_t raw = msr_->read_energy_status();
-  if (!primed_) {
-    last_raw_ = raw;
-    last_time_ = tick->timestamp;
-    primed_ = true;
-    return;
-  }
-  if (tick->timestamp <= last_time_) return;
-  const double joules = powermeter::RaplMsr::energy_between(last_raw_, raw);
-  const double window_s = util::ns_to_seconds(tick->timestamp - last_time_);
-  last_raw_ = raw;
-  last_time_ = tick->timestamp;
+  const auto completed = window_.advance(tick->timestamp, raw);
+  if (!completed) return;
+  const double joules = powermeter::RaplMsr::energy_between(completed->previous, raw);
 
   SensorReport report;
   report.timestamp = tick->timestamp;
   report.pid = kMachinePid;
-  report.sensor = "rapl";
-  report.window_seconds = window_s;
-  report.measured_watts = joules / window_s;
+  report.sensor = SensorKind::kRapl;
+  report.window_seconds = completed->seconds;
+  report.measured_watts = joules / completed->seconds;
   bus_->publish(out_topic_, std::move(report), self());
 }
 
 // --- IoSensor ---
 
-IoSensor::IoSensor(actors::EventBus& bus, const os::System& system)
-    : bus_(&bus), out_topic_(bus.intern("sensor:io")), system_(&system) {}
+IoSensor::IoSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                   const os::MonitorableHost& host)
+    : bus_(&bus), out_topic_(out_topic), host_(&host) {}
 
 void IoSensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
   if (tick == nullptr) return;
-  if (system_->disk() == nullptr) return;  // No peripherals on this system.
+  if (host_->disk() == nullptr) return;  // No peripherals on this host.
 
-  const auto totals = system_->io_totals();
-  if (!primed_) {
-    last_ = totals;
-    last_time_ = tick->timestamp;
-    primed_ = true;
-    return;
-  }
-  if (tick->timestamp <= last_time_) return;
-  const double window_s = util::ns_to_seconds(tick->timestamp - last_time_);
+  const os::IoTotals totals = host_->io_totals();
+  const auto completed = window_.advance(tick->timestamp, totals);
+  if (!completed) return;
+  const double window_s = completed->seconds;
+  const os::IoTotals& last = completed->previous;
 
   SensorReport report;
   report.timestamp = tick->timestamp;
   report.pid = kMachinePid;
-  report.sensor = "io";
+  report.sensor = SensorKind::kIo;
   report.window_seconds = window_s;
-  report.disk_iops = (totals.disk_ops - last_.disk_ops) / window_s;
-  report.disk_bytes_per_sec = (totals.disk_bytes - last_.disk_bytes) / window_s;
-  report.net_bytes_per_sec = (totals.net_bytes - last_.net_bytes) / window_s;
-  last_ = totals;
-  last_time_ = tick->timestamp;
+  report.disk_iops = (totals.disk_ops - last.disk_ops) / window_s;
+  report.disk_bytes_per_sec = (totals.disk_bytes - last.disk_bytes) / window_s;
+  report.net_bytes_per_sec = (totals.net_bytes - last.net_bytes) / window_s;
   bus_->publish(out_topic_, std::move(report), self());
 }
 
 // --- CpuLoadSensor ---
 
-CpuLoadSensor::CpuLoadSensor(actors::EventBus& bus, const os::System& system,
-                             TargetsFn targets)
-    : bus_(&bus),
-      out_topic_(bus.intern("sensor:cpu-load")),
-      system_(&system),
-      targets_(std::move(targets)) {}
+CpuLoadSensor::CpuLoadSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                             const os::MonitorableHost& host, TargetsFn targets)
+    : bus_(&bus), out_topic_(out_topic), host_(&host), targets_(std::move(targets)) {}
 
 void CpuLoadSensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
@@ -191,35 +184,28 @@ void CpuLoadSensor::receive(actors::Envelope& envelope) {
     SensorReport report;
     report.timestamp = tick->timestamp;
     report.pid = pid;
-    report.sensor = "cpu-load";
-    report.frequency_hz = system_->system_stat().frequency_hz;
+    report.sensor = SensorKind::kCpuLoad;
+    report.frequency_hz = host_->system_stat().frequency_hz;
     report.utilization = utilization;
     bus_->publish(out_topic_, std::move(report), self());
   };
 
   // Machine scope: immediate utilization from the last tick.
-  publish(kMachinePid, system_->system_stat().utilization);
+  publish(kMachinePid, host_->system_stat().utilization);
 
   for (const std::int64_t pid : targets_()) {
-    const auto stat = system_->proc_stat(pid);
+    const auto stat = host_->proc_stat(pid);
     if (!stat) {
-      states_.erase(pid);
+      windows_.erase(pid);
       continue;
     }
-    TargetState& st = states_[pid];
-    if (!st.primed) {
-      st.last_cpu_time = stat->cpu_time_ns;
-      st.last_time = tick->timestamp;
-      st.primed = true;
-      continue;
-    }
-    if (tick->timestamp <= st.last_time) continue;
-    const double window_s = util::ns_to_seconds(tick->timestamp - st.last_time);
-    const double busy_s = util::ns_to_seconds(stat->cpu_time_ns - st.last_cpu_time);
-    st.last_cpu_time = stat->cpu_time_ns;
-    st.last_time = tick->timestamp;
-    const auto hw = static_cast<double>(system_->machine().spec().hw_threads());
-    publish(pid, busy_s / (window_s * hw));
+    SamplingWindow<util::DurationNs>& window = windows_[pid];
+    if (window.primed() && stat->cpu_time_ns < window.last()) window.reset();
+    const auto completed = window.advance(tick->timestamp, stat->cpu_time_ns);
+    if (!completed) continue;
+    const double busy_s = util::ns_to_seconds(stat->cpu_time_ns - completed->previous);
+    const auto hw = static_cast<double>(host_->hw_threads());
+    publish(pid, busy_s / (completed->seconds * hw));
   }
 }
 

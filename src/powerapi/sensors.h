@@ -1,4 +1,9 @@
 // Sensor actors: turn MonitorTicks into SensorReports on the event bus.
+//
+// Every sensor publishes on an output topic the builder interns for it —
+// "sensor:hpc" in a standalone pipeline, "h3/sensor:hpc" inside a fleet
+// namespace — and keeps its window bookkeeping in SamplingWindow instances
+// rather than hand-rolled primed/last fields.
 #pragma once
 
 #include <cstdint>
@@ -10,8 +15,9 @@
 #include "actors/actor.h"
 #include "actors/event_bus.h"
 #include "hpc/backend.h"
-#include "os/system.h"
+#include "os/monitorable_host.h"
 #include "powerapi/messages.h"
+#include "powerapi/sampling_window.h"
 #include "powermeter/powerspy.h"
 #include "powermeter/rapl.h"
 
@@ -22,105 +28,102 @@ namespace powerapi::api {
 using TargetsFn = std::function<std::vector<std::int64_t>()>;
 
 /// Reads HPC counters for each target plus the machine scope, converts the
-/// per-window deltas into rates and publishes "sensor:hpc" reports.
+/// per-window deltas into rates and publishes SensorKind::kHpc reports on
+/// `out_topic`.
 ///
-/// `system` is optional: when present (simulation) it supplies frequency,
+/// `host` is optional: when present (simulation) it supplies frequency,
 /// utilization and the SMT co-residency signal; a live deployment passes
 /// nullptr and those fields default.
 class HpcSensor final : public actors::Actor {
  public:
-  HpcSensor(actors::EventBus& bus, hpc::CounterBackend& backend, TargetsFn targets,
-            const os::System* system);
+  HpcSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+            hpc::CounterBackend& backend, TargetsFn targets,
+            const os::MonitorableHost* host);
 
   void receive(actors::Envelope& envelope) override;
 
  private:
-  struct TargetState {
-    hpc::EventValues last_values;
-    std::uint64_t last_smt_cycles = 0;
-    util::DurationNs last_cpu_time = 0;
-    util::TimestampNs last_time = 0;
-    bool primed = false;
+  /// Everything cumulative we difference per target.
+  struct Snapshot {
+    hpc::EventValues values;
+    std::uint64_t smt_cycles = 0;
+    util::DurationNs cpu_time = 0;
   };
 
   void observe(std::int64_t pid, util::TimestampNs now);
 
   actors::EventBus* bus_;
-  actors::EventBus::TopicId out_topic_;  ///< "sensor:hpc", interned once.
+  actors::EventBus::TopicId out_topic_;
   hpc::CounterBackend* backend_;
   TargetsFn targets_;
-  const os::System* system_;
-  std::map<std::int64_t, TargetState> states_;
+  const os::MonitorableHost* host_;
+  std::map<std::int64_t, SamplingWindow<Snapshot>> windows_;
 };
 
-/// Publishes the (simulated) wall meter's reading on "sensor:powerspy".
+/// Publishes the (simulated) wall meter's reading as SensorKind::kPowerSpy.
 class PowerSpySensor final : public actors::Actor {
  public:
-  PowerSpySensor(actors::EventBus& bus, std::shared_ptr<powermeter::PowerSpy> meter);
+  PowerSpySensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                 std::shared_ptr<powermeter::PowerSpy> meter);
 
   void receive(actors::Envelope& envelope) override;
 
  private:
   actors::EventBus* bus_;
-  actors::EventBus::TopicId out_topic_;  ///< "sensor:powerspy", interned once.
+  actors::EventBus::TopicId out_topic_;
   std::shared_ptr<powermeter::PowerSpy> meter_;
 };
 
 /// Reads the emulated RAPL MSR, differentiates energy into watts and
-/// publishes "sensor:rapl".
+/// publishes SensorKind::kRapl. The raw MSR value is a wrapping 32-bit
+/// counter, so a decrease is a wraparound, not a reset — energy_between
+/// unwraps it and the window never re-primes.
 class RaplSensor final : public actors::Actor {
  public:
-  RaplSensor(actors::EventBus& bus, std::shared_ptr<powermeter::RaplMsr> msr);
+  RaplSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+             std::shared_ptr<powermeter::RaplMsr> msr);
 
   void receive(actors::Envelope& envelope) override;
 
  private:
   actors::EventBus* bus_;
-  actors::EventBus::TopicId out_topic_;  ///< "sensor:rapl", interned once.
+  actors::EventBus::TopicId out_topic_;
   std::shared_ptr<powermeter::RaplMsr> msr_;
-  std::uint32_t last_raw_ = 0;
-  util::TimestampNs last_time_ = 0;
-  bool primed_ = false;
+  SamplingWindow<std::uint32_t> window_;
 };
 
-/// Differences the OS's iostat-style IO counters into machine-scope rates
-/// on "sensor:io" (the disk/network dimension of the paper's component
-/// splitting). Publishes nothing when the system has no peripherals.
+/// Differences the host's iostat-style IO counters into machine-scope rates
+/// (the disk/network dimension of the paper's component splitting).
+/// Publishes nothing when the host has no peripherals.
 class IoSensor final : public actors::Actor {
  public:
-  IoSensor(actors::EventBus& bus, const os::System& system);
+  IoSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+           const os::MonitorableHost& host);
 
   void receive(actors::Envelope& envelope) override;
 
  private:
   actors::EventBus* bus_;
-  actors::EventBus::TopicId out_topic_;  ///< "sensor:io", interned once.
-  const os::System* system_;
-  os::System::IoTotals last_;
-  util::TimestampNs last_time_ = 0;
-  bool primed_ = false;
+  actors::EventBus::TopicId out_topic_;
+  const os::MonitorableHost* host_;
+  SamplingWindow<os::IoTotals> window_;
 };
 
-/// Publishes per-target CPU utilization on "sensor:cpu-load" (the input of
-/// the Versick-style baseline formula). Simulation only.
+/// Publishes per-target CPU utilization as SensorKind::kCpuLoad (the input
+/// of the Versick-style baseline formula). Simulation only.
 class CpuLoadSensor final : public actors::Actor {
  public:
-  CpuLoadSensor(actors::EventBus& bus, const os::System& system, TargetsFn targets);
+  CpuLoadSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                const os::MonitorableHost& host, TargetsFn targets);
 
   void receive(actors::Envelope& envelope) override;
 
  private:
-  struct TargetState {
-    util::DurationNs last_cpu_time = 0;
-    util::TimestampNs last_time = 0;
-    bool primed = false;
-  };
-
   actors::EventBus* bus_;
-  actors::EventBus::TopicId out_topic_;  ///< "sensor:cpu-load", interned once.
-  const os::System* system_;
+  actors::EventBus::TopicId out_topic_;
+  const os::MonitorableHost* host_;
   TargetsFn targets_;
-  std::map<std::int64_t, TargetState> states_;
+  std::map<std::int64_t, SamplingWindow<util::DurationNs>> windows_;
 };
 
 }  // namespace powerapi::api

@@ -1,0 +1,199 @@
+// FleetMonitor: N hosts on one actor system. The load-bearing property is
+// host-level isolation — a host monitored inside a fleet (threaded,
+// work-stealing dispatcher) must produce exactly the series a standalone
+// kManual PowerMeter produces over an identically constructed host.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "os/system.h"
+#include "powerapi/fleet_monitor.h"
+#include "powerapi/power_meter.h"
+#include "workloads/behaviors.h"
+#include "workloads/stress.h"
+
+namespace powerapi::api {
+namespace {
+
+using util::ms_to_ns;
+using util::seconds_to_ns;
+
+model::CpuPowerModel fleet_model() {
+  std::vector<model::FrequencyFormula> formulas;
+  for (const double hz : simcpu::i3_2120().frequencies_hz) {
+    model::FrequencyFormula f;
+    f.frequency_hz = hz;
+    f.events = {hpc::EventId::kInstructions, hpc::EventId::kCacheMisses};
+    const double scale = hz / 3.3e9;
+    f.coefficients = {2.2e-9 * scale, 1.6e-7};
+    formulas.push_back(std::move(f));
+  }
+  return model::CpuPowerModel(31.0, std::move(formulas));
+}
+
+/// Deterministic host construction keyed by index: every call with the same
+/// index yields a bit-identical simulated machine and workload.
+std::unique_ptr<os::System> make_host(std::size_t index) {
+  auto host = std::make_unique<os::System>(simcpu::i3_2120());
+  const double duty = 0.2 + 0.1 * static_cast<double>(index % 8);
+  host->spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                         workloads::cpu_stress(duty), 0));
+  host->spawn("mem", std::make_unique<workloads::SteadyBehavior>(
+                         workloads::memory_stress(4e6 * (1 + index % 3)), 0));
+  return host;
+}
+
+PipelineSpec fleet_spec() {
+  PipelineSpec spec;
+  spec.model = fleet_model();
+  return spec;
+}
+
+TEST(FleetMonitor, ThreadedHostsMatchStandaloneManualMetersExactly) {
+  constexpr std::size_t kHosts = 8;
+  constexpr util::DurationNs kDuration = seconds_to_ns(2);
+
+  // Fleet run: 8 hosts advanced concurrently on the threaded dispatcher.
+  std::vector<std::unique_ptr<os::System>> hosts;
+  for (std::size_t i = 0; i < kHosts; ++i) hosts.push_back(make_host(i));
+  FleetMonitor::Options options;
+  options.mode = actors::ActorSystem::Mode::kThreaded;
+  options.workers = 4;
+  FleetMonitor fleet(options);
+  std::vector<MemoryReporter*> fleet_memory;
+  for (auto& host : hosts) {
+    const std::size_t index = fleet.add_host(*host, fleet_spec());
+    fleet_memory.push_back(&fleet.add_memory_reporter(index));
+  }
+  fleet.run_for(kDuration);
+  fleet.finish();
+
+  // Reference runs: each host standalone under a deterministic kManual meter.
+  for (std::size_t i = 0; i < kHosts; ++i) {
+    auto solo_host = make_host(i);
+    PowerMeter meter(*solo_host, fleet_model());
+    auto& solo_memory = meter.add_memory_reporter();
+    meter.run_for(kDuration);
+    meter.finish();
+
+    for (const char* formula : {"powerapi-hpc", "powerspy"}) {
+      const auto fleet_series = fleet_memory[i]->series(formula);
+      const auto solo_series = solo_memory.series(formula);
+      ASSERT_GT(solo_series.size(), 3u) << "host " << i << " " << formula;
+      ASSERT_EQ(fleet_series.size(), solo_series.size())
+          << "host " << i << " " << formula;
+      for (std::size_t k = 0; k < solo_series.size(); ++k) {
+        EXPECT_EQ(fleet_series[k].timestamp, solo_series[k].timestamp)
+            << "host " << i << " " << formula << " row " << k;
+        EXPECT_NEAR(fleet_series[k].watts, solo_series[k].watts, 1e-9)
+            << "host " << i << " " << formula << " row " << k;
+      }
+    }
+  }
+}
+
+TEST(FleetMonitor, FleetDimensionSumsMachinePowerAcrossHosts) {
+  auto host_a = make_host(0);
+  auto host_b = make_host(3);
+  FleetMonitor::Options options;
+  options.mode = actors::ActorSystem::Mode::kManual;
+  FleetMonitor fleet(options);
+  const auto a = fleet.add_host(*host_a, fleet_spec());
+  const auto b = fleet.add_host(*host_b, fleet_spec());
+  auto& mem_a = fleet.add_memory_reporter(a);
+  auto& mem_b = fleet.add_memory_reporter(b);
+  auto& fleet_mem = fleet.add_fleet_reporter();
+  fleet.run_for(seconds_to_ns(2));
+  fleet.finish();
+
+  std::map<util::TimestampNs, double> a_watts, b_watts;
+  for (const auto& row : mem_a.series("powerspy")) a_watts[row.timestamp] = row.watts;
+  for (const auto& row : mem_b.series("powerspy")) b_watts[row.timestamp] = row.watts;
+
+  std::size_t fleet_rows = 0;
+  for (const auto& row : fleet_mem.all()) {
+    EXPECT_EQ(row.group, "(fleet)");
+    EXPECT_EQ(row.pid, kMachinePid);
+    if (row.formula != "powerspy") continue;
+    ++fleet_rows;
+    ASSERT_TRUE(a_watts.count(row.timestamp)) << "t=" << row.timestamp;
+    ASSERT_TRUE(b_watts.count(row.timestamp)) << "t=" << row.timestamp;
+    EXPECT_NEAR(row.watts, a_watts[row.timestamp] + b_watts[row.timestamp], 1e-9);
+  }
+  EXPECT_GT(fleet_rows, 3u);
+  // Every timestamp both hosts reported shows up in the fleet dimension.
+  EXPECT_EQ(fleet_rows, a_watts.size());
+}
+
+TEST(FleetMonitor, ManualModeIsDeterministicAcrossRuns) {
+  auto run = [] {
+    auto host_a = make_host(1);
+    auto host_b = make_host(5);
+    FleetMonitor::Options options;
+    options.mode = actors::ActorSystem::Mode::kManual;
+    FleetMonitor fleet(options);
+    fleet.add_host(*host_a, fleet_spec());
+    fleet.add_host(*host_b, fleet_spec());
+    auto& fleet_mem = fleet.add_fleet_reporter();
+    fleet.run_for(seconds_to_ns(2));
+    fleet.finish();
+    return MemoryReporter::watts_of(fleet_mem.group_series("powerapi-hpc", "(fleet)"));
+  };
+  const auto first = run();
+  const auto second = run();
+  ASSERT_GT(first.size(), 3u);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], second[i]) << "row " << i;
+  }
+}
+
+TEST(FleetMonitor, PerHostMonitoringAndNamespacesStayIsolated) {
+  auto host_a = make_host(2);
+  auto host_b = make_host(2);  // Identical twin, different pids monitored.
+  const auto pids_a = host_a->pids();
+  ASSERT_GE(pids_a.size(), 2u);
+
+  FleetMonitor::Options options;
+  options.mode = actors::ActorSystem::Mode::kManual;
+  FleetMonitor fleet(options);
+  PipelineSpec per_pid = fleet_spec();
+  per_pid.dimension = AggregationDimension::kPid;
+  const auto a = fleet.add_host(*host_a, per_pid);
+  const auto b = fleet.add_host(*host_b, per_pid);
+  EXPECT_EQ(fleet.pipeline(a).topic_namespace(), "h0/");
+  EXPECT_EQ(fleet.pipeline(b).topic_namespace(), "h1/");
+  auto& mem_a = fleet.add_memory_reporter(a);
+  auto& mem_b = fleet.add_memory_reporter(b);
+  fleet.monitor(a, {pids_a[0]});  // Host b monitors nothing per-pid.
+  fleet.run_for(seconds_to_ns(1));
+  fleet.finish();
+
+  EXPECT_GT(mem_a.series("powerapi-hpc", pids_a[0]).size(), 1u);
+  // Host b's pipeline never saw host a's monitor() call: only machine rows.
+  for (const auto& row : mem_b.all()) EXPECT_EQ(row.pid, kMachinePid);
+}
+
+TEST(FleetMonitor, FleetReporterRequiresAggregationEnabled) {
+  FleetMonitor::Options options;
+  options.mode = actors::ActorSystem::Mode::kManual;
+  options.fleet_aggregation = false;
+  FleetMonitor fleet(options);
+  EXPECT_THROW(fleet.add_fleet_reporter(), std::logic_error);
+}
+
+TEST(FleetMonitor, RunForAfterFinishThrows) {
+  FleetMonitor::Options options;
+  options.mode = actors::ActorSystem::Mode::kManual;
+  FleetMonitor fleet(options);
+  auto host = make_host(0);
+  fleet.add_host(*host, fleet_spec());
+  fleet.run_for(ms_to_ns(500));
+  fleet.finish();
+  EXPECT_THROW(fleet.run_for(ms_to_ns(500)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace powerapi::api

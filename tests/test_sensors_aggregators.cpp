@@ -65,7 +65,8 @@ TEST(HpcSensor, FirstTickPrimesSecondTickReports) {
   hpc::SimBackend backend(system);
   auto& reports = h.collect<SensorReport>("sensor:hpc");
   const auto sensor = h.actors.spawn_as<HpcSensor>(
-      "sensor", h.bus, backend, [] { return std::vector<std::int64_t>{}; }, &system);
+      "sensor", h.bus, h.bus.intern("sensor:hpc"), backend,
+      [] { return std::vector<std::int64_t>{}; }, &system);
 
   system.run_for(ms_to_ns(10));
   sensor.tell(MonitorTick{system.now_ns()});
@@ -78,7 +79,7 @@ TEST(HpcSensor, FirstTickPrimesSecondTickReports) {
   ASSERT_EQ(reports.items.size(), 1u);  // Machine scope only.
   const SensorReport& r = reports.items[0];
   EXPECT_EQ(r.pid, kMachinePid);
-  EXPECT_EQ(r.sensor, "hpc");
+  EXPECT_EQ(r.sensor, SensorKind::kHpc);
   EXPECT_NEAR(r.window_seconds, 0.010, 1e-9);
   EXPECT_GT(model::rate_of(r.rates, hpc::EventId::kInstructions), 0.0);
   EXPECT_GT(r.utilization, 0.0);
@@ -94,7 +95,8 @@ TEST(HpcSensor, ReportsEachMonitoredPidAndForgetsDeadOnes) {
   auto& reports = h.collect<SensorReport>("sensor:hpc");
   std::vector<std::int64_t> targets = {pid};
   const auto sensor = h.actors.spawn_as<HpcSensor>(
-      "sensor", h.bus, backend, [&targets] { return targets; }, &system);
+      "sensor", h.bus, h.bus.intern("sensor:hpc"), backend,
+      [&targets] { return targets; }, &system);
 
   for (int i = 0; i < 3; ++i) {
     system.run_for(ms_to_ns(10));
@@ -128,7 +130,8 @@ TEST(HpcSensor, IgnoresNonTickPayloadsAndStaleTimestamps) {
   hpc::SimBackend backend(system);
   auto& reports = h.collect<SensorReport>("sensor:hpc");
   const auto sensor = h.actors.spawn_as<HpcSensor>(
-      "sensor", h.bus, backend, [] { return std::vector<std::int64_t>{}; }, &system);
+      "sensor", h.bus, h.bus.intern("sensor:hpc"), backend,
+      [] { return std::vector<std::int64_t>{}; }, &system);
 
   sensor.tell(std::string("not a tick"));
   h.actors.drain();
@@ -151,11 +154,12 @@ TEST(RegressionFormula, MachineRowsGetIdleProcessRowsDoNot) {
   f.events = {hpc::EventId::kInstructions};
   f.coefficients = {2e-9};
   model::CpuPowerModel model(30.0, {f});
-  const auto formula = h.actors.spawn_as<RegressionFormula>("formula", h.bus, model);
+  const auto formula = h.actors.spawn_as<RegressionFormula>(
+      "formula", h.bus, h.bus.intern("power:estimate"), model);
   auto& estimates = h.collect<PowerEstimate>("power:estimate");
 
   SensorReport machine;
-  machine.sensor = "hpc";
+  machine.sensor = SensorKind::kHpc;
   machine.pid = kMachinePid;
   machine.frequency_hz = 3.3e9;
   model::set_rate(machine.rates, hpc::EventId::kInstructions, 1e9);
@@ -167,7 +171,7 @@ TEST(RegressionFormula, MachineRowsGetIdleProcessRowsDoNot) {
 
   // A non-hpc report must be ignored.
   SensorReport io = machine;
-  io.sensor = "io";
+  io.sensor = SensorKind::kIo;
   formula.tell(io);
 
   h.actors.drain();
@@ -191,8 +195,8 @@ PowerEstimate estimate_of(util::TimestampNs t, std::int64_t pid, double watts,
 
 TEST(AggregatorUnit, TimestampModeEmitsOnWatermarkAdvance) {
   PipelineHarness h;
-  const auto agg = h.actors.spawn_as<Aggregator>("agg", h.bus,
-                                                 AggregationDimension::kTimestamp);
+  const auto agg = h.actors.spawn_as<Aggregator>(
+      "agg", h.bus, h.bus.intern("power:aggregated"), AggregationDimension::kTimestamp);
   auto& rows = h.collect<AggregatedPower>("power:aggregated");
 
   agg.tell(estimate_of(100, 1, 3.0));
@@ -209,8 +213,8 @@ TEST(AggregatorUnit, TimestampModeEmitsOnWatermarkAdvance) {
 
 TEST(AggregatorUnit, MachineRowWinsOverPerPidSum) {
   PipelineHarness h;
-  const auto agg = h.actors.spawn_as<Aggregator>("agg", h.bus,
-                                                 AggregationDimension::kTimestamp);
+  const auto agg = h.actors.spawn_as<Aggregator>(
+      "agg", h.bus, h.bus.intern("power:aggregated"), AggregationDimension::kTimestamp);
   auto& rows = h.collect<AggregatedPower>("power:aggregated");
   agg.tell(estimate_of(100, 1, 3.0));
   agg.tell(estimate_of(100, kMachinePid, 40.0));  // Includes idle.
@@ -222,8 +226,8 @@ TEST(AggregatorUnit, MachineRowWinsOverPerPidSum) {
 
 TEST(AggregatorUnit, FormulasAggregateIndependently) {
   PipelineHarness h;
-  const auto agg = h.actors.spawn_as<Aggregator>("agg", h.bus,
-                                                 AggregationDimension::kTimestamp);
+  const auto agg = h.actors.spawn_as<Aggregator>(
+      "agg", h.bus, h.bus.intern("power:aggregated"), AggregationDimension::kTimestamp);
   auto& rows = h.collect<AggregatedPower>("power:aggregated");
   agg.tell(estimate_of(100, 1, 3.0, "a"));
   agg.tell(estimate_of(100, 1, 9.0, "b"));
@@ -236,8 +240,8 @@ TEST(AggregatorUnit, FormulasAggregateIndependently) {
 
 TEST(AggregatorUnit, StopFlushesPendingGroups) {
   PipelineHarness h;
-  const auto agg = h.actors.spawn_as<Aggregator>("agg", h.bus,
-                                                 AggregationDimension::kTimestamp);
+  const auto agg = h.actors.spawn_as<Aggregator>(
+      "agg", h.bus, h.bus.intern("power:aggregated"), AggregationDimension::kTimestamp);
   auto& rows = h.collect<AggregatedPower>("power:aggregated");
   agg.tell(estimate_of(100, 1, 3.0, "a"));
   agg.tell(estimate_of(100, 1, 9.0, "b"));
@@ -253,7 +257,8 @@ TEST(AggregatorUnit, GroupModeRoutesByResolver) {
     return pid < 10 ? "small" : "large";
   };
   const auto agg = h.actors.spawn_as<Aggregator>(
-      "agg", h.bus, AggregationDimension::kGroup, resolver);
+      "agg", h.bus, h.bus.intern("power:aggregated"), AggregationDimension::kGroup,
+      resolver);
   auto& rows = h.collect<AggregatedPower>("power:aggregated");
 
   agg.tell(estimate_of(100, 1, 1.0));
@@ -283,11 +288,12 @@ TEST(IoFormulaUnit, ChargesDatasheetEnergies) {
   PipelineHarness h;
   periph::DiskParams disk;
   periph::NicParams nic;
-  const auto formula = h.actors.spawn_as<IoFormula>("formula", h.bus, disk, nic);
+  const auto formula = h.actors.spawn_as<IoFormula>(
+      "formula", h.bus, h.bus.intern("power:estimate"), disk, nic);
   auto& estimates = h.collect<PowerEstimate>("power:estimate");
 
   SensorReport report;
-  report.sensor = "io";
+  report.sensor = SensorKind::kIo;
   report.pid = kMachinePid;
   report.disk_iops = 50;
   report.disk_bytes_per_sec = 10e6;
