@@ -20,10 +20,10 @@ using namespace powerapi;
 
 namespace {
 
-std::vector<baselines::Observation> evaluation_workload(const simcpu::CpuSpec& spec,
-                                                        std::uint64_t seed) {
+std::vector<model::TrainingSample> evaluation_workload(const simcpu::CpuSpec& spec,
+                                                       std::uint64_t seed) {
   util::Rng rng(seed);
-  std::vector<baselines::Observation> all;
+  std::vector<model::TrainingSample> all;
 
   // Phase A: SPECjbb-like (short run).
   {

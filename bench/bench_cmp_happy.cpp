@@ -68,7 +68,7 @@ int main() {
     const auto by_task = benchx::collect_task_observations(
         system, pids, util::seconds_to_ns(45), util::ms_to_ns(500));
 
-    std::vector<baselines::Observation> all;
+    std::vector<model::TrainingSample> all;
     for (const auto& [pid, observations] : by_task) {
       all.insert(all.end(), observations.begin(), observations.end());
     }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gbench_json.h"
+#include "model/model_registry.h"
 #include "model/power_model.h"
 #include "os/system.h"
 #include "powerapi/fleet_monitor.h"
@@ -46,7 +47,12 @@ std::unique_ptr<os::System> loaded_host() {
 
 /// One fleet monitoring tick: every host advances one period and its whole
 /// pipeline drains. Wall power off so the software pipeline dominates.
-void fleet_tick_bench(benchmark::State& state, actors::ActorSystem::Mode mode) {
+/// `shared_registry` switches between per-host model copies (one private
+/// ModelRegistry each) and one fleet-wide registry every RegressionFormula
+/// reads through; the "model_bytes" counter makes the footprint difference
+/// measurable at 32 hosts.
+void fleet_tick_bench(benchmark::State& state, actors::ActorSystem::Mode mode,
+                      bool shared_registry = false) {
   const auto host_count = static_cast<std::size_t>(state.range(0));
   std::vector<std::unique_ptr<os::System>> hosts;
   for (std::size_t i = 0; i < host_count; ++i) hosts.push_back(loaded_host());
@@ -56,9 +62,12 @@ void fleet_tick_bench(benchmark::State& state, actors::ActorSystem::Mode mode) {
   options.workers = 4;
   api::FleetMonitor fleet(options);
   const model::CpuPowerModel model = tiny_model();
+  const auto registry =
+      shared_registry ? std::make_shared<model::ModelRegistry>(model) : nullptr;
   for (auto& host : hosts) {
     api::PipelineSpec spec;
     spec.model = model;
+    spec.registry = registry;
     spec.period = util::ms_to_ns(1);
     spec.with_powerspy = false;
     const std::size_t index = fleet.add_host(*host, spec);
@@ -70,6 +79,11 @@ void fleet_tick_bench(benchmark::State& state, actors::ActorSystem::Mode mode) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(host_count));
   state.counters["hosts"] = static_cast<double>(host_count);
+  // Bytes of model snapshot resident across the fleet: N copies without
+  // sharing, one with.
+  const double per_model = static_cast<double>(model.memory_footprint_bytes());
+  state.counters["model_bytes"] =
+      shared_registry ? per_model : per_model * static_cast<double>(host_count);
 }
 
 void BM_FleetTick_Threaded(benchmark::State& state) {
@@ -81,6 +95,15 @@ void BM_FleetTick_Manual(benchmark::State& state) {
   fleet_tick_bench(state, actors::ActorSystem::Mode::kManual);
 }
 BENCHMARK(BM_FleetTick_Manual)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_FleetTick_Threaded_SharedModel(benchmark::State& state) {
+  fleet_tick_bench(state, actors::ActorSystem::Mode::kThreaded,
+                   /*shared_registry=*/true);
+}
+BENCHMARK(BM_FleetTick_Threaded_SharedModel)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

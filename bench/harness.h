@@ -12,6 +12,7 @@
 
 #include "baselines/estimator.h"
 #include "hpc/events.h"
+#include "model/sample.h"
 #include "os/system.h"
 #include "powermeter/powerspy.h"
 #include "util/rng.h"
@@ -19,17 +20,19 @@
 
 namespace powerapi::benchx {
 
-/// Samples the machine every `period` for `duration`, returning observations
-/// whose `watts` field holds the PowerSpy measurement (the evaluation
-/// ground truth as a meter would see it).
-inline std::vector<baselines::Observation> collect_observations(
+/// Samples the machine every `period` for `duration`, returning training
+/// samples (the shared feature layer + watts) whose `watts` field holds the
+/// PowerSpy measurement (the evaluation ground truth as a meter would see
+/// it). Estimators consume these directly: a TrainingSample IS an
+/// Observation.
+inline std::vector<model::TrainingSample> collect_observations(
     os::System& system, util::DurationNs duration, util::DurationNs period,
     util::Rng rng) {
   powermeter::PowerSpy meter(
       [&system] { return system.total_energy_joules(); },
       [&system] { return system.now_ns(); }, std::move(rng));
 
-  std::vector<baselines::Observation> out;
+  std::vector<model::TrainingSample> out;
   meter.sample();  // Prime.
   hpc::EventValues prev =
       hpc::EventValues::from_block(system.machine().machine_counters());
@@ -44,14 +47,13 @@ inline std::vector<baselines::Observation> collect_observations(
     const util::TimestampNs now = system.now_ns();
     if (sample && now > prev_time) {
       const double window_s = util::ns_to_seconds(now - prev_time);
-      baselines::Observation obs;
-      obs.frequency_hz = system.machine().frequency();
-      obs.rates = model::rates_from_delta(cur.delta_since(prev), window_s);
+      model::TrainingSample obs;
+      static_cast<model::FeatureVector&>(obs) =
+          model::extract_features(cur.delta_since(prev), cur_smt - prev_smt, window_s,
+                                  system.machine().frequency());
       obs.watts = sample->watts;
-      obs.utilization =
-          model::rate_of(obs.rates, hpc::EventId::kCycles) /
-          (obs.frequency_hz * static_cast<double>(system.machine().spec().hw_threads()));
-      obs.smt_shared_cycles_per_sec = static_cast<double>(cur_smt - prev_smt) / window_s;
+      obs.utilization = model::machine_utilization(obs.rates, obs.frequency_hz,
+                                                   system.machine().spec().hw_threads());
       out.push_back(obs);
     }
     prev = cur;
@@ -61,11 +63,11 @@ inline std::vector<baselines::Observation> collect_observations(
   return out;
 }
 
-/// Per-task observations: one Observation per (pid, window), with `watts`
+/// Per-task observations: one sample per (pid, window), with `watts`
 /// holding the simulator's GROUND-TRUTH attributed activity power for that
 /// task — the reference for per-process attribution accuracy (what HAPPY
 /// and PowerAPI are ultimately for).
-inline std::map<std::int64_t, std::vector<baselines::Observation>>
+inline std::map<std::int64_t, std::vector<model::TrainingSample>>
 collect_task_observations(os::System& system, std::span<const os::Pid> pids,
                           util::DurationNs duration, util::DurationNs period) {
   struct Prev {
@@ -87,7 +89,7 @@ collect_task_observations(os::System& system, std::span<const os::Pid> pids,
   }
   util::TimestampNs prev_time = system.now_ns();
 
-  std::map<std::int64_t, std::vector<baselines::Observation>> out;
+  std::map<std::int64_t, std::vector<model::TrainingSample>> out;
   for (util::DurationNs t = 0; t < duration; t += period) {
     system.run_for(period);
     const util::TimestampNs now = system.now_ns();
@@ -98,15 +100,15 @@ collect_task_observations(os::System& system, std::span<const os::Pid> pids,
       auto it = prev.find(pid);
       if (it == prev.end() || window_s <= 0) continue;
       const auto values = hpc::EventValues::from_block(stat->counters);
-      baselines::Observation obs;
-      obs.frequency_hz = system.machine().frequency();
-      obs.rates = model::rates_from_delta(values.delta_since(it->second.values), window_s);
+      model::TrainingSample obs;
+      static_cast<model::FeatureVector&>(obs) = model::extract_features(
+          values.delta_since(it->second.values),
+          stat->counters.smt_shared_cycles - it->second.smt, window_s,
+          system.machine().frequency());
       obs.watts = (stat->attributed_energy_joules - it->second.energy) / window_s;
       obs.utilization =
           util::ns_to_seconds(stat->cpu_time_ns - it->second.cpu_time) / window_s /
           static_cast<double>(system.machine().spec().hw_threads());
-      obs.smt_shared_cycles_per_sec =
-          static_cast<double>(stat->counters.smt_shared_cycles - it->second.smt) / window_s;
       out[pid].push_back(obs);
 
       it->second.values = values;
@@ -127,7 +129,7 @@ struct ErrorSummary {
 };
 
 inline ErrorSummary evaluate(const baselines::MachinePowerEstimator& estimator,
-                             const std::vector<baselines::Observation>& observations) {
+                             const std::vector<model::TrainingSample>& observations) {
   std::vector<double> measured;
   std::vector<double> estimated;
   measured.reserve(observations.size());
@@ -149,7 +151,7 @@ inline ErrorSummary evaluate(const baselines::MachinePowerEstimator& estimator,
 /// attributed activity power. Windows where the task burned < `floor_watts`
 /// are skipped (percentage error is meaningless near zero).
 inline ErrorSummary evaluate_task(const baselines::MachinePowerEstimator& estimator,
-                                  const std::vector<baselines::Observation>& observations,
+                                  const std::vector<model::TrainingSample>& observations,
                                   double floor_watts = 0.5) {
   std::vector<double> measured;
   std::vector<double> estimated;

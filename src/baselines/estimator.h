@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,9 +14,11 @@
 
 namespace powerapi::baselines {
 
-/// An observation is a TrainingSample with `watts` as ground truth when
-/// evaluating; estimators must only read the feature fields.
-using Observation = model::TrainingSample;
+/// An observation is the shared feature layer itself: estimators consume
+/// exactly the fields every pipeline stage carries (a TrainingSample IS a
+/// FeatureVector plus the ground-truth watts, so labelled evaluation data
+/// passes straight through).
+using Observation = model::FeatureVector;
 
 class MachinePowerEstimator {
  public:
@@ -31,21 +34,26 @@ class MachinePowerEstimator {
 };
 
 /// Adapter: the paper's HPC-regression model as a MachinePowerEstimator.
+/// Holds the model immutably behind shared_ptr so a fleet's estimators all
+/// reference one copy.
 class HpcModelEstimator final : public MachinePowerEstimator {
  public:
-  explicit HpcModelEstimator(model::CpuPowerModel model) : model_(std::move(model)) {}
+  explicit HpcModelEstimator(model::CpuPowerModel model)
+      : model_(std::make_shared<const model::CpuPowerModel>(std::move(model))) {}
+  explicit HpcModelEstimator(std::shared_ptr<const model::CpuPowerModel> model)
+      : model_(std::move(model)) {}
 
   std::string name() const override { return "powerapi-hpc"; }
   double estimate(const Observation& obs) const override {
-    return model_.estimate_machine(obs.frequency_hz, obs.rates);
+    return model_->estimate_machine(obs);
   }
   double estimate_task(const Observation& obs) const override {
-    return model_.estimate_activity(obs.frequency_hz, obs.rates);
+    return model_->estimate_activity(obs);
   }
-  const model::CpuPowerModel& model() const noexcept { return model_; }
+  const model::CpuPowerModel& model() const noexcept { return *model_; }
 
  private:
-  model::CpuPowerModel model_;
+  std::shared_ptr<const model::CpuPowerModel> model_;
 };
 
 /// Extracts one regression feature from an observation.

@@ -1,0 +1,33 @@
+#include "model/feature_vector.h"
+
+#include <stdexcept>
+
+namespace powerapi::model {
+
+EventRates rates_from_delta(const hpc::EventValues& delta, double seconds) {
+  if (seconds <= 0.0) throw std::invalid_argument("rates_from_delta: non-positive window");
+  EventRates rates{};
+  for (hpc::EventId id : hpc::all_events()) {
+    set_rate(rates, id, static_cast<double>(delta[id]) / seconds);
+  }
+  return rates;
+}
+
+FeatureVector extract_features(const hpc::EventValues& delta,
+                               std::uint64_t smt_cycles_delta,
+                               double window_seconds, double frequency_hz) {
+  FeatureVector features;
+  features.frequency_hz = frequency_hz;
+  features.rates = rates_from_delta(delta, window_seconds);
+  features.smt_shared_cycles_per_sec =
+      static_cast<double>(smt_cycles_delta) / window_seconds;
+  return features;
+}
+
+double machine_utilization(const EventRates& rates, double frequency_hz,
+                           std::size_t hw_threads) noexcept {
+  return rate_of(rates, hpc::EventId::kCycles) /
+         (frequency_hz * static_cast<double>(hw_threads));
+}
+
+}  // namespace powerapi::model

@@ -9,14 +9,15 @@
 namespace powerapi::model {
 
 namespace {
-constexpr std::string_view kHeader = "powerapi-model v1";
+constexpr std::string_view kMagic = "powerapi-model";
 }
 
 void save_model(const CpuPowerModel& model, std::ostream& out) {
-  out << kHeader << "\n";
+  out << kMagic << " v" << kModelFormatVersion << "\n";
   out << "idle " << util::format_double(model.idle_watts()) << "\n";
   for (const auto& f : model.formulas()) {
     out << "frequency " << util::format_double(f.frequency_hz) << "\n";
+    out << "r2 " << util::format_double(f.r_squared) << "\n";
     for (std::size_t i = 0; i < f.events.size(); ++i) {
       out << hpc::to_string(f.events[i]) << " " << util::format_double(f.coefficients[i])
           << "\n";
@@ -40,7 +41,23 @@ util::Result<CpuPowerModel> load_model(std::istream& in) {
 
   if (!std::getline(in, line)) return fail("empty input");
   ++line_no;
-  if (util::trim(line) != kHeader) return fail("missing 'powerapi-model v1' header");
+  const auto header = util::split_trimmed(util::trim(line), ' ');
+  if (header.size() != 2 || header[0] != kMagic) {
+    return fail("missing 'powerapi-model v<N>' header");
+  }
+  if (header[1].size() < 2 || header[1].front() != 'v') {
+    return fail("malformed format version '" + header[1] + "'");
+  }
+  const auto parsed_version = util::parse_double(header[1].substr(1));
+  if (!parsed_version || *parsed_version < 1 ||
+      *parsed_version != static_cast<std::uint32_t>(*parsed_version)) {
+    return fail("malformed format version '" + header[1] + "'");
+  }
+  const auto version = static_cast<std::uint32_t>(*parsed_version);
+  if (version > kModelFormatVersion) {
+    return fail("unsupported format version " + header[1] + " (this build reads up to v" +
+                std::to_string(kModelFormatVersion) + ")");
+  }
 
   bool have_idle = false;
   double idle = 0.0;
@@ -68,6 +85,10 @@ util::Result<CpuPowerModel> load_model(std::istream& in) {
       f.frequency_hz = *value;
       formulas.push_back(std::move(f));
       current = &formulas.back();
+    } else if (key == "r2") {
+      if (version < 2) return fail("'r2' diagnostic requires format v2");
+      if (current == nullptr) return fail("r2 before any frequency line");
+      current->r_squared = *value;
     } else {
       const auto event = hpc::event_from_string(key);
       if (!event) return fail("unknown event '" + key + "'");

@@ -2,14 +2,20 @@
 // monitoring (cheap) can run in separate processes/sessions — train once on
 // a machine, ship the profile.
 //
-// Format (line-oriented, '#' comments):
-//   powerapi-model v1
+// Format (line-oriented, '#' comments), versioned by the header:
+//   powerapi-model v2
 //   idle <watts>
 //   frequency <hz>
+//   r2 <r-squared>            # fit diagnostic (v2+)
 //   <event-name> <coefficient>
 //   ...
+//
+// Writers emit the current version (v2). The loader accepts every version
+// up to the current one — v1 files (no r2 diagnostics) still load — and
+// rejects unknown/newer versions with a clear error rather than guessing.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -18,12 +24,16 @@
 
 namespace powerapi::model {
 
-/// Writes the model in the v1 text format.
+/// The format version save_model writes.
+inline constexpr std::uint32_t kModelFormatVersion = 2;
+
+/// Writes the model in the current text format (v2, with r2 diagnostics).
 void save_model(const CpuPowerModel& model, std::ostream& out);
 std::string model_to_string(const CpuPowerModel& model);
 
-/// Parses a v1 text model; fails with a line-numbered message on malformed
-/// input (unknown event names, missing header, negative idle, ...).
+/// Parses a v1 or v2 text model; fails with a line-numbered message on
+/// malformed input (unknown event names, missing header, unsupported format
+/// version, negative idle, ...).
 util::Result<CpuPowerModel> load_model(std::istream& in);
 util::Result<CpuPowerModel> model_from_string(const std::string& text);
 

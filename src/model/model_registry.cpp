@@ -1,0 +1,23 @@
+#include "model/model_registry.h"
+
+namespace powerapi::model {
+
+ModelRegistry::ModelRegistry(CpuPowerModel initial) : next_version_(2) {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->version = 1;
+  snapshot->model = std::move(initial);
+  current_.store(std::shared_ptr<const Snapshot>(std::move(snapshot)),
+                 std::memory_order_release);
+}
+
+ModelRegistry::Version ModelRegistry::publish(CpuPowerModel next) {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->version = next_version_.fetch_add(1, std::memory_order_relaxed);
+  snapshot->model = std::move(next);
+  const Version version = snapshot->version;
+  current_.store(std::shared_ptr<const Snapshot>(std::move(snapshot)),
+                 std::memory_order_release);
+  return version;
+}
+
+}  // namespace powerapi::model

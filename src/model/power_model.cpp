@@ -9,15 +9,6 @@
 
 namespace powerapi::model {
 
-EventRates rates_from_delta(const hpc::EventValues& delta, double seconds) {
-  if (seconds <= 0.0) throw std::invalid_argument("rates_from_delta: non-positive window");
-  EventRates rates{};
-  for (hpc::EventId id : hpc::all_events()) {
-    set_rate(rates, id, static_cast<double>(delta[id]) / seconds);
-  }
-  return rates;
-}
-
 double FrequencyFormula::estimate(const EventRates& rates) const noexcept {
   double watts = 0.0;
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -57,6 +48,16 @@ double CpuPowerModel::estimate_activity(double hz, const EventRates& rates) cons
   const FrequencyFormula* f = formula_for(hz);
   if (f == nullptr) throw std::logic_error("CpuPowerModel: empty model");
   return f->estimate(rates);
+}
+
+std::size_t CpuPowerModel::memory_footprint_bytes() const noexcept {
+  std::size_t bytes = sizeof(CpuPowerModel);
+  for (const auto& f : formulas_) {
+    bytes += sizeof(FrequencyFormula);
+    bytes += f.events.capacity() * sizeof(hpc::EventId);
+    bytes += f.coefficients.capacity() * sizeof(double);
+  }
+  return bytes;
 }
 
 std::string CpuPowerModel::describe() const {

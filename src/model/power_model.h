@@ -52,6 +52,19 @@ class CpuPowerModel {
     return idle_watts_ + estimate_activity(hz, rates);
   }
 
+  // FeatureVector conveniences: every pipeline stage carries the shared
+  // feature layer, so estimates read straight off it.
+  double estimate_activity(const FeatureVector& features) const {
+    return estimate_activity(features.frequency_hz, features.rates);
+  }
+  double estimate_machine(const FeatureVector& features) const {
+    return estimate_machine(features.frequency_hz, features.rates);
+  }
+
+  /// Approximate heap + object footprint, for the fleet memory accounting
+  /// in bench_pipeline (shared vs per-host model copies).
+  std::size_t memory_footprint_bytes() const noexcept;
+
   /// Human-readable dump in the paper's notation.
   std::string describe() const;
 

@@ -1,38 +1,18 @@
-// Training samples: synchronized (counter rates, measured watts) pairs
+// Training samples: synchronized (feature vector, measured watts) pairs
 // gathered during the sampling phase of Figure 1.
 #pragma once
 
-#include <array>
 #include <cstddef>
 #include <vector>
 
-#include "hpc/events.h"
+#include "model/feature_vector.h"
 
 namespace powerapi::model {
 
-/// Per-second event rates over one sampling window.
-using EventRates = std::array<double, hpc::kEventCount>;
-
-inline double rate_of(const EventRates& rates, hpc::EventId id) noexcept {
-  return rates[static_cast<std::size_t>(id)];
-}
-inline void set_rate(EventRates& rates, hpc::EventId id, double value) noexcept {
-  rates[static_cast<std::size_t>(id)] = value;
-}
-
-/// Converts a cumulative-counter delta over `seconds` into rates.
-EventRates rates_from_delta(const hpc::EventValues& delta, double seconds);
-
-struct TrainingSample {
-  double frequency_hz = 0.0;
-  EventRates rates{};
+/// A FeatureVector labelled with the wall power the meter measured over the
+/// same window — the unit of both offline training and online calibration.
+struct TrainingSample : FeatureVector {
   double watts = 0.0;  ///< Wall power measured by the meter (includes idle).
-
-  // Extra signals used by the baseline models (not generic HPC events):
-  /// CPU utilization over the window, 0..1 (Versick-style CPU-load models).
-  double utilization = 0.0;
-  /// SMT co-resident cycles per second (the HAPPY model's scheduler signal).
-  double smt_shared_cycles_per_sec = 0.0;
 };
 
 /// Everything the sampling phase produced: the measured idle floor and the

@@ -112,16 +112,13 @@ std::vector<TrainingSample> Trainer::sample_frequency(double hz) const {
         // have run above the pinned nominal maximum, and those samples must
         // land in the turbo bin's formula (the paper: "including the
         // TurboBoost ones when available").
-        sample.frequency_hz = system->machine().last_effective_frequency_hz();
-        sample.rates = rates_from_delta(cur.delta_since(prev), window_s);
+        static_cast<FeatureVector&>(sample) = extract_features(
+            cur.delta_since(prev), cur_smt - prev_smt, window_s,
+            system->machine().last_effective_frequency_hz());
         sample.watts = s->watts;
         // CPU load over the window, derived exactly as top(1) would: busy
-        // cycles divided by available cycles.
-        sample.utilization =
-            rate_of(sample.rates, hpc::EventId::kCycles) /
-            (pinned * static_cast<double>(spec_.hw_threads()));
-        sample.smt_shared_cycles_per_sec =
-            static_cast<double>(cur_smt - prev_smt) / window_s;
+        // cycles divided by available cycles (at the PINNED frequency).
+        sample.utilization = machine_utilization(sample.rates, pinned, spec_.hw_threads());
         samples.push_back(sample);
       }
       prev = cur;

@@ -14,19 +14,28 @@ const SensorReport* as_report(const actors::Envelope& envelope) {
 
 RegressionFormula::RegressionFormula(actors::EventBus& bus,
                                      actors::EventBus::TopicId out_topic,
-                                     model::CpuPowerModel model)
-    : bus_(&bus), out_topic_(out_topic), model_(std::move(model)) {}
+                                     std::shared_ptr<const model::ModelRegistry> registry)
+    : bus_(&bus), out_topic_(out_topic), registry_(std::move(registry)) {}
 
 void RegressionFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
   if (report == nullptr || report->sensor != SensorKind::kHpc) return;
 
+  // Pin one immutable snapshot for this report; a concurrent swap affects
+  // the next report, never a half-read model.
+  const auto snapshot = registry_->current();
+
   PowerEstimate estimate;
   estimate.timestamp = report->timestamp;
   estimate.pid = report->pid;
   estimate.formula = "powerapi-hpc";
-  const double activity = model_.estimate_activity(report->frequency_hz, report->rates);
-  estimate.watts = report->pid == kMachinePid ? model_.idle_watts() + activity : activity;
+  estimate.model_version = snapshot->version;
+  // An empty model (cold-start calibration: nothing learned yet) estimates
+  // the idle floor only until the first swap fills in formulas.
+  const double activity =
+      snapshot->model.empty() ? 0.0 : snapshot->model.estimate_activity(*report);
+  estimate.watts =
+      report->pid == kMachinePid ? snapshot->model.idle_watts() + activity : activity;
   bus_->publish(out_topic_, std::move(estimate), self());
 }
 
@@ -41,17 +50,12 @@ void EstimatorFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
   if (report == nullptr || report->pid != kMachinePid) return;
 
-  baselines::Observation obs;
-  obs.frequency_hz = report->frequency_hz;
-  obs.rates = report->rates;
-  obs.utilization = report->utilization;
-  obs.smt_shared_cycles_per_sec = report->smt_shared_cycles_per_sec;
-
   PowerEstimate estimate;
   estimate.timestamp = report->timestamp;
   estimate.pid = kMachinePid;
   estimate.formula = estimator_->name();
-  estimate.watts = estimator_->estimate(obs);
+  // A report IS an Observation (the shared feature layer): no repacking.
+  estimate.watts = estimator_->estimate(*report);
   bus_->publish(out_topic_, std::move(estimate), self());
 }
 

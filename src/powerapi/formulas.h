@@ -10,6 +10,7 @@
 #include "actors/event_bus.h"
 #include "baselines/cpuload_model.h"
 #include "baselines/estimator.h"
+#include "model/model_registry.h"
 #include "model/power_model.h"
 #include "periph/disk.h"
 #include "periph/nic.h"
@@ -21,17 +22,23 @@ namespace powerapi::api {
 /// Machine-scope reports get idle + activity; process reports get activity
 /// only (the paper attributes the idle floor to the machine, not to any
 /// process).
+///
+/// The formula does not own a model copy: it reads the registry's current
+/// snapshot per report, so a CalibrationActor refit (or any other
+/// registry.publish) takes effect on the very next estimate, and a fleet's
+/// formulas can all share one registry. Every estimate carries the snapshot
+/// version that produced it.
 class RegressionFormula final : public actors::Actor {
  public:
   RegressionFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                    model::CpuPowerModel model);
+                    std::shared_ptr<const model::ModelRegistry> registry);
 
   void receive(actors::Envelope& envelope) override;
 
  private:
   actors::EventBus* bus_;
   actors::EventBus::TopicId out_topic_;
-  model::CpuPowerModel model_;
+  std::shared_ptr<const model::ModelRegistry> registry_;
 };
 
 /// Adapter formula around any baseline MachinePowerEstimator (CPU-load,

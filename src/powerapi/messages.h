@@ -18,7 +18,7 @@
 #include <string>
 #include <string_view>
 
-#include "model/sample.h"
+#include "model/feature_vector.h"
 #include "util/units.h"
 
 namespace powerapi::api {
@@ -53,16 +53,15 @@ constexpr std::string_view to_string(SensorKind kind) noexcept {
   return "?";
 }
 
-/// One sensor's observation of one target over the last window.
-struct SensorReport {
+/// One sensor's observation of one target over the last window. Derives
+/// from the shared feature layer (frequency, event rates, utilization, SMT
+/// co-residency), so formulas and estimators consume the report directly —
+/// no field-by-field repacking between pipeline stages.
+struct SensorReport : model::FeatureVector {
   util::TimestampNs timestamp = 0;
   std::int64_t pid = kMachinePid;
   SensorKind sensor = SensorKind::kHpc;
-  double frequency_hz = 0.0;
   double window_seconds = 0.0;
-  model::EventRates rates{};      ///< Event rates over the window (hpc sensor).
-  double utilization = 0.0;       ///< Target's CPU share over the window.
-  double smt_shared_cycles_per_sec = 0.0;
   double measured_watts = 0.0;    ///< Meter sensors only (powerspy, rapl).
 
   // IO sensor fields (machine scope, "sensor:io"):
@@ -77,6 +76,9 @@ struct PowerEstimate {
   std::int64_t pid = kMachinePid;
   std::string formula;            ///< e.g. "powerapi-hpc", "cpu-load", "rapl".
   double watts = 0.0;
+  /// Registry version of the model that produced this estimate; 0 for
+  /// formulas that do not read a versioned model (meters, datasheets).
+  std::uint64_t model_version = 0;
 };
 
 /// Aggregated power along a dimension (per PID, per group, or summed per

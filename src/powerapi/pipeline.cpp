@@ -1,5 +1,6 @@
 #include "powerapi/pipeline.h"
 
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -23,6 +24,7 @@ Pipeline::Pipeline(actors::ActorSystem& actors, actors::EventBus& bus,
       with_powerspy_(spec.with_powerspy),
       backend_(std::make_unique<hpc::SimBackend>(host)),
       targets_(std::make_shared<TargetsState>()),
+      registry_(std::move(spec.registry)),
       ticker_(host.now_ns(), spec.period),
       tick_topic_(bus.intern(ns_ + "tick")),
       hpc_topic_(bus.intern(ns_ + "sensor:hpc")),
@@ -30,6 +32,13 @@ Pipeline::Pipeline(actors::ActorSystem& actors, actors::EventBus& bus,
       aggregated_topic_(bus.intern(ns_ + "power:aggregated")) {
   targets_->host = host_;
   util::Rng rng(spec.seed);
+
+  // A private registry wraps the spec's model unless the caller shares one
+  // (a fleet passing the same registry to every host). Calibration from a
+  // cold start gets an idle-only version 1 to improve on.
+  if (registry_ == nullptr && (!spec.model.empty() || spec.with_calibration)) {
+    registry_ = std::make_shared<model::ModelRegistry>(std::move(spec.model));
+  }
 
   // Targets provider shared by the sensors.
   TargetsFn targets = [state = targets_]() -> std::vector<std::int64_t> {
@@ -42,11 +51,17 @@ Pipeline::Pipeline(actors::ActorSystem& actors, actors::EventBus& bus,
       ns_ + "sensor-hpc", *bus_, hpc_topic_, *backend_, targets, host_);
   bus_->subscribe(tick_topic_, hpc_sensor);
 
+  // Meter sensor topics survive the blocks below: the calibration actor
+  // subscribes to one of them as its ground-truth stream.
+  std::optional<actors::EventBus::TopicId> powerspy_topic;
+  std::optional<actors::EventBus::TopicId> rapl_topic;
+
   if (spec.with_powerspy) {
     auto meter = std::make_shared<powermeter::PowerSpy>(
         [h = host_] { return h->total_energy_joules(); },
         [h = host_] { return h->now_ns(); }, rng.fork(1));
     const auto sensor_topic = bus_->intern(ns_ + "sensor:powerspy");
+    powerspy_topic = sensor_topic;
     const auto sensor = actors_->spawn_as<PowerSpySensor>(
         ns_ + "sensor-powerspy", *bus_, sensor_topic, std::move(meter));
     bus_->subscribe(tick_topic_, sensor);
@@ -60,6 +75,7 @@ Pipeline::Pipeline(actors::ActorSystem& actors, actors::EventBus& bus,
         [h = host_] { return h->package_energy_joules(); },
         [h = host_] { return h->now_ns(); });
     const auto sensor_topic = bus_->intern(ns_ + "sensor:rapl");
+    rapl_topic = sensor_topic;
     const auto sensor = actors_->spawn_as<RaplSensor>(ns_ + "sensor-rapl", *bus_,
                                                       sensor_topic, std::move(msr));
     bus_->subscribe(tick_topic_, sensor);
@@ -87,10 +103,32 @@ Pipeline::Pipeline(actors::ActorSystem& actors, actors::EventBus& bus,
   }
 
   // --- The paper's formula ---
-  if (!spec.model.empty()) {
+  if (registry_ != nullptr) {
     const auto formula = actors_->spawn_as<RegressionFormula>(
-        ns_ + "formula-hpc", *bus_, estimate_topic_, std::move(spec.model));
+        ns_ + "formula-hpc", *bus_, estimate_topic_, registry_);
     bus_->subscribe(hpc_topic_, formula);
+  }
+
+  // --- Online calibration ---
+  if (spec.with_calibration) {
+    if (registry_ == nullptr) {
+      throw std::invalid_argument(
+          "Pipeline: with_calibration requires a model or registry");
+    }
+    // PowerSpy is the wall-power reference the paper trains against;
+    // RAPL (package scope) is the fallback ground truth.
+    const auto truth_topic = powerspy_topic ? powerspy_topic : rapl_topic;
+    if (!truth_topic) {
+      throw std::invalid_argument(
+          "Pipeline: with_calibration requires with_powerspy or with_rapl");
+    }
+    with_calibration_ = true;
+    calibration_topic_ = bus_->intern(ns_ + "calibration:updated");
+    const auto calibrator = actors_->spawn_as<CalibrationActor>(
+        ns_ + "calibrator", *bus_, calibration_topic_, registry_,
+        std::move(spec.calibration));
+    bus_->subscribe(hpc_topic_, calibrator);
+    bus_->subscribe(*truth_topic, calibrator);
   }
 
   // --- Aggregation ---
@@ -146,6 +184,16 @@ void Pipeline::add_callback_reporter(CallbackReporter::Callback callback) {
   const auto reporter = actors_->spawn_as<CallbackReporter>(ns_ + "reporter-callback",
                                                             std::move(callback));
   bus_->subscribe(aggregated_topic_, reporter);
+}
+
+void Pipeline::add_model_update_callback(ModelUpdateCallback::Callback callback) {
+  if (!with_calibration_) {
+    throw std::logic_error(
+        "Pipeline::add_model_update_callback: built without with_calibration");
+  }
+  const auto listener = actors_->spawn_as<ModelUpdateCallback>(
+      ns_ + "calibration-listener", std::move(callback));
+  bus_->subscribe(calibration_topic_, listener);
 }
 
 MemoryReporter& Pipeline::add_memory_reporter() {

@@ -25,9 +25,11 @@
 #include "actors/timers.h"
 #include "baselines/estimator.h"
 #include "hpc/backend.h"
+#include "model/model_registry.h"
 #include "model/power_model.h"
 #include "os/monitorable_host.h"
 #include "powerapi/aggregators.h"
+#include "powerapi/calibration.h"
 #include "powerapi/messages.h"
 #include "powerapi/reporters.h"
 #include "util/units.h"
@@ -45,8 +47,20 @@ struct PipelineSpec {
   bool with_io = false;
   AggregationDimension dimension = AggregationDimension::kTimestamp;
   std::uint64_t seed = 7;      ///< Seeds the meter noise stream.
-  /// The paper's regression formula; empty → no "powerapi-hpc" series.
+  /// The paper's regression formula; empty → no "powerapi-hpc" series
+  /// (unless `registry` is set, which wins).
   model::CpuPowerModel model;
+  /// Shared model registry. When set, this pipeline's RegressionFormula
+  /// reads through it (and `model` is ignored) — a fleet passes the SAME
+  /// registry to every host's spec so all hosts share one immutable model
+  /// snapshot instead of owning per-host copies. When null, the pipeline
+  /// wraps `model` in a private registry.
+  std::shared_ptr<model::ModelRegistry> registry;
+  /// Online calibration: pair hpc features with meter ground truth, refit
+  /// on drift and hot-swap the registry. Requires a registry (or `model`)
+  /// plus a ground-truth meter (powerspy preferred, else rapl).
+  bool with_calibration = false;
+  CalibrationOptions calibration;  ///< Tuning for with_calibration.
   /// Baseline formulas fed by the hpc sensor (cpu-load, Bertran, HAPPY).
   std::vector<std::shared_ptr<const baselines::MachinePowerEstimator>> estimators;
 };
@@ -79,6 +93,9 @@ class Pipeline {
   void add_csv_reporter(std::ostream& out);
   void add_callback_reporter(CallbackReporter::Callback callback);
   MemoryReporter& add_memory_reporter();
+  /// Invokes `callback` after every calibration swap (ModelUpdated).
+  /// Throws if the pipeline was built without with_calibration.
+  void add_model_update_callback(ModelUpdateCallback::Callback callback);
 
   // --- Lifecycle ---
   /// Stops the aggregator so its pending groups flush; idempotent. The
@@ -89,6 +106,15 @@ class Pipeline {
   actors::EventBus::TopicId tick_topic() const noexcept { return tick_topic_; }
   actors::EventBus::TopicId aggregated_topic() const noexcept {
     return aggregated_topic_;
+  }
+  /// "calibration:updated" topic; only valid with with_calibration.
+  actors::EventBus::TopicId calibration_topic() const noexcept {
+    return calibration_topic_;
+  }
+  /// The registry the regression formula reads through; null when the
+  /// pipeline was built with neither a model nor a registry.
+  const std::shared_ptr<model::ModelRegistry>& registry() const noexcept {
+    return registry_;
   }
   os::MonitorableHost& host() noexcept { return *host_; }
   const actors::Ticker& ticker() const noexcept { return ticker_; }
@@ -107,12 +133,15 @@ class Pipeline {
   bool with_powerspy_ = false;
   std::unique_ptr<hpc::CounterBackend> backend_;
   std::shared_ptr<TargetsState> targets_;
+  std::shared_ptr<model::ModelRegistry> registry_;
   actors::Ticker ticker_;
   actors::EventBus::TopicId tick_topic_;
   actors::EventBus::TopicId hpc_topic_;
   actors::EventBus::TopicId estimate_topic_;
   actors::EventBus::TopicId aggregated_topic_;
+  actors::EventBus::TopicId calibration_topic_{};
   actors::ActorRef aggregator_;
+  bool with_calibration_ = false;
   bool finished_ = false;
 };
 

@@ -74,15 +74,15 @@ void HpcSensor::observe(std::int64_t pid, util::TimestampNs now) {
   report.pid = pid;
   report.sensor = SensorKind::kHpc;
   report.window_seconds = window_s;
-  report.rates = model::rates_from_delta(current.values.delta_since(prev.values), window_s);
-  report.smt_shared_cycles_per_sec =
-      static_cast<double>(current.smt_cycles - prev.smt_cycles) / window_s;
+  const double frequency_hz =
+      host_ != nullptr ? host_->system_stat().frequency_hz : 0.0;
+  static_cast<model::FeatureVector&>(report) = model::extract_features(
+      current.values.delta_since(prev.values),
+      current.smt_cycles - prev.smt_cycles, window_s, frequency_hz);
   if (host_ != nullptr) {
-    const auto sys = host_->system_stat();
-    report.frequency_hz = sys.frequency_hz;
     if (pid == kMachinePid) {
-      report.utilization = model::rate_of(report.rates, hpc::EventId::kCycles) /
-                           (sys.frequency_hz * static_cast<double>(host_->hw_threads()));
+      report.utilization =
+          model::machine_utilization(report.rates, frequency_hz, host_->hw_threads());
     } else {
       report.utilization =
           util::ns_to_seconds(current.cpu_time - prev.cpu_time) / window_s;

@@ -7,6 +7,7 @@
 #include "mathx/correlation.h"
 #include "mathx/crossval.h"
 #include "mathx/feature_selection.h"
+#include "mathx/incremental_ols.h"
 #include "mathx/matrix.h"
 #include "mathx/ols.h"
 #include "util/rng.h"
@@ -180,6 +181,163 @@ TEST(RSquared, ZeroForMeanPredictor) {
   const std::vector<double> obs = {1, 2, 3, 4};
   const std::vector<double> mean_pred = {2.5, 2.5, 2.5, 2.5};
   EXPECT_NEAR(r_squared(obs, mean_pred), 0.0, 1e-12);
+}
+
+// --- Incremental OLS ---
+
+// Feeds every row of `a`/`b` into a fresh accumulator.
+IncrementalOls absorb(const Matrix& a, const std::vector<double>& b) {
+  IncrementalOls inc(a.cols());
+  std::vector<double> row(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) row[j] = a(i, j);
+    inc.add(row, b[i]);
+  }
+  return inc;
+}
+
+TEST(IncrementalOls, MatchesBatchOnExactSystem) {
+  Matrix a{{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  const std::vector<double> b = {2, 3, 5, 7};
+  const auto batch = ols(a, b);
+  const auto streaming = absorb(a, b).solve();
+  ASSERT_EQ(streaming.coefficients.size(), batch.coefficients.size());
+  for (std::size_t j = 0; j < batch.coefficients.size(); ++j) {
+    EXPECT_NEAR(streaming.coefficients[j], batch.coefficients[j], 1e-9);
+  }
+  EXPECT_NEAR(streaming.residual_norm, batch.residual_norm, 1e-9);
+  EXPECT_NEAR(streaming.r_squared, batch.r_squared, 1e-9);
+}
+
+class IncrementalOlsEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalOlsEquivalence, MatchesBatchOnRandomSamples) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  const std::size_t k = 1 + static_cast<std::size_t>(GetParam()) % 5;
+  const std::size_t n = k + 1 + static_cast<std::size_t>(rng.uniform(0, 60));
+
+  Matrix a(n, k);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double y = rng.gaussian(0.0, 0.5);
+    for (std::size_t j = 0; j < k; ++j) {
+      // Spread magnitudes across decades, like counter rates do (cycles/s
+      // ~1e9 next to cache-misses/s ~1e5).
+      a(i, j) = rng.uniform(0, 1) * std::pow(10.0, static_cast<double>(j % 4));
+      y += (1.0 + static_cast<double>(j)) * a(i, j);
+    }
+    b[i] = y;
+  }
+
+  const auto batch = ols(a, b);
+  const auto streaming = absorb(a, b).solve();
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_NEAR(streaming.coefficients[j], batch.coefficients[j],
+                1e-9 * (1.0 + std::abs(batch.coefficients[j])))
+        << "coefficient " << j << " (k=" << k << ", n=" << n << ")";
+  }
+  EXPECT_NEAR(streaming.residual_norm, batch.residual_norm,
+              1e-9 * (1.0 + batch.residual_norm));
+  EXPECT_NEAR(streaming.r_squared, batch.r_squared, 1e-9);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalOlsEquivalence, ::testing::Range(1, 17));
+
+TEST(IncrementalOls, MatchesNnlsWhenClampingIsNeeded) {
+  util::Rng rng(9);  // Same construction as Nnls.ClampsNegativeCoefficients.
+  Matrix a(100, 2);
+  std::vector<double> b(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    a(i, 0) = rng.uniform(0, 10);
+    a(i, 1) = rng.uniform(0, 10);
+    b[i] = 2.0 * a(i, 0) - 0.5 * a(i, 1) + rng.gaussian(0, 0.01);
+  }
+  const auto batch = nnls(a, b);
+  const auto streaming = absorb(a, b).solve_nonnegative();
+  ASSERT_EQ(streaming.coefficients.size(), 2u);
+  EXPECT_DOUBLE_EQ(streaming.coefficients[1], 0.0);
+  EXPECT_NEAR(streaming.coefficients[0], batch.coefficients[0], 1e-8);
+}
+
+TEST(IncrementalOls, RejectsDegenerateSystemsLikeBatch) {
+  // Underdetermined: fewer rows than columns.
+  {
+    IncrementalOls inc(2);
+    const std::vector<double> row = {1.0, 2.0};
+    inc.add(row, 1.0);
+    EXPECT_FALSE(inc.well_determined());
+    EXPECT_THROW(inc.solve(), std::invalid_argument);
+  }
+  // Rank deficient: an all-zero column (batch throws runtime_error too).
+  {
+    Matrix zero(4, 1, 0.0);
+    const std::vector<double> b4 = {1, 2, 3, 4};
+    EXPECT_THROW(ols(zero, b4), std::runtime_error);
+    const auto inc = absorb(zero, b4);
+    EXPECT_FALSE(inc.well_determined());
+    EXPECT_THROW(inc.solve(), std::runtime_error);
+  }
+  // Collinear grid: column 1 is exactly 3× column 0 — the shape a pinned
+  // stress sweep produces when two counter rates move in lockstep.
+  {
+    Matrix collinear(6, 2);
+    std::vector<double> y(6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      collinear(i, 0) = static_cast<double>(i + 1);
+      collinear(i, 1) = 3.0 * collinear(i, 0);
+      y[i] = collinear(i, 0);
+    }
+    EXPECT_THROW(ols(collinear, y), std::runtime_error);
+    const auto inc = absorb(collinear, y);
+    EXPECT_FALSE(inc.well_determined());
+    EXPECT_THROW(inc.solve(), std::runtime_error);
+  }
+}
+
+TEST(IncrementalOls, WellDeterminedFlipsOnceRankIsReached) {
+  IncrementalOls inc(2);
+  const std::vector<double> r1 = {1.0, 0.0};
+  const std::vector<double> r2 = {0.0, 1.0};
+  inc.add(r1, 1.0);
+  EXPECT_FALSE(inc.well_determined());
+  inc.add(r2, 2.0);
+  EXPECT_TRUE(inc.well_determined());
+  const auto fit = inc.solve();
+  EXPECT_NEAR(fit.coefficients[0], 1.0, 1e-12);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-12);
+}
+
+TEST(IncrementalOls, ForgettingTracksDriftingCoefficients) {
+  // The generating coefficient jumps mid-stream; with λ < 1 the solution
+  // must land near the NEW coefficient, while λ = 1 averages the epochs.
+  util::Rng rng(41);
+  IncrementalOls decayed(1);
+  decayed.set_forgetting(0.9);
+  IncrementalOls flat(1);
+  std::vector<double> row(1);
+  for (int i = 0; i < 200; ++i) {
+    row[0] = rng.uniform(1, 10);
+    const double coeff = i < 100 ? 2.0 : 5.0;
+    const double y = coeff * row[0];
+    decayed.add(row, y);
+    flat.add(row, y);
+  }
+  EXPECT_NEAR(decayed.solve().coefficients[0], 5.0, 0.01);
+  const double averaged = flat.solve().coefficients[0];
+  EXPECT_GT(averaged, 2.5);
+  EXPECT_LT(averaged, 4.5);
+  EXPECT_THROW(decayed.set_forgetting(0.0), std::invalid_argument);
+  EXPECT_THROW(decayed.set_forgetting(1.5), std::invalid_argument);
+}
+
+TEST(IncrementalOls, ClearResetsState) {
+  IncrementalOls inc(1);
+  const std::vector<double> row = {2.0};
+  inc.add(row, 4.0);
+  inc.clear();
+  EXPECT_EQ(inc.count(), 0u);
+  EXPECT_FALSE(inc.well_determined());
+  inc.add(row, 6.0);
+  EXPECT_NEAR(inc.solve().coefficients[0], 3.0, 1e-12);
 }
 
 // --- Correlation ---

@@ -126,6 +126,58 @@ TEST(ModelIo, RejectsMalformedInput) {
   }
 }
 
+TEST(ModelIo, RoundTripsFitDiagnostics) {
+  CpuPowerModel original = paper_model();
+  // paper_model ships with default r_squared; give each formula a distinct
+  // diagnostic so the round trip is actually exercised.
+  std::vector<FrequencyFormula> formulas = original.formulas();
+  for (std::size_t i = 0; i < formulas.size(); ++i) {
+    formulas[i].r_squared = 0.9 + 0.01 * static_cast<double>(i);
+  }
+  original = CpuPowerModel(original.idle_watts(), std::move(formulas));
+
+  const std::string text = model_to_string(original);
+  EXPECT_NE(text.find("powerapi-model v2"), std::string::npos);
+  EXPECT_NE(text.find("r2 "), std::string::npos);
+
+  const auto parsed = model_from_string(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  ASSERT_EQ(parsed.value().formulas().size(), original.formulas().size());
+  for (std::size_t i = 0; i < original.formulas().size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed.value().formulas()[i].r_squared,
+                     original.formulas()[i].r_squared);
+  }
+}
+
+TEST(ModelIo, RejectsUnknownFormatVersions) {
+  const char* bad_headers[] = {
+      "powerapi-model v3\nidle 3\nfrequency 1e9\ncycles 1\n",   // Future version.
+      "powerapi-model v99\nidle 3\nfrequency 1e9\ncycles 1\n",  // Far future.
+      "powerapi-model v0\nidle 3\nfrequency 1e9\ncycles 1\n",   // Nonsense.
+      "powerapi-model v1.5\nidle 3\nfrequency 1e9\ncycles 1\n", // Non-integer.
+      "powerapi-model 2\nidle 3\nfrequency 1e9\ncycles 1\n",    // Missing 'v'.
+      "powerapi-model vx\nidle 3\nfrequency 1e9\ncycles 1\n",   // Not a number.
+  };
+  for (const char* text : bad_headers) {
+    const auto parsed = model_from_string(text);
+    EXPECT_FALSE(parsed.ok()) << "should reject: " << text;
+  }
+  // The v3 error must tell the operator what this build can read.
+  const auto v3 = model_from_string(bad_headers[0]);
+  EXPECT_NE(v3.error_message().find("unsupported format version"), std::string::npos);
+  EXPECT_NE(v3.error_message().find("v2"), std::string::npos);
+}
+
+TEST(ModelIo, V1FilesStillLoadButMayNotUseDiagnostics) {
+  // A v1 file (no r2 lines) parses; an r2 line inside a v1 file is invalid.
+  const auto v1 = model_from_string(
+      "powerapi-model v1\nidle 30\nfrequency 1e9\ninstructions 2e-9\n");
+  ASSERT_TRUE(v1.ok()) << v1.error_message();
+  const auto v1_with_r2 = model_from_string(
+      "powerapi-model v1\nidle 30\nfrequency 1e9\nr2 0.9\ninstructions 2e-9\n");
+  EXPECT_FALSE(v1_with_r2.ok());
+}
+
 // --- Trainer (reduced grid for speed) ---
 
 TrainerOptions quick_options() {

@@ -154,8 +154,9 @@ TEST(RegressionFormula, MachineRowsGetIdleProcessRowsDoNot) {
   f.events = {hpc::EventId::kInstructions};
   f.coefficients = {2e-9};
   model::CpuPowerModel model(30.0, {f});
+  const auto registry = std::make_shared<model::ModelRegistry>(std::move(model));
   const auto formula = h.actors.spawn_as<RegressionFormula>(
-      "formula", h.bus, h.bus.intern("power:estimate"), model);
+      "formula", h.bus, h.bus.intern("power:estimate"), registry);
   auto& estimates = h.collect<PowerEstimate>("power:estimate");
 
   SensorReport machine;
