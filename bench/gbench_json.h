@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness.h"
+#include "util/logging.h"
 
 namespace powerapi::benchx {
 
@@ -44,6 +45,7 @@ class JsonTeeReporter final : public benchmark::ConsoleReporter {
 
 /// Runs the registered benchmarks and writes BENCH_<json_name>.json.
 inline int run_benchmarks_with_json(int argc, char** argv, const std::string& json_name) {
+  util::configure_logging(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonTeeReporter reporter;

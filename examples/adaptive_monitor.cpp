@@ -17,6 +17,7 @@
 
 #include "os/system.h"
 #include "powerapi/power_meter.h"
+#include "util/logging.h"
 #include "workloads/behaviors.h"
 #include "workloads/stress.h"
 
@@ -42,7 +43,8 @@ model::CpuPowerModel stale_model() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::configure_logging(argc, argv);
   os::System system(simcpu::i3_2120());
   util::Rng rng(4242);
   system.spawn("kdaemon", workloads::make_background_daemon(rng.fork(1)));

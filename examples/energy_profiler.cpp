@@ -15,11 +15,13 @@
 #include "mathx/ols.h"
 #include "model/model_io.h"
 #include "model/trainer.h"
+#include "util/logging.h"
 #include "util/units.h"
 
 using namespace powerapi;
 
 int main(int argc, char** argv) {
+  util::configure_logging(argc, argv);
   const char* path = argc > 1 ? argv[1] : "i3_2120.model";
   const simcpu::CpuSpec spec = simcpu::i3_2120();
 

@@ -5,12 +5,14 @@
 // namespace ("h0/", "h1/", ...), and a fleet-dimension aggregator sums the
 // per-host estimates into one rack-level power series.
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <vector>
 
 #include "model/trainer.h"
 #include "os/system.h"
 #include "powerapi/fleet_monitor.h"
+#include "util/logging.h"
 #include "util/stats.h"
 #include "workloads/behaviors.h"
 #include "workloads/stress.h"
@@ -49,7 +51,8 @@ std::unique_ptr<os::System> make_host(std::size_t i) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::configure_logging(argc, argv);
   std::printf("=== fleet_monitor: %zu hosts, one actor system ===\n", kHosts);
 
   // One model serves the whole (homogeneous-CPU) fleet, as one calibration
@@ -66,6 +69,7 @@ int main() {
   api::FleetMonitor::Options fleet_options;
   fleet_options.mode = actors::ActorSystem::Mode::kThreaded;
   fleet_options.workers = 4;
+  fleet_options.with_observability = true;  // Self-metrics + message-flow trace.
   api::FleetMonitor fleet(fleet_options);
 
   std::vector<api::MemoryReporter*> per_host;
@@ -95,5 +99,17 @@ int main() {
   std::printf("\nrack-level series: %zu samples, mean %.2f W (sum of %zu hosts)\n",
               rack_series.size(),
               util::mean(api::MemoryReporter::watts_of(rack_series)), kHosts);
+
+  // What did the monitoring itself cost? The observability bundle tracked
+  // the monitor's CPU share the whole run.
+  const obs::SelfMonitor::Usage usage = fleet.observability()->self.sample();
+  std::printf("monitor overhead: %.3f CPU-s (%.4f cores avg), ~%.3f J\n",
+              usage.total_cpu_seconds, usage.total_cpu_seconds / usage.wall_seconds,
+              usage.total_joules);
+
+  std::ofstream trace("fleet.trace.json");
+  fleet.write_chrome_trace(trace);
+  std::printf("wrote fleet.trace.json (%zu events) — open in Perfetto\n",
+              fleet.observability()->trace.size());
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "model/trainer.h"
 #include "os/system.h"
 #include "powerapi/fleet_monitor.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "workloads/behaviors.h"
@@ -83,7 +84,8 @@ std::unique_ptr<Strategy> make_strategy(bool adaptive, double idle_watts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::configure_logging(argc, argv);
   std::printf("=== green_datacenter: tracking a sporadic solar feed ===\n");
 
   model::TrainerOptions options;

@@ -18,6 +18,7 @@
 #include "model/trainer.h"
 #include "os/system.h"
 #include "powerapi/power_meter.h"
+#include "util/logging.h"
 #include "util/stats.h"
 #include "workloads/behaviors.h"
 #include "workloads/stress.h"
@@ -50,6 +51,7 @@ model::CpuPowerModel obtain_model(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  util::configure_logging(argc, argv);
   const model::CpuPowerModel power_model = obtain_model(argc > 1 ? argv[1] : nullptr);
 
   os::System system(simcpu::i3_2120());

@@ -12,13 +12,15 @@
 #include "model/trainer.h"
 #include "os/system.h"
 #include "powerapi/power_meter.h"
+#include "util/logging.h"
 #include "util/stats.h"
 #include "workloads/specjbb.h"
 #include "workloads/stress.h"
 
 using namespace powerapi;
 
-int main() {
+int main(int argc, char** argv) {
+  util::configure_logging(argc, argv);
   const simcpu::CpuSpec spec = simcpu::i3_2120();
   std::cout << "=== Simulated processor (paper, Table 1) ===\n"
             << spec.describe() << "\n";

@@ -14,6 +14,7 @@
 #include "os/scheduler.h"
 #include "os/system.h"
 #include "powerapi/power_meter.h"
+#include "util/logging.h"
 #include "util/stats.h"
 #include "workloads/behaviors.h"
 #include "workloads/stress.h"
@@ -71,7 +72,8 @@ Outcome evaluate(const Candidate& candidate, const model::CpuPowerModel& power_m
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::configure_logging(argc, argv);
   std::printf("=== scheduler_tuning: pick the greenest (placement, DVFS) policy ===\n");
 
   // Train once on the target machine.

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Diff BENCH_<name>.json sidecars against committed baselines.
+
+Usage:
+    bench_diff.py CURRENT BASELINE [CURRENT BASELINE ...]
+    bench_diff.py --current-dir build --baseline-dir bench/baselines
+
+Compares every metric shared by a current sidecar and its baseline and
+fails loudly (exit 1, per-metric report) when any regresses by more than
+the threshold (BENCH_DIFF_THRESHOLD env var, default 0.15 = 15 %).
+
+Regression direction is unit-aware: for "ns" (and any *seconds/*time
+unit) bigger is worse; for "items/s" (and any *…/s rate) smaller is worse.
+Metrics present on only one side are reported but never fail the diff, so
+adding or renaming benchmarks does not require touching baselines in the
+same commit. Machines differ; the threshold gates relative movement on one
+machine (CI runner vs its own committed baseline), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def load_metrics(path: Path) -> dict[str, dict]:
+    with path.open() as fh:
+        doc = json.load(fh)
+    metrics = {}
+    for metric in doc.get("metrics", []):
+        metrics[metric["name"]] = metric
+    return metrics
+
+
+def lower_is_better(unit: str) -> bool:
+    """ns / seconds-like units: lower is better. Rates (…/s): higher is."""
+    unit = unit.lower()
+    if unit.endswith("/s"):
+        return False
+    return True
+
+
+def diff_pair(current_path: Path, baseline_path: Path, threshold: float) -> list[str]:
+    current = load_metrics(current_path)
+    baseline = load_metrics(baseline_path)
+    failures = []
+    print(f"--- {current_path} vs {baseline_path} (threshold {threshold:.0%})")
+    for name in sorted(set(current) | set(baseline)):
+        if name not in baseline:
+            print(f"  NEW      {name}: {current[name]['value']:.6g} {current[name]['unit']}")
+            continue
+        if name not in current:
+            print(f"  REMOVED  {name} (baseline {baseline[name]['value']:.6g})")
+            continue
+        cur, base = current[name], baseline[name]
+        if base["value"] == 0:
+            print(f"  SKIP     {name}: baseline is 0")
+            continue
+        ratio = cur["value"] / base["value"]
+        if lower_is_better(cur.get("unit", "ns")):
+            regressed = ratio > 1.0 + threshold
+            change = ratio - 1.0
+        else:
+            regressed = ratio < 1.0 - threshold
+            change = 1.0 - ratio
+        verdict = "REGRESSED" if regressed else "ok"
+        print(
+            f"  {verdict:9} {name}: {base['value']:.6g} -> {cur['value']:.6g} "
+            f"{cur.get('unit', '')} ({change:+.1%} worse)"
+            if regressed
+            else f"  {verdict:9} {name}: {base['value']:.6g} -> {cur['value']:.6g} "
+            f"{cur.get('unit', '')}"
+        )
+        if regressed:
+            failures.append(
+                f"{current_path.name}:{name} regressed {change:+.1%} "
+                f"({base['value']:.6g} -> {cur['value']:.6g} {cur.get('unit', '')})"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("pairs", nargs="*", help="CURRENT BASELINE file pairs")
+    parser.add_argument("--current-dir", help="directory holding fresh BENCH_*.json")
+    parser.add_argument(
+        "--baseline-dir", help="directory holding committed BENCH_*.json baselines"
+    )
+    args = parser.parse_args()
+
+    threshold = float(os.environ.get("BENCH_DIFF_THRESHOLD", "0.15"))
+
+    pairs: list[tuple[Path, Path]] = []
+    if args.current_dir and args.baseline_dir:
+        baseline_dir = Path(args.baseline_dir)
+        for baseline in sorted(baseline_dir.glob("BENCH_*.json")):
+            current = Path(args.current_dir) / baseline.name
+            if current.exists():
+                pairs.append((current, baseline))
+            else:
+                print(f"note: no fresh {baseline.name} under {args.current_dir}; skipping")
+    if args.pairs:
+        if len(args.pairs) % 2 != 0:
+            parser.error("positional arguments must come in CURRENT BASELINE pairs")
+        it = iter(args.pairs)
+        pairs.extend((Path(c), Path(b)) for c, b in zip(it, it))
+    if not pairs:
+        parser.error("nothing to diff: pass file pairs or --current-dir/--baseline-dir")
+
+    failures: list[str] = []
+    for current, baseline in pairs:
+        failures.extend(diff_pair(current, baseline, threshold))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed past {threshold:.0%}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nAll shared metrics within threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

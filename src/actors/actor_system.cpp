@@ -1,8 +1,10 @@
 #include "actors/actor_system.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/observability.h"
 #include "util/logging.h"
 
 namespace powerapi::actors {
@@ -30,7 +32,44 @@ void ActorRef::tell(Payload payload, ActorRef sender) const {
   system_->tell(*this, std::move(payload), sender);
 }
 
-ActorSystem::ActorSystem(Mode mode, std::size_t workers) : mode_(mode) {
+ActorSystem::ActorSystem(Mode mode, std::size_t workers, obs::Observability* obs)
+    : mode_(mode), obs_(obs) {
+  if (obs_ != nullptr) {
+    steals_metric_ = &obs_->metrics.counter("actors.dispatch.steals");
+    parks_metric_ = &obs_->metrics.counter("actors.dispatch.parks");
+    mailbox_latency_ = &obs_->metrics.histogram("actors.mailbox.latency_ns");
+    // Depth-style gauges are computed only when someone snapshots — per-event
+    // bookkeeping for them would cost more than the metrics are worth.
+    obs_collector_ = obs_->metrics.add_collector([this](obs::SnapshotBuilder& builder) {
+      std::size_t actors = 0;
+      std::size_t depth_total = 0;
+      std::size_t depth_max = 0;
+      {
+        std::lock_guard lock(cells_mutex_);
+        for (const auto& cell : cells_) {
+          if (cell->stopped.load(std::memory_order_acquire)) continue;
+          ++actors;
+          const std::size_t depth = cell->mailbox.size();
+          depth_total += depth;
+          depth_max = std::max(depth_max, depth);
+        }
+      }
+      std::size_t queued = 0;
+      for (const auto& queue : worker_queues_) {
+        std::lock_guard lock(queue->mutex);
+        queued += queue->cells.size();
+      }
+      builder.gauge("actors.count", static_cast<double>(actors));
+      builder.gauge("actors.mailbox.depth", static_cast<double>(depth_total));
+      builder.gauge("actors.mailbox.max_depth", static_cast<double>(depth_max));
+      builder.gauge("actors.dispatch.queue_depth", static_cast<double>(queued));
+      builder.gauge("actors.messages_processed",
+                    static_cast<double>(messages_processed()));
+      builder.gauge("actors.dead_letters", static_cast<double>(dead_letters()));
+      builder.gauge("actors.failures", static_cast<double>(failures()));
+      builder.gauge("actors.restarts", static_cast<double>(restarts()));
+    });
+  }
   if (mode_ == Mode::kThreaded) {
     if (workers == 0) throw std::invalid_argument("ActorSystem: zero workers");
     running_.store(true, std::memory_order_release);
@@ -109,14 +148,16 @@ void ActorSystem::tell(const ActorRef& target, Payload payload, ActorRef sender)
     dead_letters_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  Envelope envelope{std::move(payload), sender};
+  if (obs_ != nullptr && obs_->enabled()) envelope.enqueue_ns = obs::wall_now_ns();
   if (mode_ == Mode::kThreaded) {
     // pending_ feeds await_idle(), which only exists in threaded mode;
     // manual mode skips the counter traffic entirely.
     pending_.fetch_add(1, std::memory_order_relaxed);
-    cell->mailbox.push(Envelope{std::move(payload), sender});
+    cell->mailbox.push(std::move(envelope));
     schedule(*cell);
   } else {
-    cell->mailbox.push(Envelope{std::move(payload), sender});
+    cell->mailbox.push(std::move(envelope));
   }
 }
 
@@ -234,6 +275,9 @@ std::size_t ActorSystem::drain(std::size_t max_messages) {
       }
       // One message per visit, processed in place (no move out of the node).
       const std::size_t n = cell->mailbox.consume(1, [&](Envelope&& envelope) {
+        if (mailbox_latency_ != nullptr && envelope.enqueue_ns != 0) {
+          mailbox_latency_->record(obs::wall_now_ns() - envelope.enqueue_ns);
+        }
         process_one(*cell, envelope);
         return true;
       });
@@ -267,6 +311,7 @@ ActorSystem::Cell* ActorSystem::try_steal(std::size_t thief_index, std::uint64_t
     if (q.cells.empty()) continue;
     Cell* cell = q.cells.back();  // Steal the newest: leaves the victim's FIFO head alone.
     q.cells.pop_back();
+    if (steals_metric_ != nullptr && obs_->enabled()) steals_metric_->add();
     return cell;
   }
   return nullptr;
@@ -295,6 +340,7 @@ ActorSystem::Cell* ActorSystem::acquire_work(std::size_t index, std::uint64_t& r
       parked_.fetch_sub(1, std::memory_order_relaxed);
       return cell;
     }
+    if (parks_metric_ != nullptr && obs_->enabled()) parks_metric_->add();
     {
       std::unique_lock lock(park_mutex_);
       // Bounded wait as a belt-and-braces backstop: a missed wakeup costs a
@@ -318,8 +364,14 @@ void ActorSystem::run_cell(Cell& cell) {
     // Batch drain: envelopes are processed in place (no per-message move
     // out of the node) and the mailbox folds its size counter once. The
     // lambda's return value stops the batch as soon as the actor stops
-    // (e.g. a kStop supervision directive mid-slot).
+    // (e.g. a kStop supervision directive mid-slot). Enqueue-to-drain
+    // latency reads the clock once per slot, not per message.
+    const std::int64_t drain_ns =
+        mailbox_latency_ != nullptr ? obs::wall_now_ns() : 0;
     handled = cell.mailbox.consume(kThroughput, [&](Envelope&& envelope) {
+      if (drain_ns != 0 && envelope.enqueue_ns != 0) {
+        mailbox_latency_->record(drain_ns - envelope.enqueue_ns);
+      }
       process_one(cell, envelope);
       return !cell.stopped.load(std::memory_order_acquire);
     });
@@ -364,6 +416,12 @@ void ActorSystem::stop(const ActorRef& ref) {
 }
 
 void ActorSystem::shutdown() {
+  // Drop the snapshot collector first: it walks cells_ and worker_queues_
+  // through `this`, which must not happen once teardown begins. Idempotent.
+  if (obs_ != nullptr && obs_collector_ != 0) {
+    obs_->metrics.remove_collector(obs_collector_);
+    obs_collector_ = 0;
+  }
   if (mode_ == Mode::kThreaded && running_.exchange(false, std::memory_order_acq_rel)) {
     {
       std::lock_guard lock(park_mutex_);

@@ -34,13 +34,24 @@
 #include "actors/mailbox.h"
 #include "actors/message.h"
 
+namespace powerapi::obs {
+class Counter;
+class Histogram;
+class Observability;
+}  // namespace powerapi::obs
+
 namespace powerapi::actors {
 
 class ActorSystem {
  public:
   enum class Mode { kManual, kThreaded };
 
-  explicit ActorSystem(Mode mode, std::size_t workers = 2);
+  /// `obs` (optional, non-owning, must outlive the system) turns on runtime
+  /// self-instrumentation: mailbox enqueue-to-drain latency, dispatcher
+  /// steal/park counters, and a snapshot collector exposing actor counts,
+  /// mailbox depths and run-queue depth as "actors.*" metrics.
+  explicit ActorSystem(Mode mode, std::size_t workers = 2,
+                       obs::Observability* obs = nullptr);
   ~ActorSystem();
 
   ActorSystem(const ActorSystem&) = delete;
@@ -88,6 +99,7 @@ class ActorSystem {
     return restarts_.load(std::memory_order_relaxed);
   }
   std::size_t actor_count() const;
+  obs::Observability* observability() const noexcept { return obs_; }
 
  private:
   struct Cell {
@@ -133,6 +145,13 @@ class ActorSystem {
   void fold_processed(std::uint64_t handled);
 
   Mode mode_;
+  // Observability handles, interned once at construction; null when the
+  // system is not observed, so hot paths pay one pointer test.
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* steals_metric_ = nullptr;
+  obs::Counter* parks_metric_ = nullptr;
+  obs::Histogram* mailbox_latency_ = nullptr;
+  std::uint64_t obs_collector_ = 0;
   mutable std::mutex cells_mutex_;  ///< Guards spawns/chunk growth, not lookups.
   std::vector<std::unique_ptr<Cell>> cells_;
   std::atomic<std::uint64_t> cells_version_{1};  ///< Bumped per spawn; lets drain() cache its snapshot.

@@ -2,7 +2,63 @@
 
 #include <algorithm>
 
+#include "obs/observability.h"
+#include "util/logging.h"
+
 namespace powerapi::actors {
+
+EventBus::~EventBus() {
+  obs::Observability* obs = obs_.load(std::memory_order_relaxed);
+  if (obs != nullptr && obs_collector_ != 0) {
+    obs->metrics.remove_collector(obs_collector_);
+  }
+}
+
+void EventBus::set_observability(obs::Observability* obs) {
+  obs::Observability* previous = obs_.exchange(obs, std::memory_order_relaxed);
+  if (previous != nullptr && obs_collector_ != 0) {
+    previous->metrics.remove_collector(obs_collector_);
+    obs_collector_ = 0;
+  }
+  if (obs == nullptr) return;
+  obs_collector_ = obs->metrics.add_collector([this](obs::SnapshotBuilder& builder) {
+    builder.gauge("bus.dead_letters", static_cast<double>(dead_letter_count()));
+    std::shared_lock lock(mutex_);
+    for (TopicId id = 0; id < stats_.size(); ++id) {
+      const std::uint64_t publishes =
+          stats_[id]->publishes.load(std::memory_order_relaxed);
+      const std::uint64_t drops = stats_[id]->drops.load(std::memory_order_relaxed);
+      if (publishes == 0 && drops == 0) continue;
+      builder.gauge("bus.topic." + names_[id] + ".publishes",
+                    static_cast<double>(publishes));
+      if (drops != 0) {
+        builder.gauge("bus.topic." + names_[id] + ".drops",
+                      static_cast<double>(drops));
+      }
+    }
+  });
+}
+
+void EventBus::record_publish(TopicId topic, std::size_t delivered) {
+  if (delivered == 0) dead_letters_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t drops = 0;
+  std::string name;
+  {
+    std::shared_lock lock(mutex_);
+    if (topic >= stats_.size()) return;
+    TopicStats& stats = *stats_[topic];
+    stats.publishes.fetch_add(1, std::memory_order_relaxed);
+    if (delivered != 0) return;
+    drops = stats.drops.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Rate-limit the warning: first drop per topic, then every 4096th —
+    // a misrouted 1 kHz sensor stream must not melt the log.
+    if (drops != 1 && drops % 4096 != 0) return;
+    name = names_[topic];
+  }
+  POWERAPI_LOG_WARN("bus") << "publish to topic '" << name
+                           << "' reached no subscribers (" << drops
+                           << " dead letters)";
+}
 
 EventBus::TopicId EventBus::intern_locked(std::string_view topic) {
   const auto it = ids_.find(topic);
@@ -10,6 +66,8 @@ EventBus::TopicId EventBus::intern_locked(std::string_view topic) {
   const auto id = static_cast<TopicId>(topics_.size());
   ids_.emplace(std::string(topic), id);
   topics_.push_back(std::make_shared<const SubscriberList>());
+  names_.emplace_back(topic);
+  stats_.push_back(std::make_unique<TopicStats>());
   return id;
 }
 

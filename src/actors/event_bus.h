@@ -10,9 +10,12 @@
 // subscriber lists are copy-on-write snapshots, so a publish is: one shared
 // lock, one shared_ptr copy, one payload allocation — then a refcount bump
 // per subscriber. Publishing to a topic with no subscribers constructs and
-// copies nothing.
+// copies nothing — but it IS counted: a zero-subscriber publish is a dead
+// letter (a typo'd topic silently eats the whole pipeline downstream of it),
+// tallied always and warned about at a rate-limited cadence.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -26,6 +29,7 @@
 
 #include "actors/actor_system.h"
 #include "actors/message.h"
+#include "obs/observability.h"
 
 namespace powerapi::actors {
 
@@ -36,6 +40,19 @@ class EventBus {
   static constexpr TopicId kNoTopic = std::numeric_limits<TopicId>::max();
 
   explicit EventBus(ActorSystem& system) : system_(&system) {}
+  ~EventBus();
+
+  /// Attaches an observability bundle (non-owning; must outlive the bus):
+  /// registers a snapshot collector exposing per-topic publish/drop counts
+  /// ("bus.topic.<name>.publishes" / ".drops") and "bus.dead_letters", and
+  /// turns on per-publish counting. Call before concurrent use.
+  void set_observability(obs::Observability* obs);
+
+  /// Publishes that reached zero subscribers (counted with or without an
+  /// observability bundle attached).
+  std::uint64_t dead_letter_count() const noexcept {
+    return dead_letters_.load(std::memory_order_relaxed);
+  }
 
   /// Returns the id for `topic`, interning it on first use. Components
   /// call this once (typically at construction) and publish by id.
@@ -56,15 +73,27 @@ class EventBus {
   template <typename T>
   std::size_t publish(TopicId topic, T&& payload, ActorRef sender = {}) {
     const auto subs = snapshot(topic);
-    return deliver(subs, std::forward<T>(payload), sender);
+    const std::size_t n = deliver(subs, std::forward<T>(payload), sender);
+    // record_publish is off the delivered fast path: it is only entered for
+    // dead letters or when observability is attached AND enabled, so a
+    // dormant bundle costs one relaxed load + one branch per publish.
+    if (n == 0 || observing()) {
+      record_publish(topic, n);
+    }
+    return n;
   }
 
   /// String-topic convenience overload (cold paths and tests). An unknown
-  /// topic is the zero-subscriber fast path: nothing is constructed.
+  /// topic is the zero-subscriber fast path: nothing is constructed, but the
+  /// dead letter is still counted (the topic is interned to track it).
   template <typename T>
   std::size_t publish(std::string_view topic, T&& payload, ActorRef sender = {}) {
     const auto subs = snapshot_named(topic);
-    return deliver(subs, std::forward<T>(payload), sender);
+    const std::size_t n = deliver(subs, std::forward<T>(payload), sender);
+    if (n == 0 || observing()) {
+      record_publish(intern(topic), n);
+    }
+    return n;
   }
 
   std::size_t subscriber_count(std::string_view topic) const;
@@ -73,9 +102,23 @@ class EventBus {
  private:
   using SubscriberList = std::vector<ActorRef>;
 
+  /// Per-topic tallies; heap-allocated so the vector can grow while
+  /// publishers hold only the shared lock.
+  struct TopicStats {
+    std::atomic<std::uint64_t> publishes{0};
+    std::atomic<std::uint64_t> drops{0};
+  };
+
   std::shared_ptr<const SubscriberList> snapshot(TopicId topic) const;
   std::shared_ptr<const SubscriberList> snapshot_named(std::string_view topic) const;
   TopicId intern_locked(std::string_view topic);
+  void record_publish(TopicId topic, std::size_t delivered);
+
+  /// True when an observability bundle is attached and currently enabled.
+  bool observing() const noexcept {
+    const auto* obs = obs_.load(std::memory_order_relaxed);
+    return obs != nullptr && obs->enabled();
+  }
 
   /// A single subscriber gets the payload inline (no refcount allocation).
   /// Fan-out of a value small enough for std::any's inline storage is
@@ -106,9 +149,14 @@ class EventBus {
   }
 
   ActorSystem* system_;
+  std::atomic<obs::Observability*> obs_{nullptr};
+  std::uint64_t obs_collector_ = 0;
+  std::atomic<std::uint64_t> dead_letters_{0};
   mutable std::shared_mutex mutex_;
   std::map<std::string, TopicId, std::less<>> ids_;
   std::vector<std::shared_ptr<const SubscriberList>> topics_;  ///< Indexed by TopicId.
+  std::vector<std::string> names_;  ///< Topic names, indexed by TopicId.
+  std::vector<std::unique_ptr<TopicStats>> stats_;  ///< Indexed by TopicId.
 };
 
 }  // namespace powerapi::actors

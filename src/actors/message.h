@@ -93,6 +93,9 @@ class ActorRef {
 struct Envelope {
   Payload payload;
   ActorRef sender;
+  /// obs::wall_now_ns() at enqueue when observability is enabled, else 0;
+  /// lets the consumer side report enqueue-to-drain mailbox latency.
+  std::int64_t enqueue_ns = 0;
 };
 
 }  // namespace powerapi::actors

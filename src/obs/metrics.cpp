@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace powerapi::obs {
+
+std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return index;
+}
+
+// --- Histogram -----------------------------------------------------------
+
+std::size_t Histogram::bucket_index(std::int64_t value) noexcept {
+  if (value < 0) value = 0;
+  if (value < kSubBucketCount) return static_cast<std::size_t>(value);
+  const auto uvalue = static_cast<std::uint64_t>(value);
+  const int msb = 63 - std::countl_zero(uvalue);
+  const int shift = msb - kSubBucketBits;
+  const auto block = static_cast<std::size_t>(msb - kSubBucketBits + 1);
+  const auto sub = static_cast<std::size_t>((uvalue >> shift) & (kSubBucketCount - 1));
+  return block * static_cast<std::size_t>(kSubBucketCount) + sub;
+}
+
+std::int64_t Histogram::bucket_lower_bound(std::size_t index) noexcept {
+  if (index < static_cast<std::size_t>(kSubBucketCount)) {
+    return static_cast<std::int64_t>(index);
+  }
+  const std::size_t block = index / kSubBucketCount;
+  const std::size_t sub = index % kSubBucketCount;
+  const int msb = static_cast<int>(block) + kSubBucketBits - 1;
+  const int shift = msb - kSubBucketBits;
+  return (std::int64_t{1} << msb) + (static_cast<std::int64_t>(sub) << shift);
+}
+
+Histogram::Histogram(std::int64_t max_value)
+    : max_value_(max_value > 0 ? max_value : 1),
+      clamp_index_(bucket_index(max_value_)),
+      buckets_(clamp_index_ + 1) {}
+
+void Histogram::record(std::int64_t value) noexcept {
+  if (value < 0) value = 0;
+  std::size_t index;
+  if (value > max_value_) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    index = clamp_index_;
+    value = max_value_;
+  } else {
+    index = bucket_index(value);
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(static_cast<std::uint64_t>(value), std::memory_order_relaxed);
+}
+
+HistogramData Histogram::data() const {
+  HistogramData out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.overflow = overflow_.load(std::memory_order_relaxed);
+  out.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.buckets.emplace_back(bucket_lower_bound(i), n);
+  }
+  return out;
+}
+
+double HistogramData::percentile(double q) const noexcept {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank within the recorded population; resolve to the containing bucket's
+  // lower bound (the log bucketing already bounds the error to ~6 %).
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (const auto& [lower, n] : buckets) {
+    seen += n;
+    if (static_cast<double>(seen) >= rank) return static_cast<double>(lower);
+  }
+  return static_cast<double>(buckets.back().first);
+}
+
+// --- Snapshot ------------------------------------------------------------
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const noexcept {
+  for (const auto& metric : metrics) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value_of(std::string_view name, double fallback) const noexcept {
+  const MetricValue* metric = find(name);
+  return metric == nullptr ? fallback : metric->value;
+}
+
+void SnapshotBuilder::gauge(std::string name, double value) {
+  MetricValue metric;
+  metric.name = std::move(name);
+  metric.kind = MetricKind::kGauge;
+  metric.value = value;
+  out_->push_back(std::move(metric));
+}
+
+// --- Registry ------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  if (it->second.kind != MetricKind::kCounter) {
+    throw std::logic_error("MetricsRegistry: " + std::string(name) +
+                           " already registered with a different kind");
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  if (it->second.kind != MetricKind::kGauge) {
+    throw std::logic_error("MetricsRegistry: " + std::string(name) +
+                           " already registered with a different kind");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::int64_t max_value) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kHistogram;
+    entry.histogram = std::make_unique<Histogram>(max_value);
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  if (it->second.kind != MetricKind::kHistogram) {
+    throw std::logic_error("MetricsRegistry: " + std::string(name) +
+                           " already registered with a different kind");
+  }
+  return *it->second.histogram;
+}
+
+MetricsRegistry::CollectorId MetricsRegistry::add_collector(Collector collector) {
+  std::lock_guard lock(mutex_);
+  const CollectorId id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(collector));
+  return id;
+}
+
+void MetricsRegistry::remove_collector(CollectorId id) {
+  std::lock_guard lock(mutex_);
+  std::erase_if(collectors_, [id](const auto& entry) { return entry.first == id; });
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard lock(mutex_);
+  out.metrics.reserve(entries_.size() + collectors_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricValue metric;
+    metric.name = name;
+    metric.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        metric.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricKind::kGauge:
+        metric.value = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        metric.hist = entry.histogram->data();
+        metric.value = metric.hist.mean();
+        break;
+    }
+    out.metrics.push_back(std::move(metric));
+  }
+  SnapshotBuilder builder(out.metrics);
+  for (const auto& [id, collector] : collectors_) collector(builder);
+  std::sort(out.metrics.begin(), out.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace powerapi::obs

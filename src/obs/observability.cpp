@@ -1,0 +1,19 @@
+#include "obs/observability.h"
+
+namespace powerapi::obs {
+
+Observability::Observability() {
+  self_collector_ = metrics.add_collector([this](SnapshotBuilder& builder) {
+    const SelfMonitor::Usage usage = self.sample();
+    builder.gauge("self.cpu_share_cores", usage.cpu_share_cores);
+    builder.gauge("self.watts", usage.estimated_watts);
+    builder.gauge("self.cpu_seconds", usage.total_cpu_seconds);
+    builder.gauge("self.joules", usage.total_joules);
+    builder.gauge("trace.events", static_cast<double>(trace.size()));
+    builder.gauge("trace.dropped", static_cast<double>(trace.dropped()));
+  });
+}
+
+Observability::~Observability() { metrics.remove_collector(self_collector_); }
+
+}  // namespace powerapi::obs

@@ -1,0 +1,46 @@
+// The observability bundle handed through the runtime: one metrics
+// registry, one trace collector and one self monitor, with a master switch.
+//
+// Components take a non-owning `Observability*` (null = not observed) and
+// intern their metric/span handles once; record paths then check
+// `enabled()` — a relaxed atomic load — so a compiled-in but disabled
+// bundle costs roughly one branch per event. The bundle registers a
+// snapshot collector that samples the SelfMonitor, so every metrics
+// snapshot carries the monitor's own CPU share and estimated self-power
+// ("self.*" gauges) without a separate reporting path.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/self_monitor.h"
+#include "obs/trace.h"
+
+#include <atomic>
+
+namespace powerapi::obs {
+
+class Observability {
+ public:
+  Observability();
+  ~Observability();
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry metrics;
+  TraceCollector trace;
+  SelfMonitor self;
+
+  /// Master switch for the hot instrumentation paths (message latency
+  /// stamping, span recording). Snapshots and self sampling still work when
+  /// disabled — the switch gates per-event cost, not pull-time reads.
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+    trace.set_enabled(enabled);
+  }
+  bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> enabled_{true};
+  MetricsRegistry::CollectorId self_collector_ = 0;
+};
+
+}  // namespace powerapi::obs

@@ -1,0 +1,90 @@
+#include "obs/self_monitor.h"
+
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <string_view>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+namespace powerapi::obs {
+
+namespace {
+
+double rusage_cpu_seconds() noexcept {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  const auto to_seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_seconds(usage.ru_utime) + to_seconds(usage.ru_stime);
+}
+
+}  // namespace
+
+double process_cpu_seconds() noexcept {
+  // /proc/self/stat field 14 (utime) and 15 (stime), in clock ticks. The
+  // comm field (2) may contain spaces, so skip past its closing ')'.
+  std::FILE* file = std::fopen("/proc/self/stat", "r");
+  if (file == nullptr) return rusage_cpu_seconds();
+  char buffer[1024];
+  const std::size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  if (read == 0) return rusage_cpu_seconds();
+  buffer[read] = '\0';
+  const std::string_view stat(buffer, read);
+  const std::size_t paren = stat.rfind(')');
+  if (paren == std::string_view::npos) return rusage_cpu_seconds();
+
+  unsigned long long utime = 0;
+  unsigned long long stime = 0;
+  // After ") " comes field 3 (state); utime/stime are fields 14/15.
+  if (std::sscanf(buffer + paren + 1,
+                  " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %llu %llu",
+                  &utime, &stime) != 2) {
+    return rusage_cpu_seconds();
+  }
+  const long ticks_per_second = sysconf(_SC_CLK_TCK);
+  if (ticks_per_second <= 0) return rusage_cpu_seconds();
+  return static_cast<double>(utime + stime) / static_cast<double>(ticks_per_second);
+}
+
+SelfMonitor::SelfMonitor() {
+  start_cpu_seconds_ = process_cpu_seconds();
+  last_cpu_seconds_ = start_cpu_seconds_;
+  last_wall_ns_ = wall_now_ns();
+}
+
+void SelfMonitor::set_watts_per_core(double watts) noexcept {
+  std::lock_guard lock(mutex_);
+  watts_per_core_ = watts;
+}
+
+double SelfMonitor::watts_per_core() const noexcept {
+  std::lock_guard lock(mutex_);
+  return watts_per_core_;
+}
+
+SelfMonitor::Usage SelfMonitor::sample() {
+  std::lock_guard lock(mutex_);
+  const double cpu_now = process_cpu_seconds();
+  const std::int64_t wall_now = wall_now_ns();
+
+  Usage usage;
+  usage.wall_seconds = static_cast<double>(wall_now - last_wall_ns_) * 1e-9;
+  usage.cpu_seconds = cpu_now - last_cpu_seconds_;
+  if (usage.cpu_seconds < 0.0) usage.cpu_seconds = 0.0;  // Clock-tick jitter.
+  usage.cpu_share_cores =
+      usage.wall_seconds > 0.0 ? usage.cpu_seconds / usage.wall_seconds : 0.0;
+  usage.estimated_watts = usage.cpu_share_cores * watts_per_core_;
+  usage.total_cpu_seconds = cpu_now - start_cpu_seconds_;
+  total_joules_ += usage.cpu_seconds * watts_per_core_;
+  usage.total_joules = total_joules_;
+
+  last_cpu_seconds_ = cpu_now;
+  last_wall_ns_ = wall_now;
+  return usage;
+}
+
+}  // namespace powerapi::obs

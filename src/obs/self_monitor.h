@@ -1,0 +1,57 @@
+// Self-overhead accounting: how much CPU — and, by extension, energy — does
+// the monitor itself consume while measuring?
+//
+// This is the concern quantified by the RAPL-tool overhead studies: an
+// energy monitor that is not accounted for silently inflates every number
+// it reports. SelfMonitor reads the process's own cumulative CPU time from
+// /proc/self/stat (utime + stime — the same procfs accounting our sensors
+// use for monitored processes), falling back to getrusage() where procfs is
+// unavailable, and differences it against the wall clock into a CPU share.
+// The estimated self-power is that share priced at a configurable
+// watts-per-core marginal cost (a calibrated model's activity term, or the
+// package TDP split across cores), so every run can report "energy spent
+// measuring energy".
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace powerapi::obs {
+
+/// Cumulative CPU seconds (user + system) consumed by this process.
+double process_cpu_seconds() noexcept;
+
+class SelfMonitor {
+ public:
+  /// One accounting window (since the previous sample() call).
+  struct Usage {
+    double wall_seconds = 0.0;
+    double cpu_seconds = 0.0;        ///< Process CPU burned in the window.
+    double cpu_share_cores = 0.0;    ///< cpu / wall, in units of cores.
+    double estimated_watts = 0.0;    ///< cpu_share_cores * watts_per_core.
+    double total_cpu_seconds = 0.0;  ///< Cumulative since construction.
+    double total_joules = 0.0;       ///< Cumulative estimated self-energy.
+  };
+
+  SelfMonitor();
+
+  /// Marginal cost of one busy core, used to price the monitor's CPU share
+  /// into watts. Default 10 W/core is a conservative desktop-class figure;
+  /// calibrate from a trained model's activity term when one is available.
+  void set_watts_per_core(double watts) noexcept;
+  double watts_per_core() const noexcept;
+
+  /// Closes the current accounting window and returns it. Thread-safe;
+  /// concurrent callers each get a disjoint window.
+  Usage sample();
+
+ private:
+  mutable std::mutex mutex_;
+  double watts_per_core_ = 10.0;
+  double start_cpu_seconds_ = 0.0;
+  double last_cpu_seconds_ = 0.0;
+  std::int64_t last_wall_ns_ = 0;
+  double total_joules_ = 0.0;
+};
+
+}  // namespace powerapi::obs

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"  // shard_index(): same per-thread shard assignment.
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+
+namespace powerapi::obs {
+
+std::int64_t wall_now_ns() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch)
+      .count();
+}
+
+std::uint32_t trace_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceCollector::TraceCollector(std::size_t capacity)
+    : shard_capacity_(capacity / kShardCount + 1) {
+  names_.emplace_back();  // NameId 0 is reserved.
+}
+
+TraceCollector::NameId TraceCollector::intern(std::string_view name) {
+  std::lock_guard lock(names_mutex_);
+  const auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+void TraceCollector::push(const Event& event) {
+  Shard& shard = shards_[shard_index() % kShardCount];
+  std::lock_guard lock(shard.mutex);
+  if (shard.events.size() >= shard_capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  shard.events.push_back(event);
+}
+
+void TraceCollector::complete(NameId name, std::int64_t start_ns,
+                              std::int64_t duration_ns, std::uint64_t seq) {
+  if (!enabled() || name == 0) return;
+  Event event;
+  event.name = name;
+  event.tid = trace_thread_id();
+  event.ts_ns = start_ns;
+  event.dur_ns = duration_ns < 0 ? 0 : duration_ns;
+  event.seq = seq;
+  push(event);
+}
+
+void TraceCollector::instant(NameId name, std::int64_t at_ns, std::uint64_t seq) {
+  if (!enabled() || name == 0) return;
+  Event event;
+  event.name = name;
+  event.tid = trace_thread_id();
+  event.ts_ns = at_ns;
+  event.dur_ns = -1;
+  event.seq = seq;
+  push(event);
+}
+
+std::size_t TraceCollector::size() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.events.size();
+  }
+  return total;
+}
+
+namespace {
+
+/// Event names are library-chosen identifiers, but escape defensively so a
+/// namespaced actor name can never produce malformed JSON.
+void write_json_string(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u0020";  // Control characters never occur in our names.
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void TraceCollector::write_chrome_trace(std::ostream& out) const {
+  std::vector<Event> events;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    events.insert(events.end(), shard.events.begin(), shard.events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.ts_ns < b.ts_ns; });
+
+  std::vector<std::string> names;
+  {
+    std::lock_guard lock(names_mutex_);
+    names = names_;
+  }
+
+  // Chrome trace "ts"/"dur" are microseconds; fixed notation keeps large
+  // timestamps out of scientific form (restored before returning).
+  const std::ios::fmtflags saved_flags = out.flags();
+  const std::streamsize saved_precision = out.precision();
+  out << std::fixed << std::setprecision(3);
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"powerapi-monitor\"}}";
+  for (const Event& event : events) {
+    out << ",{\"name\":";
+    write_json_string(out, event.name < names.size() ? names[event.name] : "?");
+    out << ",\"cat\":\"powerapi\",\"pid\":1,\"tid\":" << event.tid;
+    // Chrome trace timestamps are microseconds; keep ns resolution with
+    // three decimals.
+    out << ",\"ts\":" << static_cast<double>(event.ts_ns) / 1000.0;
+    if (event.dur_ns < 0) {
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+    } else {
+      out << ",\"ph\":\"X\",\"dur\":" << static_cast<double>(event.dur_ns) / 1000.0;
+    }
+    out << ",\"args\":{\"seq\":" << event.seq << "}}";
+  }
+  out << "]}";
+  out.flags(saved_flags);
+  out.precision(saved_precision);
+}
+
+}  // namespace powerapi::obs

@@ -5,11 +5,22 @@
 namespace powerapi::api {
 
 Aggregator::Aggregator(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                       AggregationDimension dimension, GroupResolver group_of)
+                       AggregationDimension dimension, GroupResolver group_of,
+                       obs::Observability* obs)
     : bus_(&bus),
       out_topic_(out_topic),
       dimension_(dimension),
-      group_of_(std::move(group_of)) {}
+      group_of_(std::move(group_of)) {
+  stage_.attach(obs, "pipeline.aggregated_rows");
+  if (obs != nullptr) {
+    tick_to_aggregate_ = &obs->metrics.histogram("pipeline.tick_to_aggregate_ns");
+  }
+}
+
+void Aggregator::record_latency(std::int64_t tick_wall_ns) {
+  if (tick_to_aggregate_ == nullptr || tick_wall_ns == 0 || !stage_.active()) return;
+  tick_to_aggregate_->record(obs::wall_now_ns() - tick_wall_ns);
+}
 
 void Aggregator::emit_group_rows(const std::string& formula) {
   auto& bucket = pending_groups_[formula];
@@ -20,8 +31,11 @@ void Aggregator::emit_group_rows(const std::string& formula) {
     out.group = group;
     out.formula = formula;
     out.watts = watts;
+    out.seq = bucket.seq;
     bus_->publish(out_topic_, std::move(out), self());
+    stage_.count();
   }
+  record_latency(bucket.tick_wall_ns);
   bucket.watts_by_group.clear();
 }
 
@@ -31,6 +45,8 @@ void Aggregator::receive_group_dimension(const PowerEstimate& estimate) {
     emit_group_rows(estimate.formula);
   }
   bucket.timestamp = estimate.timestamp;
+  bucket.seq = estimate.seq;
+  bucket.tick_wall_ns = estimate.tick_wall_ns;
   std::string group;
   if (estimate.pid == kMachinePid) {
     group = "(machine)";
@@ -48,12 +64,16 @@ void Aggregator::emit(const std::string& formula, const Group& group) {
   // Prefer the machine-scope estimate when the formula produced one (it
   // includes the idle floor); otherwise sum the per-process estimates.
   out.watts = group.has_machine_row ? group.machine_watts : group.sum_watts;
+  out.seq = group.seq;
   bus_->publish(out_topic_, std::move(out), self());
+  stage_.count();
+  record_latency(group.tick_wall_ns);
 }
 
 void Aggregator::receive(actors::Envelope& envelope) {
   const auto* estimate = envelope.payload.get<PowerEstimate>();
   if (estimate == nullptr) return;
+  const auto span = stage_.span(name(), estimate->seq);
 
   if (dimension_ == AggregationDimension::kGroup) {
     receive_group_dimension(*estimate);
@@ -67,7 +87,10 @@ void Aggregator::receive(actors::Envelope& envelope) {
     out.pid = estimate->pid;
     out.formula = estimate->formula;
     out.watts = estimate->watts;
+    out.seq = estimate->seq;
     bus_->publish(out_topic_, std::move(out), self());
+    stage_.count();
+    record_latency(estimate->tick_wall_ns);
     return;
   }
 
@@ -80,6 +103,8 @@ void Aggregator::receive(actors::Envelope& envelope) {
   if (it == pending_.end()) {
     Group group;
     group.timestamp = estimate->timestamp;
+    group.seq = estimate->seq;
+    group.tick_wall_ns = estimate->tick_wall_ns;
     it = pending_.emplace(estimate->formula, group).first;
   }
   Group& group = it->second;

@@ -11,6 +11,7 @@
 #include "actors/actor.h"
 #include "actors/event_bus.h"
 #include "powerapi/messages.h"
+#include "powerapi/stage_obs.h"
 
 namespace powerapi::api {
 
@@ -30,7 +31,8 @@ class Aggregator final : public actors::Actor {
              AggregationDimension dimension)
       : Aggregator(bus, out_topic, dimension, GroupResolver{}) {}
   Aggregator(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-             AggregationDimension dimension, GroupResolver group_of);
+             AggregationDimension dimension, GroupResolver group_of,
+             obs::Observability* obs = nullptr);
 
   void receive(actors::Envelope& envelope) override;
 
@@ -43,11 +45,14 @@ class Aggregator final : public actors::Actor {
     double sum_watts = 0.0;
     bool has_machine_row = false;
     double machine_watts = 0.0;
+    std::uint64_t seq = 0;           ///< Tick seq of the grouped estimates.
+    std::int64_t tick_wall_ns = 0;   ///< Wall time the tick was published.
   };
 
   void emit(const std::string& formula, const Group& group);
   void emit_group_rows(const std::string& formula);
   void receive_group_dimension(const PowerEstimate& estimate);
+  void record_latency(std::int64_t tick_wall_ns);
 
   actors::EventBus* bus_;
   actors::EventBus::TopicId out_topic_;  ///< The namespace's "power:aggregated".
@@ -60,8 +65,13 @@ class Aggregator final : public actors::Actor {
   struct GroupBucket {
     util::TimestampNs timestamp = 0;
     std::map<std::string, double> watts_by_group;
+    std::uint64_t seq = 0;
+    std::int64_t tick_wall_ns = 0;
   };
   std::map<std::string, GroupBucket> pending_groups_;
+  StageObs stage_;
+  /// End-to-end pipeline latency: tick publish → aggregated row emit.
+  obs::Histogram* tick_to_aggregate_ = nullptr;
 };
 
 }  // namespace powerapi::api

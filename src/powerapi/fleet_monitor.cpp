@@ -47,6 +47,7 @@ class FleetAggregator final : public actors::Actor {
     if (row->pid != kMachinePid || !row->group.empty()) return;
     Bucket& bucket = pending_[{row->formula, row->timestamp}];
     bucket.watts += row->watts;
+    bucket.seq = row->seq;
     ++bucket.hosts;
     if (bucket.hosts >= *host_count_) {
       emit(row->formula, row->timestamp, bucket);
@@ -64,6 +65,7 @@ class FleetAggregator final : public actors::Actor {
   struct Bucket {
     double watts = 0.0;
     std::size_t hosts = 0;
+    std::uint64_t seq = 0;
   };
 
   void emit(const std::string& formula, util::TimestampNs timestamp,
@@ -74,6 +76,7 @@ class FleetAggregator final : public actors::Actor {
     out.group = "(fleet)";
     out.formula = formula;
     out.watts = bucket.watts;
+    out.seq = bucket.seq;
     bus_->publish(out_topic_, std::move(out), self());
   }
 
@@ -87,10 +90,13 @@ class FleetAggregator final : public actors::Actor {
 
 FleetMonitor::FleetMonitor(Options options)
     : options_(options),
-      actors_(options.mode, options.workers),
+      obs_(options.with_observability ? std::make_unique<obs::Observability>()
+                                      : nullptr),
+      actors_(options.mode, options.workers, obs_.get()),
       bus_(actors_),
       fleet_topic_(bus_.intern("fleet/power:aggregated")),
       host_count_(std::make_shared<std::size_t>(0)) {
+  if (obs_ != nullptr) bus_.set_observability(obs_.get());
   if (options_.fleet_aggregation) {
     fleet_aggregator_ = actors_.spawn_as<FleetAggregator>("fleet-aggregator", bus_,
                                                           fleet_topic_, host_count_);
@@ -107,6 +113,11 @@ std::size_t FleetMonitor::add_host(os::MonitorableHost& host, PipelineSpec spec)
   const std::size_t index = entries_.size();
   auto entry = std::make_unique<HostEntry>();
   entry->host = &host;
+  // The fleet's bundle observes every host pipeline unless the spec brought
+  // its own.
+  if (obs_ != nullptr && spec.observability == nullptr) {
+    spec.observability = obs_.get();
+  }
   PipelineBuilder builder(actors_, bus_);
   entry->pipeline = builder.build(host, std::move(spec), "h" + std::to_string(index) + "/");
   entry->agent = actors_.spawn_as<HostAgent>("h" + std::to_string(index) + "/agent",
@@ -145,6 +156,29 @@ MemoryReporter& FleetMonitor::add_fleet_reporter() {
   const auto reporter = actors_.spawn("fleet/reporter-memory", std::move(owned));
   bus_.subscribe(fleet_topic_, reporter);
   return ref;
+}
+
+void FleetMonitor::add_metrics_reporter(std::ostream& out,
+                                        MetricsReporter::Format format,
+                                        std::uint64_t every_n_ticks) {
+  if (obs_ == nullptr) {
+    throw std::logic_error(
+        "FleetMonitor::add_metrics_reporter: requires Options.with_observability");
+  }
+  if (entries_.empty()) {
+    throw std::logic_error(
+        "FleetMonitor::add_metrics_reporter: add a host first (the reporter "
+        "snapshots on host 0's ticks)");
+  }
+  entries_.front()->pipeline->add_metrics_reporter(out, format, every_n_ticks);
+}
+
+void FleetMonitor::write_chrome_trace(std::ostream& out) const {
+  if (obs_ == nullptr) {
+    throw std::logic_error(
+        "FleetMonitor::write_chrome_trace: requires Options.with_observability");
+  }
+  obs_->trace.write_chrome_trace(out);
 }
 
 void FleetMonitor::settle() {

@@ -23,6 +23,7 @@
 
 #include "actors/actor_system.h"
 #include "actors/event_bus.h"
+#include "obs/observability.h"
 #include "powerapi/pipeline.h"
 #include "powerapi/reporters.h"
 
@@ -40,6 +41,11 @@ class FleetMonitor {
     actors::ActorSystem::Mode mode = actors::ActorSystem::Mode::kThreaded;
     std::size_t workers = 4;        ///< Threaded mode only.
     bool fleet_aggregation = true;  ///< Spawn the fleet-dimension aggregator.
+    /// Own an obs::Observability bundle and wire it through the actor
+    /// system, the event bus and every host pipeline: metrics, stage spans
+    /// and the monitor's own CPU/power accounting, exportable via
+    /// add_metrics_reporter() and write_chrome_trace().
+    bool with_observability = false;
   };
 
   FleetMonitor() : FleetMonitor(Options{}) {}
@@ -67,6 +73,17 @@ class FleetMonitor {
   /// per-formula machine power summed across hosts.
   MemoryReporter& add_fleet_reporter();
 
+  /// The fleet's observability bundle; null unless Options.with_observability.
+  obs::Observability* observability() noexcept { return obs_.get(); }
+  /// Snapshots the whole fleet's metrics to `out` every N ticks of host 0.
+  /// Requires with_observability and at least one host.
+  void add_metrics_reporter(std::ostream& out,
+                            MetricsReporter::Format format = MetricsReporter::Format::kText,
+                            std::uint64_t every_n_ticks = 1);
+  /// Writes the recorded message-flow trace as Chrome trace_event JSON
+  /// (open in chrome://tracing or Perfetto). Requires with_observability.
+  void write_chrome_trace(std::ostream& out) const;
+
   /// Advances every host by `duration`, chunked at the smallest pipeline
   /// period, firing due ticks per host per chunk. Hosts advance and their
   /// pipelines run concurrently in threaded mode.
@@ -91,6 +108,8 @@ class FleetMonitor {
   void settle();
 
   Options options_;
+  /// Declared before actors_/bus_: both unregister from it on destruction.
+  std::unique_ptr<obs::Observability> obs_;
   actors::ActorSystem actors_;
   actors::EventBus bus_;
   actors::EventBus::TopicId fleet_topic_;

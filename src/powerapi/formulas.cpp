@@ -5,21 +5,29 @@
 namespace powerapi::api {
 
 namespace {
+
 const SensorReport* as_report(const actors::Envelope& envelope) {
   return envelope.payload.get<SensorReport>();
 }
+
+constexpr std::string_view kEstimates = "pipeline.estimates";
+
 }  // namespace
 
 // --- RegressionFormula ---
 
 RegressionFormula::RegressionFormula(actors::EventBus& bus,
                                      actors::EventBus::TopicId out_topic,
-                                     std::shared_ptr<const model::ModelRegistry> registry)
-    : bus_(&bus), out_topic_(out_topic), registry_(std::move(registry)) {}
+                                     std::shared_ptr<const model::ModelRegistry> registry,
+                                     obs::Observability* obs)
+    : bus_(&bus), out_topic_(out_topic), registry_(std::move(registry)) {
+  stage_.attach(obs, kEstimates);
+}
 
 void RegressionFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
   if (report == nullptr || report->sensor != SensorKind::kHpc) return;
+  const auto span = stage_.span(name(), report->seq);
 
   // Pin one immutable snapshot for this report; a concurrent swap affects
   // the next report, never a half-read model.
@@ -36,19 +44,26 @@ void RegressionFormula::receive(actors::Envelope& envelope) {
       snapshot->model.empty() ? 0.0 : snapshot->model.estimate_activity(*report);
   estimate.watts =
       report->pid == kMachinePid ? snapshot->model.idle_watts() + activity : activity;
+  estimate.seq = report->seq;
+  estimate.tick_wall_ns = report->tick_wall_ns;
   bus_->publish(out_topic_, std::move(estimate), self());
+  stage_.count();
 }
 
 // --- EstimatorFormula ---
 
 EstimatorFormula::EstimatorFormula(
     actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-    std::shared_ptr<const baselines::MachinePowerEstimator> estimator)
-    : bus_(&bus), out_topic_(out_topic), estimator_(std::move(estimator)) {}
+    std::shared_ptr<const baselines::MachinePowerEstimator> estimator,
+    obs::Observability* obs)
+    : bus_(&bus), out_topic_(out_topic), estimator_(std::move(estimator)) {
+  stage_.attach(obs, kEstimates);
+}
 
 void EstimatorFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
   if (report == nullptr || report->pid != kMachinePid) return;
+  const auto span = stage_.span(name(), report->seq);
 
   PowerEstimate estimate;
   estimate.timestamp = report->timestamp;
@@ -56,18 +71,25 @@ void EstimatorFormula::receive(actors::Envelope& envelope) {
   estimate.formula = estimator_->name();
   // A report IS an Observation (the shared feature layer): no repacking.
   estimate.watts = estimator_->estimate(*report);
+  estimate.seq = report->seq;
+  estimate.tick_wall_ns = report->tick_wall_ns;
   bus_->publish(out_topic_, std::move(estimate), self());
+  stage_.count();
 }
 
 // --- IoFormula ---
 
 IoFormula::IoFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                     periph::DiskParams disk, periph::NicParams nic)
-    : bus_(&bus), out_topic_(out_topic), disk_(disk), nic_(nic) {}
+                     periph::DiskParams disk, periph::NicParams nic,
+                     obs::Observability* obs)
+    : bus_(&bus), out_topic_(out_topic), disk_(disk), nic_(nic) {
+  stage_.attach(obs, kEstimates);
+}
 
 void IoFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
   if (report == nullptr || report->sensor != SensorKind::kIo) return;
+  const auto span = stage_.span(name(), report->seq);
 
   // Base power assumes the common steady states (platters spinning, link
   // awake); transition states (spin-up surges, LPI) are below this formula's
@@ -84,24 +106,33 @@ void IoFormula::receive(actors::Envelope& envelope) {
   estimate.pid = kMachinePid;
   estimate.formula = "io-datasheet";
   estimate.watts = watts;
+  estimate.seq = report->seq;
+  estimate.tick_wall_ns = report->tick_wall_ns;
   bus_->publish(out_topic_, std::move(estimate), self());
+  stage_.count();
 }
 
 // --- MeterFormula ---
 
 MeterFormula::MeterFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                           std::string formula_name)
-    : bus_(&bus), out_topic_(out_topic), formula_name_(std::move(formula_name)) {}
+                           std::string formula_name, obs::Observability* obs)
+    : bus_(&bus), out_topic_(out_topic), formula_name_(std::move(formula_name)) {
+  stage_.attach(obs, kEstimates);
+}
 
 void MeterFormula::receive(actors::Envelope& envelope) {
   const SensorReport* report = as_report(envelope);
   if (report == nullptr) return;
+  const auto span = stage_.span(name(), report->seq);
   PowerEstimate estimate;
   estimate.timestamp = report->timestamp;
   estimate.pid = report->pid;
   estimate.formula = formula_name_;
   estimate.watts = report->measured_watts;
+  estimate.seq = report->seq;
+  estimate.tick_wall_ns = report->tick_wall_ns;
   bus_->publish(out_topic_, std::move(estimate), self());
+  stage_.count();
 }
 
 }  // namespace powerapi::api

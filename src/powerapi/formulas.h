@@ -15,6 +15,7 @@
 #include "periph/disk.h"
 #include "periph/nic.h"
 #include "powerapi/messages.h"
+#include "powerapi/stage_obs.h"
 
 namespace powerapi::api {
 
@@ -31,7 +32,8 @@ namespace powerapi::api {
 class RegressionFormula final : public actors::Actor {
  public:
   RegressionFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                    std::shared_ptr<const model::ModelRegistry> registry);
+                    std::shared_ptr<const model::ModelRegistry> registry,
+                    obs::Observability* obs = nullptr);
 
   void receive(actors::Envelope& envelope) override;
 
@@ -39,6 +41,7 @@ class RegressionFormula final : public actors::Actor {
   actors::EventBus* bus_;
   actors::EventBus::TopicId out_topic_;
   std::shared_ptr<const model::ModelRegistry> registry_;
+  StageObs stage_;
 };
 
 /// Adapter formula around any baseline MachinePowerEstimator (CPU-load,
@@ -46,7 +49,8 @@ class RegressionFormula final : public actors::Actor {
 class EstimatorFormula final : public actors::Actor {
  public:
   EstimatorFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                   std::shared_ptr<const baselines::MachinePowerEstimator> estimator);
+                   std::shared_ptr<const baselines::MachinePowerEstimator> estimator,
+                   obs::Observability* obs = nullptr);
 
   void receive(actors::Envelope& envelope) override;
 
@@ -54,6 +58,7 @@ class EstimatorFormula final : public actors::Actor {
   actors::EventBus* bus_;
   actors::EventBus::TopicId out_topic_;
   std::shared_ptr<const baselines::MachinePowerEstimator> estimator_;
+  StageObs stage_;
 };
 
 /// Datasheet-based IO power formula: unlike CPU cores, disk and NIC power
@@ -64,7 +69,8 @@ class EstimatorFormula final : public actors::Actor {
 class IoFormula final : public actors::Actor {
  public:
   IoFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-            periph::DiskParams disk, periph::NicParams nic);
+            periph::DiskParams disk, periph::NicParams nic,
+            obs::Observability* obs = nullptr);
 
   void receive(actors::Envelope& envelope) override;
 
@@ -73,6 +79,7 @@ class IoFormula final : public actors::Actor {
   actors::EventBus::TopicId out_topic_;
   periph::DiskParams disk_;
   periph::NicParams nic_;
+  StageObs stage_;
 };
 
 /// Pass-through formula for direct meters (RAPL): the measured watts ARE
@@ -80,7 +87,7 @@ class IoFormula final : public actors::Actor {
 class MeterFormula final : public actors::Actor {
  public:
   MeterFormula(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-               std::string formula_name);
+               std::string formula_name, obs::Observability* obs = nullptr);
 
   void receive(actors::Envelope& envelope) override;
 
@@ -88,6 +95,7 @@ class MeterFormula final : public actors::Actor {
   actors::EventBus* bus_;
   actors::EventBus::TopicId out_topic_;
   std::string formula_name_;
+  StageObs stage_;
 };
 
 }  // namespace powerapi::api

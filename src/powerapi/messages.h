@@ -27,8 +27,16 @@ namespace powerapi::api {
 inline constexpr std::int64_t kMachinePid = -1;
 
 /// Periodic monitoring tick, broadcast to sensors.
+///
+/// When the pipeline carries an observability bundle, each tick also gets a
+/// per-pipeline sequence number and the real (monitor wall clock) time it
+/// was published. Both flow through SensorReport and PowerEstimate so trace
+/// spans and end-to-end latency can be correlated per tick; both stay 0
+/// when observability is off.
 struct MonitorTick {
   util::TimestampNs timestamp = 0;
+  std::uint64_t seq = 0;
+  std::int64_t wall_ns = 0;  ///< obs::wall_now_ns() at publish.
 };
 
 /// Which sensor produced a report. An enum rather than a string: reports are
@@ -68,6 +76,10 @@ struct SensorReport : model::FeatureVector {
   double disk_iops = 0.0;
   double disk_bytes_per_sec = 0.0;
   double net_bytes_per_sec = 0.0;
+
+  // Observability correlation (copied from the triggering MonitorTick).
+  std::uint64_t seq = 0;
+  std::int64_t tick_wall_ns = 0;
 };
 
 /// A formula's power attribution for one target at one timestamp.
@@ -79,6 +91,10 @@ struct PowerEstimate {
   /// Registry version of the model that produced this estimate; 0 for
   /// formulas that do not read a versioned model (meters, datasheets).
   std::uint64_t model_version = 0;
+
+  // Observability correlation (carried forward from the SensorReport).
+  std::uint64_t seq = 0;
+  std::int64_t tick_wall_ns = 0;
 };
 
 /// Aggregated power along a dimension (per PID, per group, or summed per
@@ -89,6 +105,9 @@ struct AggregatedPower {
   std::string group;               ///< Set only by group-dimension aggregation.
   std::string formula;
   double watts = 0.0;
+  /// Tick sequence id of the estimates this row aggregates (observability
+  /// correlation; 0 when off).
+  std::uint64_t seq = 0;
 };
 
 }  // namespace powerapi::api

@@ -1,0 +1,50 @@
+// MetricsReporter: a Reporter-stage actor for the monitor's own metrics.
+//
+// Subscribed to a pipeline's tick topic, it takes a registry snapshot every
+// N ticks and writes it in one of three formats: human-readable text, CSV
+// rows (via util::CsvWriter, one row per metric/statistic) or JSON lines
+// (one snapshot object per line). Snapshots run the registry's collectors,
+// so every emission includes the SelfMonitor's "self.*" gauges — the
+// monitor reports its own cost in the same stream as everything else. A
+// final snapshot is written at post_stop so short runs always emit one.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "actors/actor.h"
+#include "obs/observability.h"
+
+namespace powerapi::api {
+
+class MetricsReporter final : public actors::Actor {
+ public:
+  enum class Format { kText, kCsv, kJson };
+
+  struct Options {
+    /// Must outlive the actor (the final snapshot is written at post_stop,
+    /// i.e. during actor-system shutdown).
+    std::ostream* out = nullptr;
+    Format format = Format::kText;
+    std::uint64_t every_n_ticks = 1;  ///< Snapshot cadence (0 behaves as 1).
+  };
+
+  MetricsReporter(obs::Observability& obs, Options options);
+
+  void receive(actors::Envelope& envelope) override;
+  void post_stop() override;
+
+ private:
+  void write_snapshot(std::uint64_t seq);
+  void write_text(std::uint64_t seq);
+  void write_csv(std::uint64_t seq);
+  void write_json(std::uint64_t seq);
+
+  obs::Observability* obs_;
+  Options options_;
+  std::uint64_t ticks_seen_ = 0;
+  std::uint64_t last_seq_ = 0;
+  bool csv_header_written_ = false;
+};
+
+}  // namespace powerapi::api

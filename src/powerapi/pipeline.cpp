@@ -29,9 +29,14 @@ Pipeline::Pipeline(actors::ActorSystem& actors, actors::EventBus& bus,
       tick_topic_(bus.intern(ns_ + "tick")),
       hpc_topic_(bus.intern(ns_ + "sensor:hpc")),
       estimate_topic_(bus.intern(ns_ + "power:estimate")),
-      aggregated_topic_(bus.intern(ns_ + "power:aggregated")) {
+      aggregated_topic_(bus.intern(ns_ + "power:aggregated")),
+      obs_(spec.observability) {
   targets_->host = host_;
   util::Rng rng(spec.seed);
+  if (obs_ != nullptr) {
+    tick_counter_ = &obs_->metrics.counter("pipeline.ticks");
+    tick_name_ = obs_->trace.intern(ns_ + "tick");
+  }
 
   // A private registry wraps the spec's model unless the caller shares one
   // (a fleet passing the same registry to every host). Calibration from a
@@ -48,7 +53,7 @@ Pipeline::Pipeline(actors::ActorSystem& actors, actors::EventBus& bus,
 
   // --- Sensors ---
   const auto hpc_sensor = actors_->spawn_as<HpcSensor>(
-      ns_ + "sensor-hpc", *bus_, hpc_topic_, *backend_, targets, host_);
+      ns_ + "sensor-hpc", *bus_, hpc_topic_, *backend_, targets, host_, obs_);
   bus_->subscribe(tick_topic_, hpc_sensor);
 
   // Meter sensor topics survive the blocks below: the calibration actor
@@ -63,10 +68,10 @@ Pipeline::Pipeline(actors::ActorSystem& actors, actors::EventBus& bus,
     const auto sensor_topic = bus_->intern(ns_ + "sensor:powerspy");
     powerspy_topic = sensor_topic;
     const auto sensor = actors_->spawn_as<PowerSpySensor>(
-        ns_ + "sensor-powerspy", *bus_, sensor_topic, std::move(meter));
+        ns_ + "sensor-powerspy", *bus_, sensor_topic, std::move(meter), obs_);
     bus_->subscribe(tick_topic_, sensor);
     const auto formula = actors_->spawn_as<MeterFormula>(
-        ns_ + "formula-powerspy", *bus_, estimate_topic_, "powerspy");
+        ns_ + "formula-powerspy", *bus_, estimate_topic_, "powerspy", obs_);
     bus_->subscribe(sensor_topic, formula);
   }
 
@@ -76,36 +81,36 @@ Pipeline::Pipeline(actors::ActorSystem& actors, actors::EventBus& bus,
         [h = host_] { return h->now_ns(); });
     const auto sensor_topic = bus_->intern(ns_ + "sensor:rapl");
     rapl_topic = sensor_topic;
-    const auto sensor = actors_->spawn_as<RaplSensor>(ns_ + "sensor-rapl", *bus_,
-                                                      sensor_topic, std::move(msr));
+    const auto sensor = actors_->spawn_as<RaplSensor>(
+        ns_ + "sensor-rapl", *bus_, sensor_topic, std::move(msr), obs_);
     bus_->subscribe(tick_topic_, sensor);
     const auto formula = actors_->spawn_as<MeterFormula>(ns_ + "formula-rapl", *bus_,
-                                                         estimate_topic_, "rapl");
+                                                         estimate_topic_, "rapl", obs_);
     bus_->subscribe(sensor_topic, formula);
   }
 
   if (spec.with_io && host_->disk() != nullptr) {
     const auto sensor_topic = bus_->intern(ns_ + "sensor:io");
-    const auto sensor =
-        actors_->spawn_as<IoSensor>(ns_ + "sensor-io", *bus_, sensor_topic, *host_);
+    const auto sensor = actors_->spawn_as<IoSensor>(ns_ + "sensor-io", *bus_,
+                                                    sensor_topic, *host_, obs_);
     bus_->subscribe(tick_topic_, sensor);
-    const auto formula =
-        actors_->spawn_as<IoFormula>(ns_ + "formula-io", *bus_, estimate_topic_,
-                                     host_->disk()->params(), host_->nic()->params());
+    const auto formula = actors_->spawn_as<IoFormula>(
+        ns_ + "formula-io", *bus_, estimate_topic_, host_->disk()->params(),
+        host_->nic()->params(), obs_);
     bus_->subscribe(sensor_topic, formula);
   }
 
   if (spec.with_cpu_load) {
     const auto sensor_topic = bus_->intern(ns_ + "sensor:cpu-load");
     const auto sensor = actors_->spawn_as<CpuLoadSensor>(
-        ns_ + "sensor-cpu-load", *bus_, sensor_topic, *host_, targets);
+        ns_ + "sensor-cpu-load", *bus_, sensor_topic, *host_, targets, obs_);
     bus_->subscribe(tick_topic_, sensor);
   }
 
   // --- The paper's formula ---
   if (registry_ != nullptr) {
     const auto formula = actors_->spawn_as<RegressionFormula>(
-        ns_ + "formula-hpc", *bus_, estimate_topic_, registry_);
+        ns_ + "formula-hpc", *bus_, estimate_topic_, registry_, obs_);
     bus_->subscribe(hpc_topic_, formula);
   }
 
@@ -138,7 +143,7 @@ Pipeline::Pipeline(actors::ActorSystem& actors, actors::EventBus& bus,
   };
   aggregator_ = actors_->spawn_as<Aggregator>(ns_ + "aggregator", *bus_,
                                               aggregated_topic_, spec.dimension,
-                                              std::move(group_of));
+                                              std::move(group_of), obs_);
   bus_->subscribe(estimate_topic_, aggregator_);
 
   // --- Declaratively attached baseline formulas ---
@@ -155,8 +160,16 @@ void Pipeline::monitor_all() { targets_->all = true; }
 std::uint64_t Pipeline::publish_due_ticks() {
   const util::TimestampNs now = host_->now_ns();
   const std::uint64_t due = ticker_.due(now);
+  const bool observed = obs_ != nullptr && obs_->enabled();
   for (std::uint64_t i = 0; i < due; ++i) {
-    bus_->publish(tick_topic_, MonitorTick{now});
+    MonitorTick tick{now};
+    if (observed) {
+      tick.seq = ++next_seq_;
+      tick.wall_ns = obs::wall_now_ns();
+      tick_counter_->add();
+      obs_->trace.instant(tick_name_, tick.wall_ns, tick.seq);
+    }
+    bus_->publish(tick_topic_, tick);
   }
   return due;
 }
@@ -166,7 +179,7 @@ void Pipeline::add_estimator(
   if (!estimator) throw std::invalid_argument("Pipeline::add_estimator: null estimator");
   const std::string name = ns_ + "formula-" + estimator->name();
   const auto formula = actors_->spawn_as<EstimatorFormula>(
-      name, *bus_, estimate_topic_, std::move(estimator));
+      name, *bus_, estimate_topic_, std::move(estimator), obs_);
   bus_->subscribe(hpc_topic_, formula);
 }
 
@@ -194,6 +207,21 @@ void Pipeline::add_model_update_callback(ModelUpdateCallback::Callback callback)
   const auto listener = actors_->spawn_as<ModelUpdateCallback>(
       ns_ + "calibration-listener", std::move(callback));
   bus_->subscribe(calibration_topic_, listener);
+}
+
+void Pipeline::add_metrics_reporter(std::ostream& out, MetricsReporter::Format format,
+                                    std::uint64_t every_n_ticks) {
+  if (obs_ == nullptr) {
+    throw std::logic_error(
+        "Pipeline::add_metrics_reporter: built without spec.observability");
+  }
+  MetricsReporter::Options options;
+  options.out = &out;
+  options.format = format;
+  options.every_n_ticks = every_n_ticks;
+  const auto reporter =
+      actors_->spawn_as<MetricsReporter>(ns_ + "reporter-metrics", *obs_, options);
+  bus_->subscribe(tick_topic_, reporter);
 }
 
 MemoryReporter& Pipeline::add_memory_reporter() {

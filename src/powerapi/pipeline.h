@@ -27,10 +27,12 @@
 #include "hpc/backend.h"
 #include "model/model_registry.h"
 #include "model/power_model.h"
+#include "obs/observability.h"
 #include "os/monitorable_host.h"
 #include "powerapi/aggregators.h"
 #include "powerapi/calibration.h"
 #include "powerapi/messages.h"
+#include "powerapi/obs_reporter.h"
 #include "powerapi/reporters.h"
 #include "util/units.h"
 
@@ -63,6 +65,10 @@ struct PipelineSpec {
   CalibrationOptions calibration;  ///< Tuning for with_calibration.
   /// Baseline formulas fed by the hpc sensor (cpu-load, Bertran, HAPPY).
   std::vector<std::shared_ptr<const baselines::MachinePowerEstimator>> estimators;
+  /// Self-observability bundle (non-owning; must outlive the pipeline).
+  /// When set, ticks carry sequence ids, every stage records spans and
+  /// throughput counters, and add_metrics_reporter() becomes available.
+  obs::Observability* observability = nullptr;
 };
 
 /// One assembled pipeline over one host: the handle PowerMeter and
@@ -96,6 +102,13 @@ class Pipeline {
   /// Invokes `callback` after every calibration swap (ModelUpdated).
   /// Throws if the pipeline was built without with_calibration.
   void add_model_update_callback(ModelUpdateCallback::Callback callback);
+  /// Writes a metrics-registry snapshot to `out` every `every_n_ticks`
+  /// ticks (plus a final one at shutdown). `out` must outlive the actor
+  /// system: the final flush runs when the reporter actor stops. Throws if
+  /// the pipeline was built without spec.observability.
+  void add_metrics_reporter(std::ostream& out,
+                            MetricsReporter::Format format = MetricsReporter::Format::kText,
+                            std::uint64_t every_n_ticks = 1);
 
   // --- Lifecycle ---
   /// Stops the aggregator so its pending groups flush; idempotent. The
@@ -118,6 +131,7 @@ class Pipeline {
   }
   os::MonitorableHost& host() noexcept { return *host_; }
   const actors::Ticker& ticker() const noexcept { return ticker_; }
+  obs::Observability* observability() const noexcept { return obs_; }
 
  private:
   struct TargetsState {
@@ -143,6 +157,12 @@ class Pipeline {
   actors::ActorRef aggregator_;
   bool with_calibration_ = false;
   bool finished_ = false;
+
+  // Observability (null / 0 when the spec carried no bundle).
+  obs::Observability* obs_ = nullptr;
+  std::uint64_t next_seq_ = 0;
+  obs::Counter* tick_counter_ = nullptr;
+  obs::TraceCollector::NameId tick_name_ = 0;
 };
 
 /// Assembles Pipelines over a shared actor system + bus. One builder can

@@ -10,10 +10,11 @@ PowerMeter::PowerMeter(os::MonitorableHost& host, model::CpuPowerModel model,
                        Config config)
     : host_(&host),
       config_(config),
-      actors_(actors::ActorSystem::Mode::kManual),
+      actors_(actors::ActorSystem::Mode::kManual, 2, config.observability),
       bus_(actors_) {
   PipelineSpec spec = std::move(config);
   if (!model.empty()) spec.model = std::move(model);
+  if (spec.observability != nullptr) bus_.set_observability(spec.observability);
   pipeline_ = PipelineBuilder(actors_, bus_).build(*host_, std::move(spec));
 }
 

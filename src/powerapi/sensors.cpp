@@ -7,23 +7,30 @@
 namespace powerapi::api {
 
 namespace {
+
 const MonitorTick* as_tick(const actors::Envelope& envelope) {
   return envelope.payload.get<MonitorTick>();
 }
+
+constexpr std::string_view kSensorReports = "pipeline.sensor_reports";
+
 }  // namespace
 
 // --- HpcSensor ---
 
 HpcSensor::HpcSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
                      hpc::CounterBackend& backend, TargetsFn targets,
-                     const os::MonitorableHost* host)
+                     const os::MonitorableHost* host, obs::Observability* obs)
     : bus_(&bus),
       out_topic_(out_topic),
       backend_(&backend),
       targets_(std::move(targets)),
-      host_(host) {}
+      host_(host) {
+  stage_.attach(obs, kSensorReports);
+}
 
-void HpcSensor::observe(std::int64_t pid, util::TimestampNs now) {
+void HpcSensor::observe(std::int64_t pid, const MonitorTick& tick) {
+  const util::TimestampNs now = tick.timestamp;
   const hpc::Target target =
       pid == kMachinePid ? hpc::Target::machine() : hpc::Target::process(pid);
   auto read = backend_->read(target);
@@ -89,25 +96,33 @@ void HpcSensor::observe(std::int64_t pid, util::TimestampNs now) {
     }
   }
 
+  report.seq = tick.seq;
+  report.tick_wall_ns = tick.wall_ns;
   bus_->publish(out_topic_, std::move(report), self());
+  stage_.count();
 }
 
 void HpcSensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
   if (tick == nullptr) return;
-  observe(kMachinePid, tick->timestamp);
-  for (const std::int64_t pid : targets_()) observe(pid, tick->timestamp);
+  const auto span = stage_.span(name(), tick->seq);
+  observe(kMachinePid, *tick);
+  for (const std::int64_t pid : targets_()) observe(pid, *tick);
 }
 
 // --- PowerSpySensor ---
 
 PowerSpySensor::PowerSpySensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                               std::shared_ptr<powermeter::PowerSpy> meter)
-    : bus_(&bus), out_topic_(out_topic), meter_(std::move(meter)) {}
+                               std::shared_ptr<powermeter::PowerSpy> meter,
+                               obs::Observability* obs)
+    : bus_(&bus), out_topic_(out_topic), meter_(std::move(meter)) {
+  stage_.attach(obs, kSensorReports);
+}
 
 void PowerSpySensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
   if (tick == nullptr) return;
+  const auto span = stage_.span(name(), tick->seq);
   const auto sample = meter_->sample();
   if (!sample) return;  // Dropped sample or first (priming) call.
   SensorReport report;
@@ -115,18 +130,25 @@ void PowerSpySensor::receive(actors::Envelope& envelope) {
   report.pid = kMachinePid;
   report.sensor = SensorKind::kPowerSpy;
   report.measured_watts = sample->watts;
+  report.seq = tick->seq;
+  report.tick_wall_ns = tick->wall_ns;
   bus_->publish(out_topic_, std::move(report), self());
+  stage_.count();
 }
 
 // --- RaplSensor ---
 
 RaplSensor::RaplSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                       std::shared_ptr<powermeter::RaplMsr> msr)
-    : bus_(&bus), out_topic_(out_topic), msr_(std::move(msr)) {}
+                       std::shared_ptr<powermeter::RaplMsr> msr,
+                       obs::Observability* obs)
+    : bus_(&bus), out_topic_(out_topic), msr_(std::move(msr)) {
+  stage_.attach(obs, kSensorReports);
+}
 
 void RaplSensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
   if (tick == nullptr) return;
+  const auto span = stage_.span(name(), tick->seq);
   if (!msr_->available()) return;
   const std::uint32_t raw = msr_->read_energy_status();
   const auto completed = window_.advance(tick->timestamp, raw);
@@ -139,18 +161,24 @@ void RaplSensor::receive(actors::Envelope& envelope) {
   report.sensor = SensorKind::kRapl;
   report.window_seconds = completed->seconds;
   report.measured_watts = joules / completed->seconds;
+  report.seq = tick->seq;
+  report.tick_wall_ns = tick->wall_ns;
   bus_->publish(out_topic_, std::move(report), self());
+  stage_.count();
 }
 
 // --- IoSensor ---
 
 IoSensor::IoSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                   const os::MonitorableHost& host)
-    : bus_(&bus), out_topic_(out_topic), host_(&host) {}
+                   const os::MonitorableHost& host, obs::Observability* obs)
+    : bus_(&bus), out_topic_(out_topic), host_(&host) {
+  stage_.attach(obs, kSensorReports);
+}
 
 void IoSensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
   if (tick == nullptr) return;
+  const auto span = stage_.span(name(), tick->seq);
   if (host_->disk() == nullptr) return;  // No peripherals on this host.
 
   const os::IoTotals totals = host_->io_totals();
@@ -167,18 +195,25 @@ void IoSensor::receive(actors::Envelope& envelope) {
   report.disk_iops = (totals.disk_ops - last.disk_ops) / window_s;
   report.disk_bytes_per_sec = (totals.disk_bytes - last.disk_bytes) / window_s;
   report.net_bytes_per_sec = (totals.net_bytes - last.net_bytes) / window_s;
+  report.seq = tick->seq;
+  report.tick_wall_ns = tick->wall_ns;
   bus_->publish(out_topic_, std::move(report), self());
+  stage_.count();
 }
 
 // --- CpuLoadSensor ---
 
 CpuLoadSensor::CpuLoadSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                             const os::MonitorableHost& host, TargetsFn targets)
-    : bus_(&bus), out_topic_(out_topic), host_(&host), targets_(std::move(targets)) {}
+                             const os::MonitorableHost& host, TargetsFn targets,
+                             obs::Observability* obs)
+    : bus_(&bus), out_topic_(out_topic), host_(&host), targets_(std::move(targets)) {
+  stage_.attach(obs, kSensorReports);
+}
 
 void CpuLoadSensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
   if (tick == nullptr) return;
+  const auto span = stage_.span(name(), tick->seq);
 
   auto publish = [&](std::int64_t pid, double utilization) {
     SensorReport report;
@@ -187,7 +222,10 @@ void CpuLoadSensor::receive(actors::Envelope& envelope) {
     report.sensor = SensorKind::kCpuLoad;
     report.frequency_hz = host_->system_stat().frequency_hz;
     report.utilization = utilization;
+    report.seq = tick->seq;
+    report.tick_wall_ns = tick->wall_ns;
     bus_->publish(out_topic_, std::move(report), self());
+    stage_.count();
   };
 
   // Machine scope: immediate utilization from the last tick.

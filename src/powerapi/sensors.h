@@ -18,6 +18,7 @@
 #include "os/monitorable_host.h"
 #include "powerapi/messages.h"
 #include "powerapi/sampling_window.h"
+#include "powerapi/stage_obs.h"
 #include "powermeter/powerspy.h"
 #include "powermeter/rapl.h"
 
@@ -38,7 +39,7 @@ class HpcSensor final : public actors::Actor {
  public:
   HpcSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
             hpc::CounterBackend& backend, TargetsFn targets,
-            const os::MonitorableHost* host);
+            const os::MonitorableHost* host, obs::Observability* obs = nullptr);
 
   void receive(actors::Envelope& envelope) override;
 
@@ -50,7 +51,7 @@ class HpcSensor final : public actors::Actor {
     util::DurationNs cpu_time = 0;
   };
 
-  void observe(std::int64_t pid, util::TimestampNs now);
+  void observe(std::int64_t pid, const MonitorTick& tick);
 
   actors::EventBus* bus_;
   actors::EventBus::TopicId out_topic_;
@@ -58,13 +59,15 @@ class HpcSensor final : public actors::Actor {
   TargetsFn targets_;
   const os::MonitorableHost* host_;
   std::map<std::int64_t, SamplingWindow<Snapshot>> windows_;
+  StageObs stage_;
 };
 
 /// Publishes the (simulated) wall meter's reading as SensorKind::kPowerSpy.
 class PowerSpySensor final : public actors::Actor {
  public:
   PowerSpySensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                 std::shared_ptr<powermeter::PowerSpy> meter);
+                 std::shared_ptr<powermeter::PowerSpy> meter,
+                 obs::Observability* obs = nullptr);
 
   void receive(actors::Envelope& envelope) override;
 
@@ -72,6 +75,7 @@ class PowerSpySensor final : public actors::Actor {
   actors::EventBus* bus_;
   actors::EventBus::TopicId out_topic_;
   std::shared_ptr<powermeter::PowerSpy> meter_;
+  StageObs stage_;
 };
 
 /// Reads the emulated RAPL MSR, differentiates energy into watts and
@@ -81,7 +85,8 @@ class PowerSpySensor final : public actors::Actor {
 class RaplSensor final : public actors::Actor {
  public:
   RaplSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-             std::shared_ptr<powermeter::RaplMsr> msr);
+             std::shared_ptr<powermeter::RaplMsr> msr,
+             obs::Observability* obs = nullptr);
 
   void receive(actors::Envelope& envelope) override;
 
@@ -90,6 +95,7 @@ class RaplSensor final : public actors::Actor {
   actors::EventBus::TopicId out_topic_;
   std::shared_ptr<powermeter::RaplMsr> msr_;
   SamplingWindow<std::uint32_t> window_;
+  StageObs stage_;
 };
 
 /// Differences the host's iostat-style IO counters into machine-scope rates
@@ -98,7 +104,7 @@ class RaplSensor final : public actors::Actor {
 class IoSensor final : public actors::Actor {
  public:
   IoSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-           const os::MonitorableHost& host);
+           const os::MonitorableHost& host, obs::Observability* obs = nullptr);
 
   void receive(actors::Envelope& envelope) override;
 
@@ -107,6 +113,7 @@ class IoSensor final : public actors::Actor {
   actors::EventBus::TopicId out_topic_;
   const os::MonitorableHost* host_;
   SamplingWindow<os::IoTotals> window_;
+  StageObs stage_;
 };
 
 /// Publishes per-target CPU utilization as SensorKind::kCpuLoad (the input
@@ -114,7 +121,8 @@ class IoSensor final : public actors::Actor {
 class CpuLoadSensor final : public actors::Actor {
  public:
   CpuLoadSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                const os::MonitorableHost& host, TargetsFn targets);
+                const os::MonitorableHost& host, TargetsFn targets,
+                obs::Observability* obs = nullptr);
 
   void receive(actors::Envelope& envelope) override;
 
@@ -124,6 +132,7 @@ class CpuLoadSensor final : public actors::Actor {
   const os::MonitorableHost* host_;
   TargetsFn targets_;
   std::map<std::int64_t, SamplingWindow<util::DurationNs>> windows_;
+  StageObs stage_;
 };
 
 }  // namespace powerapi::api

@@ -1,0 +1,50 @@
+// Per-stage observability hooks shared by the pipeline actors.
+//
+// Every Sensor/Formula/Aggregator actor owns one StageObs, attached at
+// construction when the pipeline was built with an Observability bundle.
+// It provides the two things a stage records per message: a Chrome-trace
+// span named after the actor (correlated across stages by the tick seq id)
+// and a throughput counter. Unattached (or disabled) stages pay one branch
+// per receive — the pipeline works identically without observability.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/observability.h"
+
+namespace powerapi::api {
+
+class StageObs {
+ public:
+  StageObs() = default;
+
+  /// `obs` is non-owning and may be null (stage not observed). The counter
+  /// ("pipeline.sensor_reports", "pipeline.estimates", ...) is interned once.
+  void attach(obs::Observability* obs, std::string_view counter_name) {
+    obs_ = obs;
+    if (obs_ != nullptr) counter_ = &obs_->metrics.counter(counter_name);
+  }
+
+  bool active() const noexcept { return obs_ != nullptr && obs_->enabled(); }
+  obs::Observability* observability() const noexcept { return obs_; }
+
+  /// Span covering one receive(). The actor's name is interned lazily on
+  /// the first traced message (spawn-time ctors don't know it yet).
+  obs::ScopedSpan span(std::string_view actor_name, std::uint64_t seq) {
+    if (!active()) return obs::ScopedSpan(nullptr, 0, 0);
+    if (name_id_ == 0) name_id_ = obs_->trace.intern(actor_name);
+    return obs::ScopedSpan(&obs_->trace, name_id_, seq);
+  }
+
+  void count(std::uint64_t n = 1) {
+    if (counter_ != nullptr && obs_->enabled()) counter_->add(n);
+  }
+
+ private:
+  obs::Observability* obs_ = nullptr;
+  obs::TraceCollector::NameId name_id_ = 0;
+  obs::Counter* counter_ = nullptr;
+};
+
+}  // namespace powerapi::api

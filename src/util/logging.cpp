@@ -1,8 +1,12 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <utility>
 
 namespace powerapi::util {
 
@@ -24,8 +28,15 @@ std::string_view to_string(LogLevel level) noexcept {
 
 struct Logger::Impl {
   std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
-  std::mutex mutex;
-  Sink sink;  // Empty => stderr default.
+  // Guards only the `sink` pointer itself (copy on log, swap on set_sink) —
+  // never held while a sink runs, so a swap can't tear a sink out from
+  // under a logging thread and a sink that itself logs can't deadlock.
+  // The shared_ptr keeps a replaced sink alive until in-flight calls drain.
+  std::mutex sink_mutex;
+  std::shared_ptr<const Sink> sink;  // Null => stderr default.
+  // Serializes only the built-in stderr path so interleaved default output
+  // stays line-atomic; custom sinks synchronize themselves.
+  std::mutex io_mutex;
 };
 
 Logger::Logger() : impl_(new Impl) {}
@@ -48,21 +59,93 @@ bool Logger::enabled(LogLevel level) const noexcept {
 }
 
 void Logger::set_sink(Sink sink) {
-  std::lock_guard lock(impl_->mutex);
-  impl_->sink = std::move(sink);
+  std::shared_ptr<const Sink> next;
+  if (sink) next = std::make_shared<const Sink>(std::move(sink));
+  std::shared_ptr<const Sink> previous;  // Destroyed after the unlock: a
+  {                                      // sink whose captures log on
+    std::lock_guard lock(impl_->sink_mutex);  // destruction must not deadlock.
+    previous = std::exchange(impl_->sink, std::move(next));
+  }
 }
 
 void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
-  std::lock_guard lock(impl_->mutex);
-  if (impl_->sink) {
-    impl_->sink(level, component, message);
+  // Snapshot the sink under the swap lock, invoke it outside: the copy
+  // keeps it alive even if another thread swaps it while we are writing.
+  std::shared_ptr<const Sink> sink;
+  {
+    std::lock_guard lock(impl_->sink_mutex);
+    sink = impl_->sink;
+  }
+  if (sink) {
+    (*sink)(level, component, message);
     return;
   }
+  std::lock_guard lock(impl_->io_mutex);
   std::cerr << "[" << to_string(level) << "] " << component << ": " << message << "\n";
 }
 
 LogMessage::~LogMessage() {
   Logger::instance().log(level_, component_, stream_.str());
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+namespace {
+
+void apply_level_or_warn(std::string_view text, std::string_view origin) {
+  if (const auto level = parse_log_level(text)) {
+    Logger::instance().set_level(*level);
+  } else {
+    POWERAPI_LOG_WARN("logging")
+        << "ignoring unrecognized log level '" << text << "' from " << origin
+        << " (expected debug|info|warn|error|off)";
+  }
+}
+
+}  // namespace
+
+void configure_logging() {
+  if (const char* env = std::getenv("POWERAPI_LOG_LEVEL"); env != nullptr && *env != '\0') {
+    apply_level_or_warn(env, "POWERAPI_LOG_LEVEL");
+  }
+}
+
+void configure_logging(int& argc, char** argv) {
+  configure_logging();
+  constexpr std::string_view kFlag = "--log-level";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    int consumed = 0;
+    if (arg.size() > kFlag.size() + 1 && arg.substr(0, kFlag.size()) == kFlag &&
+        arg[kFlag.size()] == '=') {
+      value = arg.substr(kFlag.size() + 1);
+      consumed = 1;
+    } else if (arg == kFlag && i + 1 < argc) {
+      value = argv[i + 1];
+      consumed = 2;
+    } else {
+      continue;
+    }
+    apply_level_or_warn(value, "--log-level");
+    // Strip the consumed argument(s) so downstream flag parsing never sees
+    // them.
+    for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
+    argc -= consumed;
+    return;
+  }
 }
 
 }  // namespace powerapi::util

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -29,6 +30,11 @@ class Logger {
   bool enabled(LogLevel level) const noexcept;
 
   /// Replaces the output sink; pass nullptr to restore the stderr default.
+  /// Safe against concurrent log() calls: a thread mid-log finishes on the
+  /// sink it snapshotted (kept alive by refcount), so the sink must be
+  /// thread-safe and the caller must expect it to run briefly past the
+  /// swap. Sinks are invoked WITHOUT any logger lock held — a sink may
+  /// itself log without deadlocking.
   void set_sink(Sink sink);
 
   void log(LogLevel level, std::string_view component, std::string_view message);
@@ -58,6 +64,20 @@ class LogMessage {
 };
 
 inline bool log_enabled(LogLevel level) { return Logger::instance().enabled(level); }
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive;
+/// "warning" also accepted); nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept;
+
+/// Applies the POWERAPI_LOG_LEVEL environment variable (if set and valid)
+/// to the global logger. Shared by examples and benches so every binary
+/// honors the same knob.
+void configure_logging();
+
+/// configure_logging() plus command-line handling: consumes a leading
+/// "--log-level=X" (or "--log-level X") argument from argv, which wins over
+/// the environment. Unrecognized levels warn and are otherwise ignored.
+void configure_logging(int& argc, char** argv);
 
 }  // namespace powerapi::util
 
