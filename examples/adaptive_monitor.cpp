@@ -17,6 +17,7 @@
 
 #include "os/system.h"
 #include "powerapi/power_meter.h"
+#include "util/arg_parser.h"
 #include "util/logging.h"
 #include "workloads/behaviors.h"
 #include "workloads/stress.h"
@@ -45,6 +46,12 @@ model::CpuPowerModel stale_model() {
 
 int main(int argc, char** argv) {
   util::configure_logging(argc, argv);
+  std::int64_t duration_s = 60;
+  util::ArgParser parser("adaptive_monitor",
+                         "Online calibration demo: a stale model is refit and "
+                         "hot-swapped when the workload regime shifts.");
+  parser.add_int64("duration", &duration_s, "simulated seconds to monitor");
+  if (const auto exit_code = parser.parse(argc, argv)) return *exit_code;
   os::System system(simcpu::i3_2120());
   util::Rng rng(4242);
   system.spawn("kdaemon", workloads::make_background_daemon(rng.fork(1)));
@@ -90,7 +97,7 @@ int main(int argc, char** argv) {
   std::size_t scanned = 0;
   double pre_swap_error_sum = 0.0, post_swap_error_sum = 0.0;
   std::size_t pre_swap_n = 0, post_swap_n = 0;
-  for (int second = 1; second <= 60; ++second) {
+  for (std::int64_t second = 1; second <= duration_s; ++second) {
     meter.run_for(util::seconds_to_ns(1));
     std::map<util::TimestampNs, double> estimated;
     std::map<util::TimestampNs, double> measured;
@@ -118,8 +125,8 @@ int main(int argc, char** argv) {
       }
     }
     if (second % 5 == 0 && n > 0) {
-      std::printf("%8d %14.2f %14.2f %10.2f\n", second, est, meas,
-                  err / static_cast<double>(n));
+      std::printf("%8lld %14.2f %14.2f %10.2f\n", static_cast<long long>(second),
+                  est, meas, err / static_cast<double>(n));
     }
   }
   meter.finish();

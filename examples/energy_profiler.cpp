@@ -15,6 +15,7 @@
 #include "mathx/ols.h"
 #include "model/model_io.h"
 #include "model/trainer.h"
+#include "util/arg_parser.h"
 #include "util/logging.h"
 #include "util/units.h"
 
@@ -22,6 +23,13 @@ using namespace powerapi;
 
 int main(int argc, char** argv) {
   util::configure_logging(argc, argv);
+  std::size_t max_features = 4;
+  util::ArgParser parser("energy_profiler",
+                         "Learn and save a power model; optional positional "
+                         "arg: the output file (default i3_2120.model).");
+  parser.add_size("max-features", &max_features,
+                  "Spearman-selected counters kept in the model");
+  if (const auto exit_code = parser.parse(argc, argv)) return *exit_code;
   const char* path = argc > 1 ? argv[1] : "i3_2120.model";
   const simcpu::CpuSpec spec = simcpu::i3_2120();
 
@@ -31,7 +39,7 @@ int main(int argc, char** argv) {
   // Step 1-3 of Figure 1: sample the stress grid at every frequency.
   model::TrainerOptions options;  // Full grid.
   options.auto_select_events = true;  // Spearman-based counter selection.
-  options.selection.max_features = 4;
+  options.selection.max_features = max_features;
   model::Trainer trainer(spec, simcpu::GroundTruthParams{}, options);
   std::printf("sampling %zu workloads x %zu frequencies...\n",
               workloads::make_stress_grid(options.grid).size(),

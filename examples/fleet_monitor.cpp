@@ -12,6 +12,7 @@
 #include "model/trainer.h"
 #include "os/system.h"
 #include "powerapi/fleet_monitor.h"
+#include "util/arg_parser.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "workloads/behaviors.h"
@@ -20,8 +21,6 @@
 using namespace powerapi;
 
 namespace {
-
-constexpr std::size_t kHosts = 8;
 
 /// A rack of unlike machines: web-ish bursty hosts, batch crunchers, a
 /// mostly idle spare — each deterministic given its index.
@@ -53,7 +52,17 @@ std::unique_ptr<os::System> make_host(std::size_t i) {
 
 int main(int argc, char** argv) {
   util::configure_logging(argc, argv);
-  std::printf("=== fleet_monitor: %zu hosts, one actor system ===\n", kHosts);
+  std::size_t hosts_count = 8;
+  std::size_t workers = 4;
+  std::int64_t duration_s = 30;
+  util::ArgParser parser("fleet_monitor",
+                         "Monitor a rack of heterogeneous hosts concurrently "
+                         "in one actor system, with a fleet-level power sum.");
+  parser.add_size("hosts", &hosts_count, "monitored hosts in the rack");
+  parser.add_size("workers", &workers, "dispatcher worker threads");
+  parser.add_int64("duration", &duration_s, "monitored seconds per host");
+  if (const auto exit_code = parser.parse(argc, argv)) return *exit_code;
+  std::printf("=== fleet_monitor: %zu hosts, one actor system ===\n", hosts_count);
 
   // One model serves the whole (homogeneous-CPU) fleet, as one calibration
   // serves every identical machine in a real deployment.
@@ -64,11 +73,11 @@ int main(int argc, char** argv) {
   const model::CpuPowerModel power_model = trainer.train().model;
 
   std::vector<std::unique_ptr<os::System>> hosts;
-  for (std::size_t i = 0; i < kHosts; ++i) hosts.push_back(make_host(i));
+  for (std::size_t i = 0; i < hosts_count; ++i) hosts.push_back(make_host(i));
 
   api::FleetMonitor::Options fleet_options;
   fleet_options.mode = actors::ActorSystem::Mode::kThreaded;
-  fleet_options.workers = 4;
+  fleet_options.workers = workers;
   fleet_options.with_observability = true;  // Self-metrics + message-flow trace.
   api::FleetMonitor fleet(fleet_options);
 
@@ -82,12 +91,12 @@ int main(int argc, char** argv) {
   }
   api::MemoryReporter& rack = fleet.add_fleet_reporter();
 
-  fleet.run_for(util::seconds_to_ns(30));
+  fleet.run_for(util::seconds_to_ns(duration_s));
   fleet.finish();
 
   std::printf("\n%-6s %-10s %12s %12s\n", "host", "role", "est (W)", "meter (W)");
   const char* roles[] = {"batch", "web", "cache", "spare"};
-  for (std::size_t i = 0; i < kHosts; ++i) {
+  for (std::size_t i = 0; i < hosts_count; ++i) {
     const double est = util::mean(
         api::MemoryReporter::watts_of(per_host[i]->series("powerapi-hpc")));
     const double wall = util::mean(
@@ -98,7 +107,7 @@ int main(int argc, char** argv) {
   const auto rack_series = rack.group_series("powerapi-hpc", "(fleet)");
   std::printf("\nrack-level series: %zu samples, mean %.2f W (sum of %zu hosts)\n",
               rack_series.size(),
-              util::mean(api::MemoryReporter::watts_of(rack_series)), kHosts);
+              util::mean(api::MemoryReporter::watts_of(rack_series)), hosts_count);
 
   // What did the monitoring itself cost? The observability bundle tracked
   // the monitor's CPU share the whole run.

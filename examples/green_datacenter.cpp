@@ -21,6 +21,7 @@
 #include "model/trainer.h"
 #include "os/system.h"
 #include "powerapi/fleet_monitor.h"
+#include "util/arg_parser.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -31,12 +32,12 @@ using namespace powerapi;
 
 namespace {
 
-constexpr int kDaySeconds = 240;  // A compressed "day".
+std::int64_t day_seconds = 240;  // A compressed "day" (--day-seconds).
 
 /// Solar supply (watts) at second `t`: half-sine daylight arc with cloud
 /// dropouts.
-double solar_watts(int t, util::Rng& clouds) {
-  const double phase = static_cast<double>(t) / kDaySeconds * M_PI;
+double solar_watts(std::int64_t t, util::Rng& clouds) {
+  const double phase = static_cast<double>(t) / static_cast<double>(day_seconds) * M_PI;
   double supply = 75.0 * std::sin(phase);
   if (clouds.bernoulli(0.12)) supply *= clouds.uniform(0.25, 0.6);  // A cloud.
   return std::max(0.0, supply);
@@ -86,6 +87,11 @@ std::unique_ptr<Strategy> make_strategy(bool adaptive, double idle_watts) {
 
 int main(int argc, char** argv) {
   util::configure_logging(argc, argv);
+  util::ArgParser parser("green_datacenter",
+                         "Estimate-driven batch gating + DVFS against a "
+                         "sporadic solar feed, vs an always-on baseline.");
+  parser.add_int64("day-seconds", &day_seconds, "length of the compressed day");
+  if (const auto exit_code = parser.parse(argc, argv)) return *exit_code;
   std::printf("=== green_datacenter: tracking a sporadic solar feed ===\n");
 
   model::TrainerOptions options;
@@ -124,7 +130,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<double> supply_now(strategies.size(), 0.0);
-  for (int t = 0; t < kDaySeconds; ++t) {
+  for (std::int64_t t = 0; t < day_seconds; ++t) {
     for (std::size_t i = 0; i < strategies.size(); ++i) {
       Strategy& s = *strategies[i];
       supply_now[i] = solar_watts(t, s.clouds);

@@ -22,6 +22,7 @@
 #include "obs/observability.h"
 #include "os/system.h"
 #include "powerapi/power_meter.h"
+#include "util/arg_parser.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "workloads/behaviors.h"
@@ -31,6 +32,14 @@ using namespace powerapi;
 
 int main(int argc, char** argv) {
   util::configure_logging(argc, argv);
+  std::int64_t duration_s = 10;
+  std::int64_t period_ms = 100;
+  util::ArgParser parser("observability",
+                         "Run a monitored workload with the self-observability "
+                         "bundle: metrics snapshots, self-overhead, a trace.");
+  parser.add_int64("duration", &duration_s, "simulated seconds to monitor");
+  parser.add_int64("period-ms", &period_ms, "monitoring period in ms");
+  if (const auto exit_code = parser.parse(argc, argv)) return *exit_code;
   std::printf("=== observability: the monitor watching itself ===\n");
 
   model::TrainerOptions options;
@@ -50,14 +59,14 @@ int main(int argc, char** argv) {
   obs::Observability obs;
 
   api::PowerMeter::Config config;
-  config.period = util::ms_to_ns(100);
+  config.period = util::ms_to_ns(period_ms);
   config.observability = &obs;
   api::PowerMeter meter(system, power_model, config);
   meter.pipeline().add_metrics_reporter(std::cout, api::MetricsReporter::Format::kText,
                                         /*every_n_ticks=*/50);
   auto& memory = meter.add_memory_reporter();
   meter.monitor_all();
-  meter.run_for(util::seconds_to_ns(10));
+  meter.run_for(util::seconds_to_ns(duration_s));
   meter.finish();
 
   const auto estimated = api::MemoryReporter::watts_of(memory.series("powerapi-hpc"));

@@ -18,6 +18,7 @@
 #include "model/trainer.h"
 #include "os/system.h"
 #include "powerapi/power_meter.h"
+#include "util/arg_parser.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "workloads/behaviors.h"
@@ -52,6 +53,14 @@ model::CpuPowerModel obtain_model(const char* path) {
 
 int main(int argc, char** argv) {
   util::configure_logging(argc, argv);
+  std::int64_t duration_s = 40;
+  std::int64_t period_ms = 250;
+  util::ArgParser parser("process_monitor",
+                         "Per-process power leaderboard over a mixed workload; "
+                         "optional positional arg: a model file to load.");
+  parser.add_int64("duration", &duration_s, "simulated seconds to monitor");
+  parser.add_int64("period-ms", &period_ms, "monitoring period in ms");
+  if (const auto exit_code = parser.parse(argc, argv)) return *exit_code;
   const model::CpuPowerModel power_model = obtain_model(argc > 1 ? argv[1] : nullptr);
 
   os::System system(simcpu::i3_2120());
@@ -83,7 +92,7 @@ int main(int argc, char** argv) {
   }
 
   api::PowerMeter::Config config;
-  config.period = util::ms_to_ns(250);
+  config.period = util::ms_to_ns(period_ms);
   config.dimension = api::AggregationDimension::kPid;
   api::PowerMeter meter(system, power_model, config);
   auto& memory = meter.add_memory_reporter();
@@ -91,11 +100,11 @@ int main(int argc, char** argv) {
   meter.add_csv_reporter(csv);
   meter.monitor_all();
 
-  // Drive 40 simulated seconds, printing a per-second leaderboard.
+  // Drive the simulated run, printing a per-second leaderboard.
   std::printf("\n%8s %-14s %12s\n", "t(s)", "process", "est. watts");
   std::map<os::Pid, util::RunningStats> totals;
   std::size_t scanned = 0;
-  for (int second = 1; second <= 40; ++second) {
+  for (std::int64_t second = 1; second <= duration_s; ++second) {
     meter.run_for(util::seconds_to_ns(1));
     // Latest row per pid among the rows produced THIS second (exited
     // processes produce none and drop off the leaderboard).
@@ -110,7 +119,8 @@ int main(int argc, char** argv) {
       for (const auto& [pid, watts] : latest) {
         const auto it = names.find(pid);
         if (it == names.end()) continue;
-        std::printf("%8d %-14s %12.2f\n", second, it->second.c_str(), watts);
+        std::printf("%8lld %-14s %12.2f\n", static_cast<long long>(second),
+                    it->second.c_str(), watts);
       }
     }
     for (const auto& [pid, watts] : latest) totals[pid].add(watts);
@@ -123,7 +133,7 @@ int main(int argc, char** argv) {
     const auto it = names.find(pid);
     if (it == names.end()) continue;
     std::printf("%-14s %12.2f %14.1f\n", it->second.c_str(), stats.mean(),
-                stats.mean() * 40.0);
+                stats.mean() * static_cast<double>(duration_s));
   }
   std::printf("\nfull trace written to process_monitor.csv\n");
   return 0;

@@ -12,6 +12,7 @@
 #include "model/trainer.h"
 #include "os/system.h"
 #include "powerapi/power_meter.h"
+#include "util/arg_parser.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "workloads/specjbb.h"
@@ -21,6 +22,12 @@ using namespace powerapi;
 
 int main(int argc, char** argv) {
   util::configure_logging(argc, argv);
+  std::int64_t period_ms = 250;
+  util::ArgParser parser("quickstart",
+                         "Train a power model, monitor a SPECjbb-like run, "
+                         "compare estimates against the simulated wall meter.");
+  parser.add_int64("period-ms", &period_ms, "monitoring period in ms");
+  if (const auto exit_code = parser.parse(argc, argv)) return *exit_code;
   const simcpu::CpuSpec spec = simcpu::i3_2120();
   std::cout << "=== Simulated processor (paper, Table 1) ===\n"
             << spec.describe() << "\n";
@@ -49,6 +56,7 @@ int main(int argc, char** argv) {
   const os::Pid pid = system.spawn("specjbb", workloads::make_specjbb(jbb, rng.fork(2)));
 
   api::PowerMeter::Config config;
+  config.period = util::ms_to_ns(period_ms);
   config.dimension = api::AggregationDimension::kPid;  // Keep per-pid rows.
   api::PowerMeter meter(system, result.model, config);
   auto& memory = meter.add_memory_reporter();

@@ -14,6 +14,7 @@
 #include "os/scheduler.h"
 #include "os/system.h"
 #include "powerapi/power_meter.h"
+#include "util/arg_parser.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "workloads/behaviors.h"
@@ -35,7 +36,8 @@ struct Outcome {
   double true_nj_per_instr = 0.0;  // Ground truth, for verification only.
 };
 
-Outcome evaluate(const Candidate& candidate, const model::CpuPowerModel& power_model) {
+Outcome evaluate(const Candidate& candidate, const model::CpuPowerModel& power_model,
+                 util::DurationNs duration) {
   os::System::Options options;
   if (candidate.spread) {
     options.scheduler = std::make_unique<os::SpreadScheduler>();
@@ -45,7 +47,6 @@ Outcome evaluate(const Candidate& candidate, const model::CpuPowerModel& power_m
   os::System system(simcpu::i3_2120(), std::move(options));
   system.pin_frequency(candidate.frequency_hz);
 
-  const util::DurationNs duration = util::seconds_to_ns(12);
   system.spawn("compute", std::make_unique<workloads::SteadyBehavior>(
                               workloads::cpu_stress(0.8), duration));
   system.spawn("memory", std::make_unique<workloads::SteadyBehavior>(
@@ -74,6 +75,12 @@ Outcome evaluate(const Candidate& candidate, const model::CpuPowerModel& power_m
 
 int main(int argc, char** argv) {
   util::configure_logging(argc, argv);
+  std::int64_t duration_s = 12;
+  util::ArgParser parser("scheduler_tuning",
+                         "Score candidate (placement, DVFS) policies by "
+                         "estimated energy-per-work and pick the greenest.");
+  parser.add_int64("duration", &duration_s, "simulated seconds per candidate");
+  if (const auto exit_code = parser.parse(argc, argv)) return *exit_code;
   std::printf("=== scheduler_tuning: pick the greenest (placement, DVFS) policy ===\n");
 
   // Train once on the target machine.
@@ -95,7 +102,8 @@ int main(int argc, char** argv) {
   double best_score = 1e300;
   double best_true = 0.0;
   for (const auto& candidate : candidates) {
-    const Outcome outcome = evaluate(candidate, power_model);
+    const Outcome outcome =
+        evaluate(candidate, power_model, util::seconds_to_ns(duration_s));
     std::printf("%-18s %16.1f %18.3f %16.3f\n", candidate.label.c_str(),
                 outcome.estimated_joules, outcome.estimated_nj_per_instr,
                 outcome.true_nj_per_instr);

@@ -45,6 +45,14 @@ def lower_is_better(unit: str) -> bool:
 
 def diff_pair(current_path: Path, baseline_path: Path, threshold: float) -> list[str]:
     current = load_metrics(current_path)
+    if not baseline_path.exists():
+        # A sidecar with no committed baseline is a new benchmark, not a
+        # regression: report it so someone records a baseline, never fail.
+        print(f"--- {current_path}: new benchmark — no baseline at {baseline_path}")
+        print(f"    record it: cp {current_path} {baseline_path}")
+        for name in sorted(current):
+            print(f"  NEW      {name}: {current[name]['value']:.6g} {current[name]['unit']}")
+        return []
     baseline = load_metrics(baseline_path)
     failures = []
     print(f"--- {current_path} vs {baseline_path} (threshold {threshold:.0%})")
@@ -102,6 +110,13 @@ def main() -> int:
                 pairs.append((current, baseline))
             else:
                 print(f"note: no fresh {baseline.name} under {args.current_dir}; skipping")
+        # Fresh sidecars with no committed baseline: new benchmarks. Pair
+        # them anyway — diff_pair reports them and points at the cp command
+        # to record a baseline, and never fails the run.
+        for current in sorted(Path(args.current_dir).glob("BENCH_*.json")):
+            baseline = baseline_dir / current.name
+            if not baseline.exists():
+                pairs.append((current, baseline))
     if args.pairs:
         if len(args.pairs) % 2 != 0:
             parser.error("positional arguments must come in CURRENT BASELINE pairs")

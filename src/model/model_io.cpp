@@ -1,8 +1,10 @@
 #include "model/model_io.h"
 
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 
+#include "util/crc32c.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -10,19 +12,30 @@ namespace powerapi::model {
 
 namespace {
 constexpr std::string_view kMagic = "powerapi-model";
-}
+/// Integrity footer: "# crc32c <8 hex digits>" over every preceding byte.
+/// Written as a comment so readers predating the footer (and v1 files,
+/// which never carry one) stay compatible — the parser skips '#' lines.
+constexpr std::string_view kChecksumPrefix = "# crc32c ";
+}  // namespace
 
 void save_model(const CpuPowerModel& model, std::ostream& out) {
-  out << kMagic << " v" << kModelFormatVersion << "\n";
-  out << "idle " << util::format_double(model.idle_watts()) << "\n";
+  std::ostringstream body;
+  body << kMagic << " v" << kModelFormatVersion << "\n";
+  body << "idle " << util::format_double(model.idle_watts()) << "\n";
   for (const auto& f : model.formulas()) {
-    out << "frequency " << util::format_double(f.frequency_hz) << "\n";
-    out << "r2 " << util::format_double(f.r_squared) << "\n";
+    body << "frequency " << util::format_double(f.frequency_hz) << "\n";
+    body << "r2 " << util::format_double(f.r_squared) << "\n";
     for (std::size_t i = 0; i < f.events.size(); ++i) {
-      out << hpc::to_string(f.events[i]) << " " << util::format_double(f.coefficients[i])
-          << "\n";
+      body << hpc::to_string(f.events[i]) << " " << util::format_double(f.coefficients[i])
+           << "\n";
     }
   }
+  const std::string text = body.str();
+  char footer[32];
+  std::snprintf(footer, sizeof(footer), "%.*s%08x\n",
+                static_cast<int>(kChecksumPrefix.size()), kChecksumPrefix.data(),
+                util::crc32c(text.data(), text.size()));
+  out << text << footer;
 }
 
 std::string model_to_string(const CpuPowerModel& model) {
@@ -32,7 +45,58 @@ std::string model_to_string(const CpuPowerModel& model) {
 }
 
 util::Result<CpuPowerModel> load_model(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return model_from_string(buffer.str());
+}
+
+namespace {
+
+/// Verifies the optional "# crc32c XXXXXXXX" footer over the bytes that
+/// precede it. Files without one (v1, hand-edited) pass unchecked; a footer
+/// that is present must be well-formed and must match.
+util::Result<bool> verify_checksum(const std::string& text) {
+  using R = util::Result<bool>;
+  std::size_t line_start = 0;
+  std::size_t checksum_at = std::string::npos;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      if (text.compare(line_start, kChecksumPrefix.size(), kChecksumPrefix) == 0) {
+        checksum_at = line_start;
+      }
+      line_start = i + 1;
+    }
+  }
+  if (checksum_at == std::string::npos) return true;  // No footer: unchecked.
+  const std::size_t hex_at = checksum_at + kChecksumPrefix.size();
+  const std::size_t hex_end = text.find('\n', hex_at);
+  const std::string hex{util::trim(text.substr(
+      hex_at, hex_end == std::string::npos ? std::string::npos : hex_end - hex_at))};
+  unsigned long stored = 0;
+  char trailing = 0;
+  if (hex.size() != 8 ||
+      std::sscanf(hex.c_str(), "%8lx%c", &stored, &trailing) != 1) {
+    return R::failure("malformed crc32c footer '" + hex + "'");
+  }
+  const std::uint32_t actual = util::crc32c(text.data(), checksum_at);
+  if (actual != static_cast<std::uint32_t>(stored)) {
+    char expect[16];
+    std::snprintf(expect, sizeof(expect), "%08x", actual);
+    return R::failure("model file checksum mismatch (footer " + hex + ", content " +
+                      expect + "): file corrupt or hand-edited without "
+                      "refreshing the footer");
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Result<CpuPowerModel> model_from_string(const std::string& text) {
   using R = util::Result<CpuPowerModel>;
+  if (auto checked = verify_checksum(text); !checked) {
+    return R::failure(checked.error_message());
+  }
+  std::istringstream in(text);
   std::string line;
   int line_no = 0;
   auto fail = [&](const std::string& why) {
@@ -103,11 +167,6 @@ util::Result<CpuPowerModel> load_model(std::istream& in) {
     if (f.events.empty()) return fail("frequency block without coefficients");
   }
   return CpuPowerModel(idle, std::move(formulas));
-}
-
-util::Result<CpuPowerModel> model_from_string(const std::string& text) {
-  std::istringstream in(text);
-  return load_model(in);
 }
 
 }  // namespace powerapi::model

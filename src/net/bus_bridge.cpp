@@ -1,0 +1,70 @@
+#include "net/bus_bridge.h"
+
+#include <utility>
+
+namespace powerapi::net {
+
+BusBridge::BusBridge(actors::EventBus& bus, BusBridgeOptions options)
+    : bus_(&bus),
+      options_(std::move(options)),
+      merged_estimate_(bus.intern(options_.topic_prefix + "power:estimation")),
+      merged_aggregated_(bus.intern(options_.topic_prefix + "power:aggregated")) {}
+
+BusBridge::AgentState& BusBridge::state(ConnId conn) {
+  auto [it, inserted] = agents_.try_emplace(conn);
+  if (inserted) {
+    it->second.label = "conn" + std::to_string(conn);
+    if (options_.per_agent_topics) {
+      const std::string ns = options_.topic_prefix + it->second.label + "/";
+      it->second.estimate_topic = bus_->intern(ns + "power:estimation");
+      it->second.aggregated_topic = bus_->intern(ns + "power:aggregated");
+    }
+  }
+  return it->second;
+}
+
+void BusBridge::on_connect(ConnId conn) { state(conn); }
+
+void BusBridge::on_hello(ConnId conn, std::string_view agent_id,
+                         std::uint8_t /*version*/) {
+  AgentState& agent = state(conn);
+  agent.label.assign(agent_id);
+  if (options_.per_agent_topics) {
+    const std::string ns = options_.topic_prefix + agent.label + "/";
+    agent.estimate_topic = bus_->intern(ns + "power:estimation");
+    agent.aggregated_topic = bus_->intern(ns + "power:aggregated");
+  }
+}
+
+void BusBridge::on_estimate(ConnId conn, const api::PowerEstimate& estimate) {
+  const AgentState& agent = state(conn);
+  if (agent.estimate_topic != actors::EventBus::kNoTopic) {
+    bus_->publish(agent.estimate_topic, estimate);
+  }
+  bus_->publish(merged_estimate_, estimate);
+}
+
+void BusBridge::on_aggregated(ConnId conn, const api::AggregatedPower& row) {
+  const AgentState& agent = state(conn);
+  if (agent.aggregated_topic != actors::EventBus::kNoTopic) {
+    bus_->publish(agent.aggregated_topic, row);
+  }
+  bus_->publish(merged_aggregated_, row);
+}
+
+void BusBridge::on_metric(ConnId conn, std::string_view name,
+                          obs::MetricKind /*kind*/, double value) {
+  if (options_.obs == nullptr) return;
+  // Every remote metric kind lands as a gauge: the wire carries point-in-
+  // time values (a remote counter's running total IS a gauge here).
+  const AgentState& agent = state(conn);
+  options_.obs->metrics
+      .gauge("remote." + agent.label + "." + std::string(name))
+      .set(value);
+}
+
+void BusBridge::on_disconnect(ConnId conn, std::string_view /*reason*/) {
+  agents_.erase(conn);
+}
+
+}  // namespace powerapi::net

@@ -1,0 +1,78 @@
+// BusBridge: a CollectorSink that republishes decoded telemetry onto a
+// local event bus, so everything downstream of a bus — aggregators,
+// reporters, the obs metrics reporter — works unchanged on remote data.
+//
+// Topic scheme mirrors the fleet namespaces ("h<i>/..."): each record is
+// published twice, once under its agent's namespace and once merged:
+//
+//   remote/<agent>/power:estimation    remote/power:estimation
+//   remote/<agent>/power:aggregated    remote/power:aggregated
+//
+// The merged topics are what a collector-side FleetAggregator subscribes
+// to; the per-agent topics let a reporter follow one machine. Agents are
+// named by their hello frame; records arriving before a hello (a protocol-
+// tolerated but unusual ordering) fall back to the "conn<id>" label.
+//
+// Remote metric records become gauges "remote.<agent>.<metric-name>" in the
+// bridge's observability registry — an agent's self-observability counters,
+// re-exported at the fleet collection point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "actors/event_bus.h"
+#include "net/collector_server.h"
+#include "obs/observability.h"
+
+namespace powerapi::net {
+
+struct BusBridgeOptions {
+  /// Prepended to every topic the bridge publishes on.
+  std::string topic_prefix = "remote/";
+  /// Also publish under "remote/<agent>/..." per-agent namespaces.
+  bool per_agent_topics = true;
+  /// Republish remote metric records as gauges here (non-owning; may be
+  /// null to drop them).
+  obs::Observability* obs = nullptr;
+};
+
+class BusBridge final : public CollectorSink {
+ public:
+  BusBridge(actors::EventBus& bus, BusBridgeOptions options = {});
+
+  /// Merged topics (every agent's records): subscribe aggregators here.
+  actors::EventBus::TopicId estimate_topic() const noexcept { return merged_estimate_; }
+  actors::EventBus::TopicId aggregated_topic() const noexcept { return merged_aggregated_; }
+
+  /// Agents that have said hello and not yet disconnected.
+  std::size_t live_agents() const noexcept { return agents_.size(); }
+
+  // CollectorSink (server event-loop thread).
+  void on_connect(ConnId conn) override;
+  void on_hello(ConnId conn, std::string_view agent_id, std::uint8_t version) override;
+  void on_estimate(ConnId conn, const api::PowerEstimate& estimate) override;
+  void on_aggregated(ConnId conn, const api::AggregatedPower& row) override;
+  void on_metric(ConnId conn, std::string_view name, obs::MetricKind kind,
+                 double value) override;
+  void on_disconnect(ConnId conn, std::string_view reason) override;
+
+ private:
+  struct AgentState {
+    std::string label;  ///< agent_id after hello; "conn<id>" before.
+    actors::EventBus::TopicId estimate_topic = actors::EventBus::kNoTopic;
+    actors::EventBus::TopicId aggregated_topic = actors::EventBus::kNoTopic;
+  };
+
+  AgentState& state(ConnId conn);
+
+  actors::EventBus* bus_;
+  BusBridgeOptions options_;
+  actors::EventBus::TopicId merged_estimate_;
+  actors::EventBus::TopicId merged_aggregated_;
+  std::map<ConnId, AgentState> agents_;
+};
+
+}  // namespace powerapi::net

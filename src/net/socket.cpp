@@ -1,0 +1,115 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace powerapi::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool parse_addr(const std::string& text, std::uint16_t port, sockaddr_in& out,
+                std::string* error) {
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  if (::inet_pton(AF_INET, text.c_str(), &out.sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid IPv4 address '" + text + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Socket listen_tcp(const std::string& bind_addr, std::uint16_t port,
+                  std::string* error) {
+  sockaddr_in addr{};
+  if (!parse_addr(bind_addr, port, addr, error)) return Socket{};
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    if (error != nullptr) *error = errno_text("socket");
+    return Socket{};
+  }
+  const int one = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = errno_text("bind");
+    return Socket{};
+  }
+  if (::listen(socket.fd(), 64) != 0) {
+    if (error != nullptr) *error = errno_text("listen");
+    return Socket{};
+  }
+  if (!set_nonblocking(socket.fd())) {
+    if (error != nullptr) *error = errno_text("fcntl(O_NONBLOCK)");
+    return Socket{};
+  }
+  return socket;
+}
+
+std::uint16_t local_port(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (!socket.valid() ||
+      ::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::string* error) {
+  sockaddr_in addr{};
+  if (!parse_addr(host, port, addr, error)) return Socket{};
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    if (error != nullptr) *error = errno_text("socket");
+    return Socket{};
+  }
+  if (!set_nonblocking(socket.fd())) {
+    if (error != nullptr) *error = errno_text("fcntl(O_NONBLOCK)");
+    return Socket{};
+  }
+  const int one = 1;
+  ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    if (error != nullptr) *error = errno_text("connect");
+    return Socket{};
+  }
+  return socket;
+}
+
+int connect_error(const Socket& socket) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return errno;
+  }
+  return err;
+}
+
+}  // namespace powerapi::net

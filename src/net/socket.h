@@ -1,0 +1,59 @@
+// Thin RAII + helper layer over non-blocking TCP sockets — just enough
+// POSIX for the telemetry client/server event loops. IPv4 numeric
+// addresses only: telemetry links are loopback/LAN plumbing, and keeping
+// DNS out keeps the event loop free of blocking calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace powerapi::net {
+
+/// Move-only owner of a file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens a non-blocking TCP socket on `bind_addr:port`
+/// (SO_REUSEADDR; port 0 picks an ephemeral port — read it back with
+/// local_port). Invalid socket + `*error` on failure.
+Socket listen_tcp(const std::string& bind_addr, std::uint16_t port,
+                  std::string* error);
+
+/// The locally bound port of a listening/connected socket (0 on error).
+std::uint16_t local_port(const Socket& socket);
+
+/// Starts a non-blocking connect to `host:port`. Returns the socket with
+/// the connect in flight (or already established — loopback often
+/// completes immediately); completion is observed via POLLOUT + SO_ERROR.
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::string* error);
+
+/// Pending SO_ERROR of an in-flight connect; 0 = connected.
+int connect_error(const Socket& socket);
+
+bool set_nonblocking(int fd);
+
+}  // namespace powerapi::net

@@ -1,0 +1,361 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/varint.h"
+
+namespace powerapi::net {
+
+namespace {
+
+enum RecordKind : std::uint8_t {
+  kDict = 1,
+  kEstimate = 2,
+  kAggregated = 3,
+  kMetric = 4,
+};
+
+/// Largest record kind the decoder knows; anything above is a violation.
+constexpr std::uint8_t kMaxRecordKind = kMetric;
+
+/// Dictionary ids per connection are capped so a corrupt stream cannot make
+/// the decoder allocate unboundedly.
+constexpr std::uint64_t kMaxDictEntries = 1u << 16;
+constexpr std::uint64_t kMaxDictStringBytes = 4096;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+// Doubles travel as their 8-byte little-endian bit pattern: exact
+// round-trip (the e2e determinism check depends on it), no text formatting.
+void put_f64(std::vector<std::uint8_t>& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(bits >> shift));
+  }
+}
+
+double get_f64(const std::uint8_t* p) noexcept {
+  std::uint64_t bits = 0;
+  for (int i = 7; i >= 0; --i) bits = (bits << 8) | p[i];
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+/// Cursor over a payload: varint/f64 readers that fail on truncation.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool done() const noexcept { return pos >= size; }
+
+  bool u8(std::uint8_t& out) noexcept {
+    if (pos + 1 > size) return false;
+    out = data[pos++];
+    return true;
+  }
+  bool varint(std::uint64_t& out) noexcept {
+    const std::size_t used = util::get_varint(data + pos, size - pos, out);
+    pos += used;
+    return used != 0;
+  }
+  bool svarint(std::int64_t& out) noexcept {
+    const std::size_t used = util::get_varint_signed(data + pos, size - pos, out);
+    pos += used;
+    return used != 0;
+  }
+  bool f64(double& out) noexcept {
+    if (pos + 8 > size) return false;
+    out = get_f64(data + pos);
+    pos += 8;
+    return true;
+  }
+  bool bytes(std::size_t n, std::string_view& out) noexcept {
+    if (pos + n > size) return false;
+    out = std::string_view(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return true;
+  }
+};
+
+}  // namespace
+
+// --- WireEncoder ---
+
+std::uint64_t WireEncoder::intern(std::string_view text) {
+  const auto it = dict_.find(text);
+  if (it != dict_.end()) return it->second;
+  const std::uint64_t id = dict_.size();
+  dict_.emplace(std::string(text), id);
+  batch_.push_back(kDict);
+  util::put_varint(batch_, id);
+  util::put_varint(batch_, text.size());
+  batch_.insert(batch_.end(), text.begin(), text.end());
+  return id;
+}
+
+void WireEncoder::put_timestamp(util::TimestampNs timestamp) {
+  util::put_varint_signed(batch_, timestamp - last_ts_);
+  last_ts_ = timestamp;
+}
+
+void WireEncoder::add(const api::PowerEstimate& estimate) {
+  const std::uint64_t formula = intern(estimate.formula);
+  batch_.push_back(kEstimate);
+  put_timestamp(estimate.timestamp);
+  util::put_varint_signed(batch_, estimate.pid);
+  util::put_varint(batch_, formula);
+  put_f64(batch_, estimate.watts);
+  util::put_varint(batch_, estimate.model_version);
+  ++records_;
+}
+
+void WireEncoder::add(const api::AggregatedPower& row) {
+  const std::uint64_t formula = intern(row.formula);
+  const std::uint64_t group = intern(row.group);
+  batch_.push_back(kAggregated);
+  put_timestamp(row.timestamp);
+  util::put_varint_signed(batch_, row.pid);
+  util::put_varint(batch_, formula);
+  util::put_varint(batch_, group);
+  put_f64(batch_, row.watts);
+  ++records_;
+}
+
+void WireEncoder::add_metric(std::string_view name, obs::MetricKind kind,
+                             double value) {
+  const std::uint64_t id = intern(name);
+  batch_.push_back(kMetric);
+  batch_.push_back(static_cast<std::uint8_t>(kind));
+  util::put_varint(batch_, id);
+  put_f64(batch_, value);
+  ++records_;
+}
+
+std::vector<std::uint8_t> WireEncoder::take_batch_frame() {
+  std::vector<std::uint8_t> frame = make_frame(FrameType::kBatch, batch_);
+  batch_.clear();
+  records_ = 0;
+  return frame;
+}
+
+void WireEncoder::reset() {
+  batch_.clear();
+  records_ = 0;
+  dict_.clear();
+  last_ts_ = 0;
+}
+
+std::vector<std::uint8_t> WireEncoder::make_frame(
+    FrameType type, const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(frame, kWireMagic);
+  frame.push_back(kWireVersion);
+  frame.push_back(static_cast<std::uint8_t>(type));
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = util::crc32c(frame.data(), frame.size());
+  crc = util::crc32c_extend(crc, payload.data(), payload.size());
+  put_u32(frame, crc);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::vector<std::uint8_t> WireEncoder::hello_frame(std::string_view agent_id) {
+  std::vector<std::uint8_t> payload;
+  util::put_varint(payload, kWireVersion);
+  util::put_varint(payload, agent_id.size());
+  payload.insert(payload.end(), agent_id.begin(), agent_id.end());
+  return make_frame(FrameType::kHello, payload);
+}
+
+std::vector<std::uint8_t> WireEncoder::bye_frame() {
+  return make_frame(FrameType::kBye, {});
+}
+
+// --- FrameDecoder ---
+
+bool FrameDecoder::fail(std::string why) {
+  failed_ = true;
+  error_ = std::move(why);
+  return false;
+}
+
+void FrameDecoder::reset() {
+  buffer_.clear();
+  consumed_ = 0;
+  failed_ = false;
+  error_.clear();
+  dict_.clear();
+  last_ts_ = 0;
+}
+
+bool FrameDecoder::consume(const std::uint8_t* data, std::size_t size,
+                           WireSink& sink) {
+  if (failed_) return false;
+  buffer_.insert(buffer_.end(), data, data + size);
+  while (buffer_.size() - consumed_ >= kFrameHeaderBytes) {
+    const std::uint8_t* head = buffer_.data() + consumed_;
+    if (get_u32(head) != kWireMagic) return fail("bad frame magic");
+    const std::uint8_t version = head[4];
+    if (version != kWireVersion) {
+      return fail("unsupported wire version " + std::to_string(version));
+    }
+    const std::uint8_t type = head[5];
+    const std::size_t payload_len = get_u32(head + 6);
+    if (payload_len > max_frame_bytes_) {
+      return fail("frame payload " + std::to_string(payload_len) +
+                  " bytes exceeds limit " + std::to_string(max_frame_bytes_));
+    }
+    if (buffer_.size() - consumed_ < kFrameHeaderBytes + payload_len) {
+      break;  // Torn frame: wait for the rest.
+    }
+    const std::uint8_t* payload = head + kFrameHeaderBytes;
+    std::uint32_t crc = util::crc32c(head, 10);
+    crc = util::crc32c_extend(crc, payload, payload_len);
+    if (crc != get_u32(head + 10)) return fail("frame crc32c mismatch");
+    if (type != static_cast<std::uint8_t>(FrameType::kHello) &&
+        type != static_cast<std::uint8_t>(FrameType::kBatch) &&
+        type != static_cast<std::uint8_t>(FrameType::kBye)) {
+      return fail("unknown frame type " + std::to_string(type));
+    }
+    if (!decode_frame(static_cast<FrameType>(type), payload, payload_len, sink)) {
+      return false;
+    }
+    ++frames_;
+    consumed_ += kFrameHeaderBytes + payload_len;
+  }
+  // Compact: drop the decoded prefix once it dominates the buffer.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return true;
+}
+
+bool FrameDecoder::decode_frame(FrameType type, const std::uint8_t* payload,
+                                std::size_t size, WireSink& sink) {
+  if (type == FrameType::kBye) {
+    if (size != 0) return fail("bye frame with payload");
+    sink.on_bye();
+    return true;
+  }
+  if (type == FrameType::kHello) {
+    Reader r{payload, size};
+    std::uint64_t version = 0;
+    std::uint64_t name_len = 0;
+    std::string_view agent_id;
+    if (!r.varint(version) || !r.varint(name_len) || name_len > kMaxDictStringBytes ||
+        !r.bytes(name_len, agent_id) || !r.done()) {
+      return fail("malformed hello payload");
+    }
+    sink.on_hello(agent_id, static_cast<std::uint8_t>(version));
+    return true;
+  }
+  return decode_batch(payload, size, sink);
+}
+
+bool FrameDecoder::decode_batch(const std::uint8_t* payload, std::size_t size,
+                                WireSink& sink) {
+  Reader r{payload, size};
+  while (!r.done()) {
+    std::uint8_t kind = 0;
+    if (!r.u8(kind)) return fail("truncated record kind");
+    if (kind == 0 || kind > kMaxRecordKind) {
+      return fail("unknown record kind " + std::to_string(kind));
+    }
+    switch (kind) {
+      case kDict: {
+        std::uint64_t id = 0;
+        std::uint64_t len = 0;
+        std::string_view text;
+        if (!r.varint(id) || !r.varint(len) || len > kMaxDictStringBytes ||
+            !r.bytes(len, text)) {
+          return fail("truncated dict record");
+        }
+        // Ids are assigned densely in stream order on the encoder side.
+        if (id != dict_.size() || id >= kMaxDictEntries) {
+          return fail("dict id " + std::to_string(id) + " out of sequence");
+        }
+        dict_.emplace_back(text);
+        break;
+      }
+      case kEstimate: {
+        api::PowerEstimate estimate;
+        std::int64_t ts_delta = 0;
+        std::int64_t pid = 0;
+        std::uint64_t formula = 0;
+        std::uint64_t model_version = 0;
+        if (!r.svarint(ts_delta) || !r.svarint(pid) || !r.varint(formula) ||
+            !r.f64(estimate.watts) || !r.varint(model_version)) {
+          return fail("truncated estimate record");
+        }
+        if (formula >= dict_.size()) return fail("estimate formula id undefined");
+        last_ts_ += ts_delta;
+        estimate.timestamp = last_ts_;
+        estimate.pid = pid;
+        estimate.formula = dict_[formula];
+        estimate.model_version = model_version;
+        sink.on_estimate(estimate);
+        ++records_;
+        break;
+      }
+      case kAggregated: {
+        api::AggregatedPower row;
+        std::int64_t ts_delta = 0;
+        std::int64_t pid = 0;
+        std::uint64_t formula = 0;
+        std::uint64_t group = 0;
+        if (!r.svarint(ts_delta) || !r.svarint(pid) || !r.varint(formula) ||
+            !r.varint(group) || !r.f64(row.watts)) {
+          return fail("truncated aggregated record");
+        }
+        if (formula >= dict_.size() || group >= dict_.size()) {
+          return fail("aggregated string id undefined");
+        }
+        last_ts_ += ts_delta;
+        row.timestamp = last_ts_;
+        row.pid = pid;
+        row.formula = dict_[formula];
+        row.group = dict_[group];
+        sink.on_aggregated(row);
+        ++records_;
+        break;
+      }
+      case kMetric: {
+        std::uint8_t metric_kind = 0;
+        std::uint64_t name = 0;
+        double value = 0.0;
+        if (!r.u8(metric_kind) ||
+            metric_kind > static_cast<std::uint8_t>(obs::MetricKind::kHistogram) ||
+            !r.varint(name) || !r.f64(value)) {
+          return fail("truncated metric record");
+        }
+        if (name >= dict_.size()) return fail("metric name id undefined");
+        sink.on_metric(dict_[name], static_cast<obs::MetricKind>(metric_kind), value);
+        ++records_;
+        break;
+      }
+      default:
+        return fail("unknown record kind " + std::to_string(kind));
+    }
+  }
+  return true;
+}
+
+}  // namespace powerapi::net

@@ -1,0 +1,154 @@
+// The telemetry wire format: versioned, length-prefixed binary frames
+// carrying batched pipeline records between an agent (TelemetryClient) and
+// a collector (CollectorServer).
+//
+// Frame layout (multi-byte fields little-endian):
+//
+//   offset 0   u32  magic        0x50415750 ("PWAP")
+//          4   u8   version      kWireVersion
+//          5   u8   type         FrameType (hello / batch / bye)
+//          6   u32  payload_len  bytes following the header
+//         10   u32  crc32c       over header bytes [0,10) ++ payload
+//         14   payload
+//
+// A batch payload is a concatenation of records, each introduced by a kind
+// byte and packed with LEB128 varints (util/varint.h):
+//
+//   dict        id, strlen, bytes      — defines a string id (see below)
+//   estimate    Δts, pid, formula-id, watts(f64), model-version
+//   aggregated  Δts, pid, formula-id, group-id, watts(f64)
+//   metric      metric-kind(u8), name-id, value(f64)
+//
+// Two stream-stateful compressions keep hot records small:
+//  * Timestamps are delta-encoded (zigzag) against the previous record's
+//    timestamp in stream order — at a fixed monitoring period the delta is
+//    a repeating small constant, 1–3 bytes instead of 9.
+//  * Strings (formula names, group labels, metric names) are interned into
+//    a per-connection dictionary, mirroring the event bus's topic
+//    interning: the first use emits a dict record (id + bytes), every later
+//    use is a 1–2 byte id. A reconnect resets both sides' state (the
+//    encoder re-emits its dictionary), so frames are self-contained per
+//    connection, never per process lifetime.
+//
+// Observability-correlation fields (seq, tick_wall_ns) are process-local
+// and do not cross the wire; decoded records carry zeros there.
+//
+// The decoder is an incremental state machine fed arbitrary byte chunks
+// (torn frames, short reads). Any violation — bad magic/version, oversize
+// length, CRC mismatch, truncated or unknown record — poisons the decoder
+// and reports an error; the server drops that connection and keeps serving
+// the rest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "powerapi/messages.h"
+
+namespace powerapi::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x50415750u;  // "PWAP" LE.
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 14;
+/// Frames larger than this are a protocol violation (guards the collector
+/// against hostile or corrupt length fields).
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,  ///< First frame on a connection: protocol version + agent id.
+  kBatch = 2,  ///< Batched records.
+  kBye = 3,    ///< Orderly shutdown (empty payload).
+};
+
+/// Receiver interface for decoded frames/records.
+class WireSink {
+ public:
+  virtual ~WireSink() = default;
+  virtual void on_hello(std::string_view /*agent_id*/, std::uint8_t /*version*/) {}
+  virtual void on_estimate(const api::PowerEstimate& /*estimate*/) {}
+  virtual void on_aggregated(const api::AggregatedPower& /*row*/) {}
+  virtual void on_metric(std::string_view /*name*/, obs::MetricKind /*kind*/,
+                         double /*value*/) {}
+  virtual void on_bye() {}
+};
+
+/// Per-connection encoder: accumulates records into a batch payload and
+/// frames it on demand. Owns the connection's string dictionary and
+/// timestamp delta base; reset() on reconnect.
+class WireEncoder {
+ public:
+  void add(const api::PowerEstimate& estimate);
+  void add(const api::AggregatedPower& row);
+  void add_metric(std::string_view name, obs::MetricKind kind, double value);
+
+  /// Semantic records buffered (dict entries not counted).
+  std::size_t pending_records() const noexcept { return records_; }
+  /// Encoded payload bytes buffered (dict entries counted — they ship).
+  std::size_t pending_bytes() const noexcept { return batch_.size(); }
+
+  /// Frames the buffered batch and clears it (dictionary and timestamp
+  /// base persist — they are connection state, not batch state).
+  std::vector<std::uint8_t> take_batch_frame();
+
+  /// Forgets all connection state; the next batch re-emits dictionary
+  /// entries and a full first timestamp. Call when (re)connecting.
+  void reset();
+
+  static std::vector<std::uint8_t> make_frame(FrameType type,
+                                              const std::vector<std::uint8_t>& payload);
+  static std::vector<std::uint8_t> hello_frame(std::string_view agent_id);
+  static std::vector<std::uint8_t> bye_frame();
+
+ private:
+  std::uint64_t intern(std::string_view text);
+  void put_timestamp(util::TimestampNs timestamp);
+
+  std::vector<std::uint8_t> batch_;
+  std::size_t records_ = 0;
+  std::map<std::string, std::uint64_t, std::less<>> dict_;
+  std::int64_t last_ts_ = 0;
+};
+
+/// Incremental frame decoder + per-connection decode state.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Feeds `size` bytes (any chunking). Complete frames are decoded into
+  /// `sink` as they close. Returns false on a protocol violation: error()
+  /// says why, and the decoder rejects further input until reset().
+  bool consume(const std::uint8_t* data, std::size_t size, WireSink& sink);
+
+  const std::string& error() const noexcept { return error_; }
+  bool failed() const noexcept { return failed_; }
+  std::uint64_t frames_decoded() const noexcept { return frames_; }
+  std::uint64_t records_decoded() const noexcept { return records_; }
+  /// Bytes buffered waiting for the rest of a frame.
+  std::size_t buffered_bytes() const noexcept { return buffer_.size() - consumed_; }
+
+  /// Back to a fresh connection state (dictionary, timestamps, error).
+  void reset();
+
+ private:
+  bool fail(std::string why);
+  bool decode_frame(FrameType type, const std::uint8_t* payload, std::size_t size,
+                    WireSink& sink);
+  bool decode_batch(const std::uint8_t* payload, std::size_t size, WireSink& sink);
+
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< Prefix of buffer_ already decoded.
+  bool failed_ = false;
+  std::string error_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t records_ = 0;
+  std::vector<std::string> dict_;
+  std::int64_t last_ts_ = 0;
+};
+
+}  // namespace powerapi::net

@@ -125,4 +125,37 @@ void Aggregator::post_stop() {
   pending_groups_.clear();
 }
 
+void FleetAggregator::receive(actors::Envelope& envelope) {
+  const auto* row = envelope.payload.get<AggregatedPower>();
+  if (row == nullptr) return;
+  // Fleet dimension sums the per-host machine view; per-pid and per-group
+  // rows stay host-local.
+  if (row->pid != kMachinePid || !row->group.empty()) return;
+  Bucket& bucket = pending_[{row->formula, row->timestamp}];
+  bucket.watts += row->watts;
+  bucket.seq = row->seq;
+  ++bucket.hosts;
+  if (bucket.hosts >= *host_count_) {
+    emit(row->formula, row->timestamp, bucket);
+    pending_.erase({row->formula, row->timestamp});
+  }
+}
+
+void FleetAggregator::post_stop() {
+  for (const auto& [key, bucket] : pending_) emit(key.first, key.second, bucket);
+  pending_.clear();
+}
+
+void FleetAggregator::emit(const std::string& formula, util::TimestampNs timestamp,
+                           const Bucket& bucket) {
+  AggregatedPower out;
+  out.timestamp = timestamp;
+  out.pid = kMachinePid;
+  out.group = "(fleet)";
+  out.formula = formula;
+  out.watts = bucket.watts;
+  out.seq = bucket.seq;
+  bus_->publish(out_topic_, std::move(out), self());
+}
+
 }  // namespace powerapi::api

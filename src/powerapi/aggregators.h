@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -72,6 +73,42 @@ class Aggregator final : public actors::Actor {
   StageObs stage_;
   /// End-to-end pipeline latency: tick publish → aggregated row emit.
   obs::Histogram* tick_to_aggregate_ = nullptr;
+};
+
+/// Sums machine-scope aggregated rows across hosts per (formula, timestamp)
+/// and emits a "(fleet)" row once every host has reported — order-robust
+/// under concurrent dispatch, where host pipelines interleave arbitrarily.
+///
+/// `host_count` is shared with the owner so hosts can join before the first
+/// tick; FleetMonitor subscribes one of these to every host's
+/// "h<i>/power:aggregated", and a telemetry collector subscribes one to the
+/// BusBridge's merged "remote/power:aggregated" — the fleet dimension is the
+/// same whether the rows crossed a wire or not.
+class FleetAggregator final : public actors::Actor {
+ public:
+  FleetAggregator(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
+                  std::shared_ptr<const std::size_t> host_count)
+      : bus_(&bus), out_topic_(out_topic), host_count_(std::move(host_count)) {}
+
+  void receive(actors::Envelope& envelope) override;
+
+  /// Flushes buckets still waiting on stragglers (end of monitoring).
+  void post_stop() override;
+
+ private:
+  struct Bucket {
+    double watts = 0.0;
+    std::size_t hosts = 0;
+    std::uint64_t seq = 0;
+  };
+
+  void emit(const std::string& formula, util::TimestampNs timestamp,
+            const Bucket& bucket);
+
+  actors::EventBus* bus_;
+  actors::EventBus::TopicId out_topic_;
+  std::shared_ptr<const std::size_t> host_count_;
+  std::map<std::pair<std::string, util::TimestampNs>, Bucket> pending_;
 };
 
 }  // namespace powerapi::api

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "powerapi/remote_reporter.h"
+
 namespace powerapi::api {
 
 namespace {
@@ -28,62 +30,6 @@ class HostAgent final : public actors::Actor {
  private:
   os::MonitorableHost* host_;
   Pipeline* pipeline_;
-};
-
-/// Sums machine-scope aggregated rows across hosts per (formula, timestamp)
-/// and emits a "(fleet)" row once every host has reported — order-robust
-/// under concurrent dispatch, where host pipelines interleave arbitrarily.
-class FleetAggregator final : public actors::Actor {
- public:
-  FleetAggregator(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
-                  std::shared_ptr<const std::size_t> host_count)
-      : bus_(&bus), out_topic_(out_topic), host_count_(std::move(host_count)) {}
-
-  void receive(actors::Envelope& envelope) override {
-    const auto* row = envelope.payload.get<AggregatedPower>();
-    if (row == nullptr) return;
-    // Fleet dimension sums the per-host machine view; per-pid and per-group
-    // rows stay host-local.
-    if (row->pid != kMachinePid || !row->group.empty()) return;
-    Bucket& bucket = pending_[{row->formula, row->timestamp}];
-    bucket.watts += row->watts;
-    bucket.seq = row->seq;
-    ++bucket.hosts;
-    if (bucket.hosts >= *host_count_) {
-      emit(row->formula, row->timestamp, bucket);
-      pending_.erase({row->formula, row->timestamp});
-    }
-  }
-
-  /// Flushes buckets still waiting on stragglers (end of monitoring).
-  void post_stop() override {
-    for (const auto& [key, bucket] : pending_) emit(key.first, key.second, bucket);
-    pending_.clear();
-  }
-
- private:
-  struct Bucket {
-    double watts = 0.0;
-    std::size_t hosts = 0;
-    std::uint64_t seq = 0;
-  };
-
-  void emit(const std::string& formula, util::TimestampNs timestamp,
-            const Bucket& bucket) {
-    AggregatedPower out;
-    out.timestamp = timestamp;
-    out.pid = kMachinePid;
-    out.group = "(fleet)";
-    out.formula = formula;
-    out.watts = bucket.watts;
-    out.seq = bucket.seq;
-    bus_->publish(out_topic_, std::move(out), self());
-  }
-
-  actors::EventBus* bus_;
-  actors::EventBus::TopicId out_topic_;
-  std::shared_ptr<const std::size_t> host_count_;
-  std::map<std::pair<std::string, util::TimestampNs>, Bucket> pending_;
 };
 
 }  // namespace
@@ -145,6 +91,20 @@ MemoryReporter& FleetMonitor::add_memory_reporter(std::size_t host) {
 void FleetMonitor::add_callback_reporter(std::size_t host,
                                          CallbackReporter::Callback callback) {
   entries_[host]->pipeline->add_callback_reporter(std::move(callback));
+}
+
+void FleetMonitor::add_remote_reporter(std::size_t host,
+                                       net::TelemetryClient& client) {
+  entries_[host]->pipeline->add_remote_reporter(client);
+}
+
+void FleetMonitor::add_fleet_remote_reporter(net::TelemetryClient& client) {
+  if (!options_.fleet_aggregation) {
+    throw std::logic_error("FleetMonitor: fleet_aggregation disabled in Options");
+  }
+  const auto reporter =
+      actors_.spawn_as<RemoteReporter>("fleet/reporter-remote", client);
+  bus_.subscribe(fleet_topic_, reporter);
 }
 
 MemoryReporter& FleetMonitor::add_fleet_reporter() {

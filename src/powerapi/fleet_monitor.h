@@ -73,6 +73,12 @@ class FleetMonitor {
   /// per-formula machine power summed across hosts.
   MemoryReporter& add_fleet_reporter();
 
+  /// Forwards one host's aggregated rows to a caller-owned telemetry
+  /// client (a distributed agent shipping its output to a collector).
+  void add_remote_reporter(std::size_t host, net::TelemetryClient& client);
+  /// Forwards the fleet dimension's "(fleet)" rows to the client.
+  void add_fleet_remote_reporter(net::TelemetryClient& client);
+
   /// The fleet's observability bundle; null unless Options.with_observability.
   obs::Observability* observability() noexcept { return obs_.get(); }
   /// Snapshots the whole fleet's metrics to `out` every N ticks of host 0.

@@ -8,6 +8,7 @@
 #include "periph/disk.h"
 #include "periph/nic.h"
 #include "powerapi/formulas.h"
+#include "powerapi/remote_reporter.h"
 #include "powerapi/sensors.h"
 #include "powermeter/powerspy.h"
 #include "powermeter/rapl.h"
@@ -222,6 +223,12 @@ void Pipeline::add_metrics_reporter(std::ostream& out, MetricsReporter::Format f
   const auto reporter =
       actors_->spawn_as<MetricsReporter>(ns_ + "reporter-metrics", *obs_, options);
   bus_->subscribe(tick_topic_, reporter);
+}
+
+void Pipeline::add_remote_reporter(net::TelemetryClient& client) {
+  const auto reporter =
+      actors_->spawn_as<RemoteReporter>(ns_ + "reporter-remote", client);
+  bus_->subscribe(aggregated_topic_, reporter);
 }
 
 MemoryReporter& Pipeline::add_memory_reporter() {

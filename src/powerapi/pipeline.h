@@ -36,6 +36,10 @@
 #include "powerapi/reporters.h"
 #include "util/units.h"
 
+namespace powerapi::net {
+class TelemetryClient;
+}  // namespace powerapi::net
+
 namespace powerapi::api {
 
 /// Declarative description of one host's monitoring pipeline.
@@ -109,6 +113,10 @@ class Pipeline {
   void add_metrics_reporter(std::ostream& out,
                             MetricsReporter::Format format = MetricsReporter::Format::kText,
                             std::uint64_t every_n_ticks = 1);
+  /// Forwards every aggregated row to a caller-owned telemetry client —
+  /// this pipeline's output becomes visible to a remote CollectorServer.
+  /// The client must outlive the actor system.
+  void add_remote_reporter(net::TelemetryClient& client);
 
   // --- Lifecycle ---
   /// Stops the aggregator so its pending groups flush; idempotent. The

@@ -53,6 +53,10 @@ MemoryReporter& PowerMeter::add_memory_reporter() {
   return pipeline_->add_memory_reporter();
 }
 
+void PowerMeter::add_remote_reporter(net::TelemetryClient& client) {
+  pipeline_->add_remote_reporter(client);
+}
+
 void PowerMeter::run_for(util::DurationNs duration) {
   if (finished_) throw std::logic_error("PowerMeter::run_for after finish()");
   const util::TimestampNs deadline = host_->now_ns() + duration;

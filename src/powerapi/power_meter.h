@@ -62,6 +62,9 @@ class PowerMeter {
   void add_csv_reporter(std::ostream& out);
   void add_callback_reporter(CallbackReporter::Callback callback);
   MemoryReporter& add_memory_reporter();
+  /// Forwards aggregated rows to a caller-owned telemetry client (see
+  /// net/telemetry_client.h); the client must outlive the meter.
+  void add_remote_reporter(net::TelemetryClient& client);
 
   /// Advances the host by `duration`, firing monitor ticks at the
   /// configured period and draining the pipeline after each.

@@ -182,6 +182,18 @@ void IoSensor::receive(actors::Envelope& envelope) {
   if (host_->disk() == nullptr) return;  // No peripherals on this host.
 
   const os::IoTotals totals = host_->io_totals();
+  // Same underflow guard as the HPC sensor: cumulative IO counters going
+  // backwards means the source reset (device re-probe, counter wrap at the
+  // OS boundary). Differencing across that would report a negative rate —
+  // re-prime from the new baseline instead.
+  if (window_.primed()) {
+    const os::IoTotals& last = window_.last();
+    if (totals.disk_ops < last.disk_ops || totals.disk_bytes < last.disk_bytes ||
+        totals.net_bytes < last.net_bytes) {
+      POWERAPI_LOG_DEBUG("sensor.io") << "io totals regressed — re-priming";
+      window_.reset();
+    }
+  }
   const auto completed = window_.advance(tick->timestamp, totals);
   if (!completed) return;
   const double window_s = completed->seconds;

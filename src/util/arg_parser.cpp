@@ -1,0 +1,173 @@
+#include "util/arg_parser.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace powerapi::util {
+
+namespace {
+
+std::string format_default(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_option(std::string name, Kind kind, void* target,
+                           std::string help, std::string default_text) {
+  Option option;
+  option.name = std::move(name);
+  option.kind = kind;
+  option.target = target;
+  option.help = std::move(help);
+  option.default_text = std::move(default_text);
+  options_.push_back(std::move(option));
+}
+
+void ArgParser::add_flag(std::string name, bool* value, std::string help) {
+  add_option(std::move(name), Kind::kFlag, value, std::move(help),
+             *value ? "on" : "off");
+}
+
+void ArgParser::add_int64(std::string name, std::int64_t* value, std::string help) {
+  add_option(std::move(name), Kind::kInt64, value, std::move(help),
+             std::to_string(*value));
+}
+
+void ArgParser::add_size(std::string name, std::size_t* value, std::string help) {
+  add_option(std::move(name), Kind::kSize, value, std::move(help),
+             std::to_string(*value));
+}
+
+void ArgParser::add_double(std::string name, double* value, std::string help) {
+  add_option(std::move(name), Kind::kDouble, value, std::move(help),
+             format_default(*value));
+}
+
+void ArgParser::add_string(std::string name, std::string* value, std::string help) {
+  add_option(std::move(name), Kind::kString, value, std::move(help), *value);
+}
+
+const ArgParser::Option* ArgParser::find(std::string_view name) const noexcept {
+  for (const Option& option : options_) {
+    if (option.name == name) return &option;
+  }
+  return nullptr;
+}
+
+bool ArgParser::apply(const Option& option, const std::string& text) const {
+  switch (option.kind) {
+    case Kind::kFlag:
+      // Explicit value form (--flag=true); bare --flag is handled in parse().
+      if (text == "true" || text == "1" || text == "on") {
+        *static_cast<bool*>(option.target) = true;
+        return true;
+      }
+      if (text == "false" || text == "0" || text == "off") {
+        *static_cast<bool*>(option.target) = false;
+        return true;
+      }
+      return false;
+    case Kind::kInt64:
+    case Kind::kSize: {
+      const auto parsed = parse_double(text);
+      if (!parsed || *parsed != static_cast<std::int64_t>(*parsed)) return false;
+      if (option.kind == Kind::kSize) {
+        if (*parsed < 0) return false;
+        *static_cast<std::size_t*>(option.target) =
+            static_cast<std::size_t>(*parsed);
+      } else {
+        *static_cast<std::int64_t*>(option.target) =
+            static_cast<std::int64_t>(*parsed);
+      }
+      return true;
+    }
+    case Kind::kDouble: {
+      const auto parsed = parse_double(text);
+      if (!parsed) return false;
+      *static_cast<double*>(option.target) = *parsed;
+      return true;
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(option.target) = text;
+      return true;
+  }
+  return false;
+}
+
+std::optional<int> ArgParser::parse(int& argc, char** argv) {
+  int out = 1;  // argv[0] stays.
+  std::optional<int> exit_code;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (exit_code || arg.size() < 3 || arg.substr(0, 2) != "--") {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (arg == "--help") {
+      print_help(std::cout);
+      exit_code = 0;
+      continue;
+    }
+    std::string_view name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    const std::size_t eq = name.find('=');
+    if (eq != std::string_view::npos) {
+      value = std::string(name.substr(eq + 1));
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    const Option* option = find(name);
+    if (option == nullptr) {
+      std::fprintf(stderr, "%s: unknown option --%.*s (try --help)\n",
+                   program_.c_str(), static_cast<int>(name.size()), name.data());
+      exit_code = 2;
+      continue;
+    }
+    if (!have_value && option->kind == Kind::kFlag) {
+      *static_cast<bool*>(option->target) = true;
+      continue;
+    }
+    if (!have_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --%s needs a value (try --help)\n",
+                     program_.c_str(), option->name.c_str());
+        exit_code = 2;
+        continue;
+      }
+      value = argv[++i];
+    }
+    if (!apply(*option, value)) {
+      std::fprintf(stderr, "%s: bad value '%s' for --%s (try --help)\n",
+                   program_.c_str(), value.c_str(), option->name.c_str());
+      exit_code = 2;
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return exit_code;
+}
+
+void ArgParser::print_help(std::ostream& out) const {
+  out << "usage: " << program_ << " [options]\n  " << description_ << "\n\noptions:\n";
+  for (const Option& option : options_) {
+    std::string left = "--" + option.name;
+    if (option.kind != Kind::kFlag) left += " <value>";
+    out << "  " << left;
+    for (std::size_t pad = left.size(); pad < 24; ++pad) out << ' ';
+    out << option.help << " (default: " << option.default_text << ")\n";
+  }
+  out << "  --log-level <level>     debug|info|warn|error|off (also via "
+         "POWERAPI_LOG_LEVEL)\n  --help                  show this message\n";
+}
+
+}  // namespace powerapi::util

@@ -1,0 +1,67 @@
+// Minimal command-line option parser shared by the examples and harnesses.
+//
+// Every example used to hand-roll its `--hosts` / `--duration` handling (or
+// skip it and hard-code constants). ArgParser is the one implementation:
+// register options bound to caller variables (whose initializers remain the
+// visible defaults), then parse(argc, argv) consumes every recognized
+// "--name value" / "--name=value" token from argv — the same
+// strip-before-downstream pattern as util::configure_logging, so positional
+// arguments (model paths, CSV outputs) flow through untouched — and prints
+// a uniform --help for every binary.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace powerapi::util {
+
+class ArgParser {
+ public:
+  /// `program` names the binary in usage output; `description` is the
+  /// one-line summary printed under it.
+  ArgParser(std::string program, std::string description);
+
+  // Registration: `value` must outlive parse(); its current content is
+  // shown as the default in --help. Names are given without the leading
+  // "--".
+  void add_flag(std::string name, bool* value, std::string help);
+  void add_int64(std::string name, std::int64_t* value, std::string help);
+  void add_size(std::string name, std::size_t* value, std::string help);
+  void add_double(std::string name, double* value, std::string help);
+  void add_string(std::string name, std::string* value, std::string help);
+
+  /// Consumes recognized options from argv (argc is rewritten, like
+  /// configure_logging). Returns nullopt to continue, or the process exit
+  /// code the caller should return with: 0 after printing --help, 2 after
+  /// reporting a bad option / unparsable value to stderr. Unrecognized
+  /// "--" options are errors; bare positionals are left in place.
+  std::optional<int> parse(int& argc, char** argv);
+
+  void print_help(std::ostream& out) const;
+
+ private:
+  enum class Kind { kFlag, kInt64, kSize, kDouble, kString };
+
+  struct Option {
+    std::string name;
+    Kind kind = Kind::kFlag;
+    void* target = nullptr;
+    std::string help;
+    std::string default_text;
+  };
+
+  void add_option(std::string name, Kind kind, void* target, std::string help,
+                  std::string default_text);
+  const Option* find(std::string_view name) const noexcept;
+  /// Applies one value; false when the text does not parse as the kind.
+  bool apply(const Option& option, const std::string& text) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace powerapi::util

@@ -1,0 +1,72 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace powerapi::util {
+
+namespace {
+
+/// Reflected CRC-32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  // tables[0] is the classic byte-at-a-time table; tables[1..3] fold the
+  // remaining bytes of a 32-bit word so the hot loop eats 4 bytes per step.
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+};
+
+Tables build_tables() {
+  Tables tables;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    tables.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tables.t[0][i];
+    for (std::size_t slice = 1; slice < 4; ++slice) {
+      crc = tables.t[0][crc & 0xFFu] ^ (crc >> 8);
+      tables.t[slice][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const Tables& tables() {
+  static const Tables instance = build_tables();
+  return instance;
+}
+
+std::uint32_t update(std::uint32_t crc, const unsigned char* p,
+                     std::size_t size) noexcept {
+  const Tables& tb = tables();
+  while (size >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = tb.t[3][crc & 0xFFu] ^ tb.t[2][(crc >> 8) & 0xFFu] ^
+          tb.t[1][(crc >> 16) & 0xFFu] ^ tb.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size) noexcept {
+  return crc32c_extend(0, data, size);
+}
+
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                            std::size_t size) noexcept {
+  return ~update(~crc, static_cast<const unsigned char*>(data), size);
+}
+
+}  // namespace powerapi::util

@@ -1,0 +1,71 @@
+// LEB128 variable-length integers + ZigZag signed mapping — the packing
+// primitive of the telemetry wire format (net/wire.h).
+//
+// Unsigned values encode little-endian base-128, 7 bits per byte, high bit
+// as the continuation flag: values < 128 cost one byte, and the pipeline's
+// common quantities (dictionary ids, record counts, small pids, delta
+// timestamps at a fixed period) stay in 1–3 bytes. Signed values go through
+// ZigZag first so small negatives stay small. Header-only: every function
+// is a few instructions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace powerapi::util {
+
+/// Longest encoding of a uint64: ceil(64 / 7) bytes.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Appends the LEB128 encoding of `value` to `out`.
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80u) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Decodes a LEB128 value from `data[0..size)`. Returns the number of bytes
+/// consumed, or 0 when the input is truncated or overlong (> 10 bytes /
+/// bits beyond 64 set) — a malformed-frame signal, never UB.
+inline std::size_t get_varint(const std::uint8_t* data, std::size_t size,
+                              std::uint64_t& value) noexcept {
+  std::uint64_t result = 0;
+  for (std::size_t i = 0; i < size && i < kMaxVarintBytes; ++i) {
+    const std::uint8_t byte = data[i];
+    if (i == kMaxVarintBytes - 1 && (byte & ~0x01u) != 0) return 0;  // > 64 bits.
+    result |= static_cast<std::uint64_t>(byte & 0x7Fu) << (7 * i);
+    if ((byte & 0x80u) == 0) {
+      value = result;
+      return i + 1;
+    }
+  }
+  return 0;  // Ran out of input mid-value (or 10 continuation bytes).
+}
+
+/// ZigZag: maps signed to unsigned so small-magnitude values (of either
+/// sign) get short varints: 0→0, -1→1, 1→2, -2→3, ...
+inline constexpr std::uint64_t zigzag_encode(std::int64_t value) noexcept {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+inline constexpr std::int64_t zigzag_decode(std::uint64_t value) noexcept {
+  return static_cast<std::int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+inline void put_varint_signed(std::vector<std::uint8_t>& out, std::int64_t value) {
+  put_varint(out, zigzag_encode(value));
+}
+
+inline std::size_t get_varint_signed(const std::uint8_t* data, std::size_t size,
+                                     std::int64_t& value) noexcept {
+  std::uint64_t raw = 0;
+  const std::size_t used = get_varint(data, size, raw);
+  if (used != 0) value = zigzag_decode(raw);
+  return used;
+}
+
+}  // namespace powerapi::util

@@ -178,6 +178,46 @@ TEST(ModelIo, V1FilesStillLoadButMayNotUseDiagnostics) {
   EXPECT_FALSE(v1_with_r2.ok());
 }
 
+TEST(ModelIo, SavedFilesCarryAChecksumFooter) {
+  const std::string text = model_to_string(paper_model());
+  // Last line is "# crc32c XXXXXXXX".
+  const std::size_t footer_at = text.rfind("# crc32c ");
+  ASSERT_NE(footer_at, std::string::npos);
+  EXPECT_EQ(text.find('\n', footer_at), text.size() - 1);  // Footer is last.
+  ASSERT_TRUE(model_from_string(text).ok());
+}
+
+TEST(ModelIo, CorruptedFileFailsChecksum) {
+  std::string text = model_to_string(paper_model());
+  // Flip one digit of the idle power: content no longer matches the footer.
+  const std::size_t idle_at = text.find("idle 31.48");
+  ASSERT_NE(idle_at, std::string::npos);
+  text[idle_at + 5] = '4';
+  const auto parsed = model_from_string(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error_message().find("checksum mismatch"), std::string::npos);
+}
+
+TEST(ModelIo, MalformedChecksumFooterRejected) {
+  std::string text = model_to_string(paper_model());
+  const std::size_t footer_at = text.rfind("# crc32c ");
+  ASSERT_NE(footer_at, std::string::npos);
+  // Truncate the hex digits: a present footer must be well-formed.
+  std::string truncated = text.substr(0, footer_at) + "# crc32c 12ab\n";
+  const auto parsed = model_from_string(truncated);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error_message().find("malformed crc32c footer"),
+            std::string::npos);
+}
+
+TEST(ModelIo, FilesWithoutFooterLoadUnchecked) {
+  // v1 files and hand-written files never carry a footer; they still load.
+  const auto parsed = model_from_string(
+      "powerapi-model v2\nidle 30\nfrequency 1e9\ninstructions 2e-9\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  EXPECT_DOUBLE_EQ(parsed.value().idle_watts(), 30.0);
+}
+
 // --- Trainer (reduced grid for speed) ---
 
 TrainerOptions quick_options() {

@@ -4,10 +4,13 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
 
+#include "util/arg_parser.h"
 #include "util/clock.h"
+#include "util/crc32c.h"
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/result.h"
@@ -16,6 +19,7 @@
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/units.h"
+#include "util/varint.h"
 
 namespace powerapi::util {
 namespace {
@@ -427,6 +431,230 @@ TEST(Logging, ConcurrentSinkSwapAndLogDoNotRace) {
 
   // Every message reached exactly one of the two sinks.
   EXPECT_EQ(count_a->load() + count_b->load(), kThreads * kPerThread);
+}
+
+// --- crc32c ---
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 / common test vectors for CRC-32C (Castagnoli).
+  EXPECT_EQ(crc32c("", 0), 0u);
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+  unsigned char ascending[32];
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<unsigned char>(i);
+  EXPECT_EQ(crc32c(ascending, sizeof(ascending)), 0x46DD794Eu);
+  const unsigned char zeros[32] = {};
+  EXPECT_EQ(crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+}
+
+TEST(Crc32c, ExtendComposesAcrossChunks) {
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32c(text.data(), text.size());
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    std::uint32_t crc = crc32c(text.data(), split);
+    crc = crc32c_extend(crc, text.data() + split, text.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::string data = "sensor payload 1234567890";
+  const std::uint32_t good = crc32c(data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+      EXPECT_NE(crc32c(data.data(), data.size()), good);
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+    }
+  }
+}
+
+// --- varint ---
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {
+      0,       1,      127,        128,        16383,    16384,
+      2097151, 2097152, 0xFFFFFFFFull, 0x100000000ull,
+      0x7FFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull};
+  for (const std::uint64_t v : values) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, v);
+    EXPECT_LE(buf.size(), kMaxVarintBytes);
+    std::uint64_t out = 0;
+    EXPECT_EQ(get_varint(buf.data(), buf.size(), out), buf.size()) << v;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Varint, EncodedSizeGrowsAtSevenBitBoundaries) {
+  std::vector<std::uint8_t> one, two;
+  put_varint(one, 127);
+  put_varint(two, 128);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(two.size(), 2u);
+}
+
+TEST(Varint, TruncatedInputRejected) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 0xFFFFFFFFFFFFFFFFull);
+  std::uint64_t out = 0;
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    EXPECT_EQ(get_varint(buf.data(), len, out), 0u) << "len " << len;
+  }
+}
+
+TEST(Varint, OverlongTenthByteRejected) {
+  // Ten continuation-heavy bytes whose 10th carries bits beyond 2^64.
+  const std::uint8_t overlong[10] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                     0xFF, 0xFF, 0xFF, 0xFF, 0x02};
+  std::uint64_t out = 0;
+  EXPECT_EQ(get_varint(overlong, sizeof(overlong), out), 0u);
+}
+
+TEST(Varint, ZigzagMapsSignAlternately) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  const std::int64_t values[] = {0, -1, 1, 1234567, -1234567,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (const std::int64_t v : values) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+    std::vector<std::uint8_t> buf;
+    put_varint_signed(buf, v);
+    std::int64_t out = 0;
+    EXPECT_EQ(get_varint_signed(buf.data(), buf.size(), out), buf.size());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Varint, SmallDeltasStaySmall) {
+  // The wire format's timestamp deltas: a fixed period must encode tiny.
+  std::vector<std::uint8_t> buf;
+  put_varint_signed(buf, 250);  // 250ms period in some unit.
+  EXPECT_LE(buf.size(), 2u);
+}
+
+// --- ArgParser ---
+
+namespace {
+
+/// Builds a mutable argv from string literals; keeps storage alive.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (auto& arg : storage) ptrs.push_back(arg.data());
+    ptrs.push_back(nullptr);
+    argc = static_cast<int>(storage.size());
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc = 0;
+  char** argv() { return ptrs.data(); }
+};
+
+}  // namespace
+
+TEST(ArgParser, ParsesAllKindsAndStripsThem) {
+  bool flag = false;
+  std::int64_t count = 1;
+  std::size_t size = 2;
+  double ratio = 0.5;
+  std::string name = "default";
+  ArgParser parser("prog", "test");
+  parser.add_flag("verbose", &flag, "");
+  parser.add_int64("count", &count, "");
+  parser.add_size("size", &size, "");
+  parser.add_double("ratio", &ratio, "");
+  parser.add_string("name", &name, "");
+
+  Argv args({"prog", "--verbose", "--count", "-3", "--size=42", "positional",
+             "--ratio", "0.25", "--name=x"});
+  const auto exit_code = parser.parse(args.argc, args.argv());
+  EXPECT_FALSE(exit_code.has_value());
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(count, -3);
+  EXPECT_EQ(size, 42u);
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+  EXPECT_EQ(name, "x");
+  // Recognized options were consumed; positionals remain in order.
+  ASSERT_EQ(args.argc, 2);
+  EXPECT_STREQ(args.argv()[0], "prog");
+  EXPECT_STREQ(args.argv()[1], "positional");
+  EXPECT_EQ(args.argv()[2], nullptr);
+}
+
+TEST(ArgParser, HelpReturnsZeroAndListsOptions) {
+  std::int64_t hosts = 8;
+  ArgParser parser("prog", "a description");
+  parser.add_int64("hosts", &hosts, "host count");
+  Argv args({"prog", "--help"});
+  testing::internal::CaptureStdout();
+  const auto exit_code = parser.parse(args.argc, args.argv());
+  const std::string help = testing::internal::GetCapturedStdout();
+  ASSERT_TRUE(exit_code.has_value());
+  EXPECT_EQ(*exit_code, 0);
+  EXPECT_NE(help.find("--hosts"), std::string::npos);
+  EXPECT_NE(help.find("default: 8"), std::string::npos);
+  EXPECT_NE(help.find("a description"), std::string::npos);
+  EXPECT_NE(help.find("--log-level"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsUnknownAndMalformed) {
+  std::int64_t n = 0;
+  {
+    ArgParser parser("prog", "");
+    parser.add_int64("n", &n, "");
+    Argv args({"prog", "--bogus"});
+    testing::internal::CaptureStderr();
+    const auto exit_code = parser.parse(args.argc, args.argv());
+    testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(exit_code.has_value());
+    EXPECT_EQ(*exit_code, 2);
+  }
+  {
+    ArgParser parser("prog", "");
+    parser.add_int64("n", &n, "");
+    Argv args({"prog", "--n", "not-a-number"});
+    testing::internal::CaptureStderr();
+    const auto exit_code = parser.parse(args.argc, args.argv());
+    testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(exit_code.has_value());
+    EXPECT_EQ(*exit_code, 2);
+  }
+  {
+    // Missing value at end of argv.
+    ArgParser parser("prog", "");
+    parser.add_int64("n", &n, "");
+    Argv args({"prog", "--n"});
+    testing::internal::CaptureStderr();
+    const auto exit_code = parser.parse(args.argc, args.argv());
+    testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(exit_code.has_value());
+    EXPECT_EQ(*exit_code, 2);
+  }
+}
+
+TEST(ArgParser, IntKindsRejectNonIntegralAndNegativeSizes) {
+  std::int64_t n = 0;
+  std::size_t s = 0;
+  {
+    ArgParser parser("prog", "");
+    parser.add_int64("n", &n, "");
+    Argv args({"prog", "--n=1.5"});
+    testing::internal::CaptureStderr();
+    const auto exit_code = parser.parse(args.argc, args.argv());
+    testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(exit_code.has_value());
+  }
+  {
+    ArgParser parser("prog", "");
+    parser.add_size("s", &s, "");
+    Argv args({"prog", "--s=-4"});
+    testing::internal::CaptureStderr();
+    const auto exit_code = parser.parse(args.argc, args.argv());
+    testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(exit_code.has_value());
+  }
 }
 
 }  // namespace
