@@ -1,0 +1,144 @@
+// Experiment O5 — SoA hot-path kernels in isolation. bench_pipeline
+// measures the end-to-end fleet tick; this binary pins the two kernels the
+// refactor vectorized — feature extraction (counter deltas → rate lanes)
+// and per-frequency model evaluation (coefficient × lane sweep) — against
+// their scalar per-row equivalents at 1, 8 and 64 targets, so a silent
+// de-vectorization shows up as a batch-vs-scalar ratio collapse in the
+// BENCH_features.json sidecar.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gbench_json.h"
+#include "model/feature_matrix.h"
+#include "model/power_model.h"
+#include "simcpu/counter_lanes.h"
+#include "util/units.h"
+
+using namespace powerapi;
+
+namespace {
+
+constexpr double kFreq = 3.3e9;
+constexpr std::size_t kHwThreads = 4;
+
+/// Deterministic cumulative counters with per-row/per-lane spread.
+void fill_lanes(simcpu::CounterLanes& prev, simcpu::CounterLanes& cur,
+                std::size_t rows) {
+  prev.resize(rows);
+  cur.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t l = 0; l < simcpu::CounterLanes::kLanes; ++l) {
+      prev.lane(l)[r] = 1'000'000 + l * 977 + r * 131071;
+      cur.lane(l)[r] = prev.lane(l)[r] + 40'000 + l * 311 + r * 701;
+    }
+    prev.cpu_time()[r] = static_cast<std::int64_t>(r) * 1'000'000;
+    cur.cpu_time()[r] = prev.cpu_time()[r] + 500'000;
+    cur.live()[r] = 1;
+  }
+}
+
+model::CpuPowerModel eval_model() {
+  model::FrequencyFormula f;
+  f.frequency_hz = kFreq;
+  f.events = {hpc::EventId::kInstructions, hpc::EventId::kCacheReferences,
+              hpc::EventId::kCacheMisses};
+  f.coefficients = {2.2e-9, 2.5e-8, 1.9e-7};
+  return model::CpuPowerModel(31.48, {f});
+}
+
+// --- Feature extraction: scalar per-row vs batched lanes ---
+
+void BM_ExtractFeatures_Scalar(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  simcpu::CounterLanes prev, cur;
+  fill_lanes(prev, cur, rows);
+  const double window = 0.01;
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      hpc::EventValues delta;
+      for (hpc::EventId id : hpc::all_events()) {
+        const auto l = static_cast<std::size_t>(id);
+        delta[id] = cur.lane(l)[r] - prev.lane(l)[r];
+      }
+      const std::uint64_t smt = cur.lane(simcpu::CounterLanes::kSmtLane)[r] -
+                                prev.lane(simcpu::CounterLanes::kSmtLane)[r];
+      model::FeatureVector features = model::extract_features(delta, smt, window, kFreq);
+      features.utilization =
+          r == 0 ? model::machine_utilization(features.rates, kFreq, kHwThreads)
+                 : util::ns_to_seconds(cur.cpu_time()[r] - prev.cpu_time()[r]) / window;
+      benchmark::DoNotOptimize(features);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_ExtractFeatures_Scalar)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ExtractFeatures_Batch(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  simcpu::CounterLanes prev, cur;
+  fill_lanes(prev, cur, rows);
+  std::vector<double> windows(rows, 0.01);
+  model::FeatureMatrix out;
+  out.frequency_hz = kFreq;
+  out.resize(rows);
+  for (std::size_t r = 1; r < rows; ++r) out.pids()[r] = static_cast<std::int64_t>(r);
+  out.pids()[0] = -1;
+  for (auto _ : state) {
+    model::extract_features_rows(cur, prev, windows.data(), kHwThreads, out);
+    benchmark::DoNotOptimize(out.lane(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_ExtractFeatures_Batch)->Arg(1)->Arg(8)->Arg(64);
+
+// --- Model evaluation: per-row dot product vs coefficient-lane sweep ---
+
+void prepare_features(model::FeatureMatrix& features, std::size_t rows) {
+  simcpu::CounterLanes prev, cur;
+  fill_lanes(prev, cur, rows);
+  std::vector<double> windows(rows, 0.01);
+  features.frequency_hz = kFreq;
+  features.resize(rows);
+  for (std::size_t r = 1; r < rows; ++r) features.pids()[r] = static_cast<std::int64_t>(r);
+  features.pids()[0] = -1;
+  model::extract_features_rows(cur, prev, windows.data(), kHwThreads, features);
+}
+
+void BM_ModelEval_Scalar(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  model::FeatureMatrix features;
+  prepare_features(features, rows);
+  const model::CpuPowerModel model = eval_model();
+  std::vector<model::FeatureVector> per_row(rows);
+  for (std::size_t r = 0; r < rows; ++r) per_row[r] = features.row(r);
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double watts = model.estimate_activity(per_row[r]);
+      benchmark::DoNotOptimize(watts);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_ModelEval_Scalar)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ModelEval_Batch(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  model::FeatureMatrix features;
+  prepare_features(features, rows);
+  const model::CpuPowerModel model = eval_model();
+  std::vector<double> watts(rows, 0.0);
+  for (auto _ : state) {
+    model.estimate_activity_rows(features, watts);
+    benchmark::DoNotOptimize(watts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_ModelEval_Batch)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return powerapi::benchx::run_benchmarks_with_json(argc, argv, "features");
+}

@@ -2,8 +2,9 @@
 // claims the actor middleware scales from one host to a rack on the
 // work-stealing dispatcher: this google-benchmark binary measures the cost
 // of advancing a whole fleet by one monitoring period (every host's sensor
-// read → formula → aggregation, concurrently) at 1, 8 and 32 hosts, in both
-// dispatcher modes, and emits BENCH_pipeline.json for the results pipeline.
+// read → formula → aggregation, concurrently) at 1, 8, 32 and 128 hosts, in
+// both dispatcher modes, and emits BENCH_pipeline.json for the results
+// pipeline.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -89,12 +90,22 @@ void fleet_tick_bench(benchmark::State& state, actors::ActorSystem::Mode mode,
 void BM_FleetTick_Threaded(benchmark::State& state) {
   fleet_tick_bench(state, actors::ActorSystem::Mode::kThreaded);
 }
-BENCHMARK(BM_FleetTick_Threaded)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FleetTick_Threaded)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_FleetTick_Manual(benchmark::State& state) {
   fleet_tick_bench(state, actors::ActorSystem::Mode::kManual);
 }
-BENCHMARK(BM_FleetTick_Manual)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FleetTick_Manual)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_FleetTick_Threaded_SharedModel(benchmark::State& state) {
   fleet_tick_bench(state, actors::ActorSystem::Mode::kThreaded,

@@ -4,22 +4,33 @@
 Usage:
     bench_diff.py CURRENT BASELINE [CURRENT BASELINE ...]
     bench_diff.py --current-dir build --baseline-dir bench/baselines
+    bench_diff.py CURRENT BASELINE --tolerance 'BM_FleetTick_Manual/128=0.30' \
+        --require-all
 
 Compares every metric shared by a current sidecar and its baseline and
 fails loudly (exit 1, per-metric report) when any regresses by more than
 the threshold (BENCH_DIFF_THRESHOLD env var, default 0.15 = 15 %).
+--tolerance KEY=FRACTION (repeatable; KEY may use fnmatch globs such as
+'BM_FleetTick_*/128') overrides the threshold per metric, so a noisy
+high-host-count configuration can run looser than the rest without
+loosening the whole gate — and a win at one key cannot hide behind a
+blanket threshold bump that would mask a regression at another.
 
 Regression direction is unit-aware: for "ns" (and any *seconds/*time
 unit) bigger is worse; for "items/s" (and any *…/s rate) smaller is worse.
-Metrics present on only one side are reported but never fail the diff, so
-adding or renaming benchmarks does not require touching baselines in the
-same commit. Machines differ; the threshold gates relative movement on one
-machine (CI runner vs its own committed baseline), not absolute numbers.
+Metrics present on only one side are reported but by default never fail
+the diff, so adding or renaming benchmarks does not require touching
+baselines in the same commit. --require-all hardens that: every baseline
+key must be present in the current sidecar (a dropped host-count
+configuration then fails instead of silently shrinking coverage).
+Machines differ; the threshold gates relative movement on one machine (CI
+runner vs its own committed baseline), not absolute numbers.
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import os
 import sys
@@ -43,7 +54,23 @@ def lower_is_better(unit: str) -> bool:
     return True
 
 
-def diff_pair(current_path: Path, baseline_path: Path, threshold: float) -> list[str]:
+def threshold_for(name: str, default: float, overrides: list[tuple[str, float]]) -> float:
+    """Last matching --tolerance override wins; fnmatch-style patterns."""
+    chosen = default
+    for pattern, value in overrides:
+        if name == pattern or fnmatch.fnmatchcase(name, pattern):
+            chosen = value
+    return chosen
+
+
+def diff_pair(
+    current_path: Path,
+    baseline_path: Path,
+    threshold: float,
+    overrides: list[tuple[str, float]] | None = None,
+    require_all: bool = False,
+) -> list[str]:
+    overrides = overrides or []
     current = load_metrics(current_path)
     if not baseline_path.exists():
         # A sidecar with no committed baseline is a new benchmark, not a
@@ -62,30 +89,38 @@ def diff_pair(current_path: Path, baseline_path: Path, threshold: float) -> list
             continue
         if name not in current:
             print(f"  REMOVED  {name} (baseline {baseline[name]['value']:.6g})")
+            if require_all:
+                failures.append(
+                    f"{current_path.name}:{name} missing from current sidecar "
+                    f"(--require-all: every baseline key must be measured)"
+                )
             continue
         cur, base = current[name], baseline[name]
         if base["value"] == 0:
             print(f"  SKIP     {name}: baseline is 0")
             continue
+        key_threshold = threshold_for(name, threshold, overrides)
         ratio = cur["value"] / base["value"]
         if lower_is_better(cur.get("unit", "ns")):
-            regressed = ratio > 1.0 + threshold
+            regressed = ratio > 1.0 + key_threshold
             change = ratio - 1.0
         else:
-            regressed = ratio < 1.0 - threshold
+            regressed = ratio < 1.0 - key_threshold
             change = 1.0 - ratio
         verdict = "REGRESSED" if regressed else "ok"
+        suffix = f" [tol {key_threshold:.0%}]" if key_threshold != threshold else ""
         print(
             f"  {verdict:9} {name}: {base['value']:.6g} -> {cur['value']:.6g} "
-            f"{cur.get('unit', '')} ({change:+.1%} worse)"
+            f"{cur.get('unit', '')} ({change:+.1%} worse){suffix}"
             if regressed
             else f"  {verdict:9} {name}: {base['value']:.6g} -> {cur['value']:.6g} "
-            f"{cur.get('unit', '')}"
+            f"{cur.get('unit', '')}{suffix}"
         )
         if regressed:
             failures.append(
                 f"{current_path.name}:{name} regressed {change:+.1%} "
-                f"({base['value']:.6g} -> {cur['value']:.6g} {cur.get('unit', '')})"
+                f"({base['value']:.6g} -> {cur['value']:.6g} {cur.get('unit', '')}, "
+                f"tolerance {key_threshold:.0%})"
             )
     return failures
 
@@ -97,9 +132,32 @@ def main() -> int:
     parser.add_argument(
         "--baseline-dir", help="directory holding committed BENCH_*.json baselines"
     )
+    parser.add_argument(
+        "--tolerance",
+        action="append",
+        default=[],
+        metavar="KEY=FRACTION",
+        help="per-metric threshold override, e.g. 'BM_FleetTick_Manual/128=0.30'; "
+        "KEY may be an fnmatch glob; repeatable, last match wins",
+    )
+    parser.add_argument(
+        "--require-all",
+        action="store_true",
+        help="fail when a baseline key is missing from the current sidecar "
+        "(compare every host-count key, not just the shared ones)",
+    )
     args = parser.parse_args()
 
     threshold = float(os.environ.get("BENCH_DIFF_THRESHOLD", "0.15"))
+    overrides: list[tuple[str, float]] = []
+    for spec in args.tolerance:
+        key, sep, value = spec.rpartition("=")
+        if not sep or not key:
+            parser.error(f"--tolerance must be KEY=FRACTION, got {spec!r}")
+        try:
+            overrides.append((key, float(value)))
+        except ValueError:
+            parser.error(f"--tolerance fraction must be a number, got {spec!r}")
 
     pairs: list[tuple[Path, Path]] = []
     if args.current_dir and args.baseline_dir:
@@ -127,7 +185,7 @@ def main() -> int:
 
     failures: list[str] = []
     for current, baseline in pairs:
-        failures.extend(diff_pair(current, baseline, threshold))
+        failures.extend(diff_pair(current, baseline, threshold, overrides, args.require_all))
 
     if failures:
         print(f"\nFAIL: {len(failures)} metric(s) regressed past {threshold:.0%}:")

@@ -1,0 +1,28 @@
+#include "hpc/backend.h"
+
+namespace powerapi::hpc {
+
+bool CounterBackend::read_rows(std::span<const std::int64_t> pids,
+                               simcpu::CounterLanes& out) {
+  out.resize(pids.size());
+  for (std::size_t row = 0; row < pids.size(); ++row) {
+    const Target target = pids[row] < 0 ? Target::machine() : Target::process(pids[row]);
+    auto result = read(target);
+    if (!result.ok()) {
+      for (std::size_t l = 0; l < simcpu::CounterLanes::kLanes; ++l) out.lane(l)[row] = 0;
+      out.cpu_time()[row] = 0;
+      out.live()[row] = 0;
+      continue;
+    }
+    const EventValues& values = result.value();
+    for (std::size_t e = 0; e < kEventCount; ++e) {
+      out.lane(e)[row] = values[static_cast<EventId>(e)];
+    }
+    out.lane(simcpu::CounterLanes::kSmtLane)[row] = 0;
+    out.cpu_time()[row] = 0;
+    out.live()[row] = 1;
+  }
+  return false;
+}
+
+}  // namespace powerapi::hpc

@@ -18,6 +18,9 @@ class SimBackend final : public CounterBackend {
   std::string name() const override { return "sim"; }
   bool supports(EventId) const override { return true; }
   util::Result<EventValues> read(Target target) override;
+  /// Delegates to the host's batch gather, which fills the SMT and cpu_time
+  /// side lanes too — so this returns true (extended lanes valid).
+  bool read_rows(std::span<const std::int64_t> pids, simcpu::CounterLanes& out) override;
 
  private:
   const os::MonitorableHost* host_;

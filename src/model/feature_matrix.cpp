@@ -1,0 +1,41 @@
+#include "model/feature_matrix.h"
+
+#include "mathx/kernels.h"
+#include "util/units.h"
+
+namespace powerapi::model {
+
+void extract_features_rows(const simcpu::CounterLanes& cur, const simcpu::CounterLanes& prev,
+                           const double* window_seconds, std::size_t hw_threads,
+                           FeatureMatrix& out) {
+  const std::size_t n = out.rows();
+
+  for (std::size_t e = 0; e < hpc::kEventCount; ++e) {
+    mathx::saturating_delta_rate(cur.lane(e), prev.lane(e), window_seconds, out.lane(e), n);
+  }
+  mathx::saturating_delta_rate(cur.lane(simcpu::CounterLanes::kSmtLane),
+                               prev.lane(simcpu::CounterLanes::kSmtLane), window_seconds,
+                               out.lane(FeatureMatrix::kSmtLane), n);
+
+  double* window_lane = out.lane(FeatureMatrix::kWindowLane);
+  for (std::size_t i = 0; i < n; ++i) window_lane[i] = window_seconds[i];
+
+  // Utilization, process form first: cpu-time share of the window. The
+  // cpu_time delta is a plain subtraction — the sensor's regression guard
+  // re-primes rows whose accounting went backwards before extraction runs.
+  double* util_lane = out.lane(FeatureMatrix::kUtilizationLane);
+  const std::int64_t* cur_time = cur.cpu_time();
+  const std::int64_t* prev_time = prev.cpu_time();
+  for (std::size_t i = 0; i < n; ++i) {
+    util_lane[i] = util::ns_to_seconds(cur_time[i] - prev_time[i]) / window_seconds[i];
+  }
+
+  // Machine rows (pid < 0) use busy-over-available cycles instead.
+  const double denominator = out.frequency_hz * static_cast<double>(hw_threads);
+  const double* cycles = out.rate_lane(hpc::EventId::kCycles);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.pid(i) < 0) util_lane[i] = cycles[i] / denominator;
+  }
+}
+
+}  // namespace powerapi::model

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mathx/kernels.h"
 #include "util/units.h"
 
 namespace powerapi::model {
@@ -48,6 +49,20 @@ double CpuPowerModel::estimate_activity(double hz, const EventRates& rates) cons
   const FrequencyFormula* f = formula_for(hz);
   if (f == nullptr) throw std::logic_error("CpuPowerModel: empty model");
   return f->estimate(rates);
+}
+
+void CpuPowerModel::estimate_activity_rows(const FeatureMatrix& features,
+                                           std::span<double> watts) const {
+  if (watts.size() != features.rows()) {
+    throw std::invalid_argument("estimate_activity_rows: output size mismatch");
+  }
+  const FrequencyFormula* f = formula_for(features.frequency_hz);
+  if (f == nullptr) throw std::logic_error("CpuPowerModel: empty model");
+  const std::size_t n = features.rows();
+  mathx::fill(watts.data(), 0.0, n);
+  for (std::size_t i = 0; i < f->events.size(); ++i) {
+    mathx::axpy(f->coefficients[i], features.rate_lane(f->events[i]), watts.data(), n);
+  }
 }
 
 std::size_t CpuPowerModel::memory_footprint_bytes() const noexcept {

@@ -13,10 +13,12 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "hpc/events.h"
+#include "model/feature_matrix.h"
 #include "model/sample.h"
 
 namespace powerapi::model {
@@ -46,6 +48,14 @@ class CpuPowerModel {
 
   /// Activity watts of one target (process or machine) at frequency `hz`.
   double estimate_activity(double hz, const EventRates& rates) const;
+
+  /// Batched activity estimate: one watt per matrix row, written to
+  /// `watts` (size must equal `features.rows()`). The frequency lookup is
+  /// hoisted out (one formula per batch — frequency_hz is per-tick) and the
+  /// formula is applied as a coefficient-ordered axpy sweep down the rate
+  /// lanes, which accumulates each row in exactly the scalar estimate()
+  /// order — results are bit-identical to per-row estimate_activity().
+  void estimate_activity_rows(const FeatureMatrix& features, std::span<double> watts) const;
 
   /// Machine power: idle + activity.
   double estimate_machine(double hz, const EventRates& rates) const {

@@ -1,0 +1,28 @@
+#include "os/monitorable_host.h"
+
+namespace powerapi::os {
+
+void MonitorableHost::gather_counter_lanes(std::span<const Pid> targets,
+                                           simcpu::CounterLanes& out) const {
+  out.resize(targets.size());
+  for (std::size_t row = 0; row < targets.size(); ++row) {
+    if (targets[row] < 0) {
+      out.store_block(row, machine_counters());
+      out.cpu_time()[row] = 0;
+      out.live()[row] = 1;
+      continue;
+    }
+    const auto stat = proc_stat(targets[row]);
+    if (!stat) {
+      out.store_block(row, simcpu::CounterBlock{});
+      out.cpu_time()[row] = 0;
+      out.live()[row] = 0;
+      continue;
+    }
+    out.store_block(row, stat->counters);
+    out.cpu_time()[row] = stat->cpu_time_ns;
+    out.live()[row] = 1;
+  }
+}
+
+}  // namespace powerapi::os

@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "simcpu/counter_lanes.h"
 #include "simcpu/counters.h"
 #include "util/units.h"
 
@@ -91,6 +93,17 @@ class MonitorableHost {
   /// Advances the host by `duration`. Simulated hosts run their kernel;
   /// a wall-clock host would sleep or no-op.
   virtual void advance(util::DurationNs duration) = 0;
+
+  // --- Batch counter gather (SoA hot path) ---
+  /// Fills one CounterLanes row per requested target: row i carries the
+  /// cumulative counters for `targets[i]`, where a negative pid means
+  /// machine scope. Side lanes: cpu_time (process rows; 0 for machine) and
+  /// live (0 when the target no longer exists — its lanes are left zeroed
+  /// and the caller must drop its sampling window). The base implementation
+  /// routes through proc_stat()/machine_counters(); hosts with a cheaper
+  /// internal path (the simulator's process table) override it.
+  virtual void gather_counter_lanes(std::span<const Pid> targets,
+                                    simcpu::CounterLanes& out) const;
 };
 
 }  // namespace powerapi::os

@@ -85,24 +85,26 @@ std::vector<Pid> System::pids() const {
   return out;
 }
 
-std::vector<Task*> System::runnable_tasks() {
-  std::vector<Task*> out;
+const std::vector<Task*>& System::runnable_tasks() {
+  runnable_scratch_.clear();
   for (auto& [pid, process] : processes_) {
     for (auto& task : process->tasks()) {
-      if (task->state() == RunState::kRunnable) out.push_back(task.get());
+      if (task->state() == RunState::kRunnable) runnable_scratch_.push_back(task.get());
     }
   }
-  return out;
+  return runnable_scratch_;
 }
 
 void System::tick() {
   const std::size_t slots_n = machine_.spec().hw_threads();
-  const auto runnable = runnable_tasks();
-  std::vector<Task*> slots(slots_n, nullptr);
+  const auto& runnable = runnable_tasks();
+  slots_scratch_.assign(slots_n, nullptr);
+  std::vector<Task*>& slots = slots_scratch_;
   scheduler_->assign(runnable, slots, machine_.spec());
 
   // Pull each placed task's demand; tasks may exit at this point.
-  std::vector<simcpu::ThreadWork> work(slots_n);
+  work_scratch_.assign(slots_n, simcpu::ThreadWork{});
+  std::vector<simcpu::ThreadWork>& work = work_scratch_;
   const util::TimestampNs now = clock_.now();
   for (std::size_t i = 0; i < slots_n; ++i) {
     Task* task = slots[i];
@@ -117,7 +119,7 @@ void System::tick() {
     work[i].profile = *profile;
   }
 
-  const auto result = machine_.tick(work, tick_ns_);
+  const auto& result = machine_.tick(work, tick_ns_);
 
   // Peripheral power: aggregate the scheduled tasks' IO demand, scaled by
   // each task's duty cycle within the tick.
@@ -199,6 +201,36 @@ std::optional<ProcStat> System::proc_stat(Pid pid) const {
     stat.attributed_energy_joules += task->attributed_energy_joules;
   }
   return stat;
+}
+
+void System::gather_counter_lanes(std::span<const Pid> targets,
+                                  simcpu::CounterLanes& out) const {
+  out.resize(targets.size());
+  for (std::size_t row = 0; row < targets.size(); ++row) {
+    if (targets[row] < 0) {
+      out.store_block(row, machine_.machine_counters());
+      out.cpu_time()[row] = 0;
+      out.live()[row] = 1;
+      continue;
+    }
+    const auto it = processes_.find(targets[row]);
+    if (it == processes_.end()) {
+      out.store_block(row, simcpu::CounterBlock{});
+      out.cpu_time()[row] = 0;
+      out.live()[row] = 0;
+      continue;
+    }
+    // Same accounting as proc_stat(), minus the string materialization.
+    simcpu::CounterBlock sum;
+    util::DurationNs cpu_time = 0;
+    for (const auto& task : it->second->tasks()) {
+      sum += task->counters;
+      cpu_time += task->cpu_time_ns;
+    }
+    out.store_block(row, sum);
+    out.cpu_time()[row] = cpu_time;
+    out.live()[row] = 1;
+  }
 }
 
 SystemStat System::system_stat() const {

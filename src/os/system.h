@@ -99,6 +99,10 @@ class System final : public MonitorableHost {
   }
 
   const IoTotals& io_totals() const noexcept override { return io_totals_; }
+  /// SoA fast path: sums task counters straight into the lanes, skipping
+  /// the name/group string copies a full ProcStat materializes.
+  void gather_counter_lanes(std::span<const Pid> targets,
+                            simcpu::CounterLanes& out) const override;
   const periph::DiskModel* disk() const noexcept override {
     return disk_ ? &*disk_ : nullptr;
   }
@@ -115,7 +119,7 @@ class System final : public MonitorableHost {
   void set_governor_enabled(bool enabled) noexcept { governor_enabled_ = enabled; }
 
  private:
-  std::vector<Task*> runnable_tasks();
+  const std::vector<Task*>& runnable_tasks();
 
   simcpu::Machine machine_;
   util::SimClock clock_;
@@ -129,6 +133,11 @@ class System final : public MonitorableHost {
   std::optional<periph::DiskModel> disk_;
   std::optional<periph::NicModel> nic_;
   IoTotals io_totals_;
+  // Per-tick scratch (reused across ticks so the kernel loop is
+  // allocation-free in steady state).
+  std::vector<Task*> runnable_scratch_;
+  std::vector<Task*> slots_scratch_;
+  std::vector<simcpu::ThreadWork> work_scratch_;
 };
 
 }  // namespace powerapi::os

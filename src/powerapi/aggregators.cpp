@@ -39,21 +39,61 @@ void Aggregator::emit_group_rows(const std::string& formula) {
   bucket.watts_by_group.clear();
 }
 
-void Aggregator::receive_group_dimension(const PowerEstimate& estimate) {
-  auto& bucket = pending_groups_[estimate.formula];
-  if (!bucket.watts_by_group.empty() && estimate.timestamp > bucket.timestamp) {
-    emit_group_rows(estimate.formula);
+void Aggregator::absorb(const std::string& formula, util::TimestampNs timestamp,
+                        std::int64_t pid, double watts, std::uint64_t seq,
+                        std::int64_t tick_wall_ns) {
+  if (dimension_ == AggregationDimension::kGroup) {
+    auto& bucket = pending_groups_[formula];
+    if (!bucket.watts_by_group.empty() && timestamp > bucket.timestamp) {
+      emit_group_rows(formula);
+    }
+    bucket.timestamp = timestamp;
+    bucket.seq = seq;
+    bucket.tick_wall_ns = tick_wall_ns;
+    std::string group;
+    if (pid == kMachinePid) {
+      group = "(machine)";
+    } else if (group_of_) {
+      group = group_of_(pid);
+    }
+    bucket.watts_by_group[group] += watts;
+    return;
   }
-  bucket.timestamp = estimate.timestamp;
-  bucket.seq = estimate.seq;
-  bucket.tick_wall_ns = estimate.tick_wall_ns;
-  std::string group;
-  if (estimate.pid == kMachinePid) {
-    group = "(machine)";
-  } else if (group_of_) {
-    group = group_of_(estimate.pid);
+
+  if (dimension_ == AggregationDimension::kPid) {
+    // Per-PID view: forward every row unchanged.
+    AggregatedPower out;
+    out.timestamp = timestamp;
+    out.pid = pid;
+    out.formula = formula;
+    out.watts = watts;
+    out.seq = seq;
+    bus_->publish(out_topic_, std::move(out), self());
+    stage_.count();
+    record_latency(tick_wall_ns);
+    return;
   }
-  bucket.watts_by_group[group] += estimate.watts;
+
+  auto it = pending_.find(formula);
+  if (it != pending_.end() && timestamp > it->second.timestamp) {
+    emit(formula, it->second);
+    pending_.erase(it);
+    it = pending_.end();
+  }
+  if (it == pending_.end()) {
+    Group group;
+    group.timestamp = timestamp;
+    group.seq = seq;
+    group.tick_wall_ns = tick_wall_ns;
+    it = pending_.emplace(formula, group).first;
+  }
+  Group& group = it->second;
+  if (pid == kMachinePid) {
+    group.has_machine_row = true;
+    group.machine_watts = watts;
+  } else {
+    group.sum_watts += watts;
+  }
 }
 
 void Aggregator::emit(const std::string& formula, const Group& group) {
@@ -71,49 +111,24 @@ void Aggregator::emit(const std::string& formula, const Group& group) {
 }
 
 void Aggregator::receive(actors::Envelope& envelope) {
+  // SoA hot path: one EstimateBatch carries a whole tick's rows; absorbing
+  // them front to back reproduces the scalar per-estimate message order.
+  if (const auto* batch = envelope.payload.get<EstimateBatch>()) {
+    if (!batch->features) return;
+    const auto span = stage_.span(name(), batch->seq);
+    const std::size_t rows = batch->features->rows();
+    for (std::size_t i = 0; i < rows && i < batch->watts.size(); ++i) {
+      absorb(batch->formula, batch->timestamp, batch->features->pid(i),
+             batch->watts[i], batch->seq, batch->tick_wall_ns);
+    }
+    return;
+  }
+
   const auto* estimate = envelope.payload.get<PowerEstimate>();
   if (estimate == nullptr) return;
   const auto span = stage_.span(name(), estimate->seq);
-
-  if (dimension_ == AggregationDimension::kGroup) {
-    receive_group_dimension(*estimate);
-    return;
-  }
-
-  if (dimension_ == AggregationDimension::kPid) {
-    // Per-PID view: forward every row unchanged.
-    AggregatedPower out;
-    out.timestamp = estimate->timestamp;
-    out.pid = estimate->pid;
-    out.formula = estimate->formula;
-    out.watts = estimate->watts;
-    out.seq = estimate->seq;
-    bus_->publish(out_topic_, std::move(out), self());
-    stage_.count();
-    record_latency(estimate->tick_wall_ns);
-    return;
-  }
-
-  auto it = pending_.find(estimate->formula);
-  if (it != pending_.end() && estimate->timestamp > it->second.timestamp) {
-    emit(estimate->formula, it->second);
-    pending_.erase(it);
-    it = pending_.end();
-  }
-  if (it == pending_.end()) {
-    Group group;
-    group.timestamp = estimate->timestamp;
-    group.seq = estimate->seq;
-    group.tick_wall_ns = estimate->tick_wall_ns;
-    it = pending_.emplace(estimate->formula, group).first;
-  }
-  Group& group = it->second;
-  if (estimate->pid == kMachinePid) {
-    group.has_machine_row = true;
-    group.machine_watts = estimate->watts;
-  } else {
-    group.sum_watts += estimate->watts;
-  }
+  absorb(estimate->formula, estimate->timestamp, estimate->pid, estimate->watts,
+         estimate->seq, estimate->tick_wall_ns);
 }
 
 void Aggregator::post_stop() {

@@ -52,7 +52,11 @@ class Aggregator final : public actors::Actor {
 
   void emit(const std::string& formula, const Group& group);
   void emit_group_rows(const std::string& formula);
-  void receive_group_dimension(const PowerEstimate& estimate);
+  /// One estimate row entering the dimension logic — shared by the scalar
+  /// PowerEstimate path and the row loop of an EstimateBatch (which absorbs
+  /// rows front to back, reproducing the scalar message order exactly).
+  void absorb(const std::string& formula, util::TimestampNs timestamp, std::int64_t pid,
+              double watts, std::uint64_t seq, std::int64_t tick_wall_ns);
   void record_latency(std::int64_t tick_wall_ns);
 
   actors::EventBus* bus_;

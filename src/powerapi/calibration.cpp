@@ -36,6 +36,22 @@ CalibrationActor::CalibrationActor(actors::EventBus& bus,
 }
 
 void CalibrationActor::receive(actors::Envelope& envelope) {
+  // SoA hot path: the HPC sensor publishes one SensorBatch per tick; only
+  // its machine row matters for calibration, gathered back into the scalar
+  // feature struct the accumulators take.
+  if (const auto* batch = envelope.payload.get<SensorBatch>()) {
+    if (batch->sensor != SensorKind::kHpc || !batch->features) return;
+    for (std::size_t i = 0; i < batch->features->rows(); ++i) {
+      if (batch->features->pid(i) >= 0) continue;
+      Pending& entry = pending_[batch->timestamp];
+      entry.features = batch->features->row(i);
+      complete_if_paired(batch->timestamp, entry);
+      break;
+    }
+    while (pending_.size() > kMaxPending) pending_.erase(pending_.begin());
+    return;
+  }
+
   const auto* report = envelope.payload.get<SensorReport>();
   if (report == nullptr || report->pid != kMachinePid) return;
 
@@ -54,16 +70,18 @@ void CalibrationActor::receive(actors::Envelope& envelope) {
       return;
   }
 
-  if (entry->features && entry->measured_watts) {
-    const model::FeatureVector features = *entry->features;
-    const double watts = *entry->measured_watts;
-    const util::TimestampNs timestamp = report->timestamp;
-    // Everything at or before a completed pair is done: sensors publish per
-    // tick, and ticks drain in order in both dispatcher modes.
-    pending_.erase(pending_.begin(), pending_.upper_bound(timestamp));
-    on_pair(timestamp, features, watts);
-  }
+  complete_if_paired(report->timestamp, *entry);
   while (pending_.size() > kMaxPending) pending_.erase(pending_.begin());
+}
+
+void CalibrationActor::complete_if_paired(util::TimestampNs timestamp, Pending& entry) {
+  if (!entry.features || !entry.measured_watts) return;
+  const model::FeatureVector features = *entry.features;
+  const double watts = *entry.measured_watts;
+  // Everything at or before a completed pair is done: sensors publish per
+  // tick, and ticks drain in order in both dispatcher modes.
+  pending_.erase(pending_.begin(), pending_.upper_bound(timestamp));
+  on_pair(timestamp, features, watts);
 }
 
 void CalibrationActor::on_pair(util::TimestampNs timestamp,

@@ -96,6 +96,9 @@ class CalibrationActor final : public actors::Actor {
     return static_cast<std::int64_t>(hz / 1e6 + 0.5);
   }
 
+  /// If the pending entry at `timestamp` now has both halves, erases every
+  /// pending entry at or before it and feeds the pair to on_pair.
+  void complete_if_paired(util::TimestampNs timestamp, Pending& entry);
   void on_pair(util::TimestampNs timestamp, const model::FeatureVector& features,
                double measured_watts);
   void refit(util::TimestampNs timestamp, const model::FeatureVector& latest);

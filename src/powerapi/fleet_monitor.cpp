@@ -12,24 +12,31 @@ namespace powerapi::api {
 
 namespace {
 
-/// Advances one host and fires its due monitor ticks. The only writer of
-/// its host: the single-threaded receive guarantee makes host advancement
-/// race-free even on the work-stealing dispatcher.
-class HostAgent final : public actors::Actor {
+/// Advances a chunk of hosts and fires their due monitor ticks, in host
+/// order. The only writer of its hosts: the single-threaded receive
+/// guarantee makes host advancement race-free even on the work-stealing
+/// dispatcher, and one AdvanceHost per chunk (instead of per host) amortizes
+/// mailbox/steal overhead across hosts_per_chunk hosts.
+class ChunkAgent final : public actors::Actor {
  public:
-  HostAgent(os::MonitorableHost& host, Pipeline& pipeline)
-      : host_(&host), pipeline_(&pipeline) {}
+  struct HostSlot {
+    os::MonitorableHost* host = nullptr;
+    Pipeline* pipeline = nullptr;
+  };
+
+  explicit ChunkAgent(std::vector<HostSlot> slots) : slots_(std::move(slots)) {}
 
   void receive(actors::Envelope& envelope) override {
     const AdvanceHost* cmd = envelope.payload.get<AdvanceHost>();
     if (cmd == nullptr) return;
-    host_->advance(cmd->duration);
-    pipeline_->publish_due_ticks();
+    for (const HostSlot& slot : slots_) {
+      slot.host->advance(cmd->duration);
+      slot.pipeline->publish_due_ticks();
+    }
   }
 
  private:
-  os::MonitorableHost* host_;
-  Pipeline* pipeline_;
+  std::vector<HostSlot> slots_;
 };
 
 }  // namespace
@@ -66,8 +73,6 @@ std::size_t FleetMonitor::add_host(os::MonitorableHost& host, PipelineSpec spec)
   }
   PipelineBuilder builder(actors_, bus_);
   entry->pipeline = builder.build(host, std::move(spec), "h" + std::to_string(index) + "/");
-  entry->agent = actors_.spawn_as<HostAgent>("h" + std::to_string(index) + "/agent",
-                                             host, *entry->pipeline);
   if (options_.fleet_aggregation) {
     bus_.subscribe(entry->pipeline->aggregated_topic(), fleet_aggregator_);
   }
@@ -149,9 +154,37 @@ void FleetMonitor::settle() {
   }
 }
 
+void FleetMonitor::ensure_chunk_agents() {
+  if (chunked_hosts_ == entries_.size()) return;
+  // Host count changed since the last build: retire the old generation and
+  // spawn fresh agents over the new host set (the generation counter keeps
+  // actor names unique across rebuilds).
+  if (!chunk_agents_.empty()) {
+    for (const auto& agent : chunk_agents_) actors_.stop(agent);
+    chunk_agents_.clear();
+    settle();
+  }
+  ++chunk_generation_;
+  const std::size_t per_chunk = std::max<std::size_t>(options_.hosts_per_chunk, 1);
+  for (std::size_t begin = 0; begin < entries_.size(); begin += per_chunk) {
+    const std::size_t end = std::min(begin + per_chunk, entries_.size());
+    std::vector<ChunkAgent::HostSlot> slots;
+    slots.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      slots.push_back({entries_[i]->host, entries_[i]->pipeline.get()});
+    }
+    chunk_agents_.push_back(actors_.spawn_as<ChunkAgent>(
+        "chunk" + std::to_string(chunk_generation_) + "/" +
+            std::to_string(begin / per_chunk) + "/agent",
+        std::move(slots)));
+  }
+  chunked_hosts_ = entries_.size();
+}
+
 void FleetMonitor::run_for(util::DurationNs duration) {
   if (finished_) throw std::logic_error("FleetMonitor::run_for after finish()");
   if (entries_.empty() || duration <= 0) return;
+  ensure_chunk_agents();
   // Chunk at the smallest monitoring period so no host's ticks coalesce
   // beyond what its own PowerMeter-equivalent run would produce.
   util::DurationNs chunk = entries_.front()->pipeline->ticker().period();
@@ -161,8 +194,8 @@ void FleetMonitor::run_for(util::DurationNs duration) {
   util::DurationNs advanced = 0;
   while (advanced < duration) {
     const util::DurationNs step = std::min(chunk, duration - advanced);
-    for (const auto& entry : entries_) {
-      actors_.tell(entry->agent, actors::Payload(AdvanceHost{step}));
+    for (const auto& agent : chunk_agents_) {
+      actors_.tell(agent, actors::Payload(AdvanceHost{step}));
     }
     settle();  // Barrier: every host advanced, every pipeline drained.
     advanced += step;

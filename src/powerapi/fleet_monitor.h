@@ -1,11 +1,13 @@
 // FleetMonitor: one actor system monitoring N hosts concurrently.
 //
-// Each host gets its own pipeline under topic namespace "h<i>/" plus a
-// HostAgent actor that advances the host's clock and fires its monitor
-// ticks. run_for() sends every agent an AdvanceHost command per chunk and
-// barriers on the actor system, so on the threaded work-stealing dispatcher
-// all hosts advance — and all their pipelines process — in parallel, while
-// each host is only ever touched by its own actors (no locks needed).
+// Each host gets its own pipeline under topic namespace "h<i>/". Hosts are
+// grouped into chunks of Options.hosts_per_chunk, each owned by one
+// ChunkAgent actor that advances its hosts' clocks and fires their monitor
+// ticks in host order. run_for() sends every chunk agent an AdvanceHost
+// command per time step and barriers on the actor system, so on the
+// threaded work-stealing dispatcher each steal advances a whole host-chunk
+// — amortizing dispatch overhead across hosts — while each host is only
+// ever touched by its own chunk's actor (no locks needed).
 // kManual mode runs the identical graph deterministically for tests; a
 // host's series is bit-for-bit the same as a standalone kManual PowerMeter
 // over an identically constructed host.
@@ -46,6 +48,10 @@ class FleetMonitor {
     /// and the monitor's own CPU/power accounting, exportable via
     /// add_metrics_reporter() and write_chrome_trace().
     bool with_observability = false;
+    /// Hosts advanced per ChunkAgent (and so per dispatcher steal). Larger
+    /// chunks amortize per-message overhead; smaller chunks expose more
+    /// parallelism to threaded workers. 0 is clamped to 1.
+    std::size_t hosts_per_chunk = 8;
   };
 
   FleetMonitor() : FleetMonitor(Options{}) {}
@@ -107,11 +113,14 @@ class FleetMonitor {
   struct HostEntry {
     os::MonitorableHost* host = nullptr;
     std::unique_ptr<Pipeline> pipeline;
-    actors::ActorRef agent;
   };
 
   /// Blocks/drains until the system is quiescent (mode-appropriate).
   void settle();
+  /// (Re)builds the chunk agents lazily: called at run_for, and a no-op
+  /// unless the host count changed since the last build. A change stops the
+  /// old generation of agents and spawns a fresh one over the new host set.
+  void ensure_chunk_agents();
 
   Options options_;
   /// Declared before actors_/bus_: both unregister from it on destruction.
@@ -122,6 +131,9 @@ class FleetMonitor {
   std::vector<std::unique_ptr<HostEntry>> entries_;
   std::shared_ptr<std::size_t> host_count_;  ///< Read by the FleetAggregator.
   actors::ActorRef fleet_aggregator_;
+  std::vector<actors::ActorRef> chunk_agents_;
+  std::size_t chunked_hosts_ = 0;      ///< Host count the agents were built for.
+  std::uint64_t chunk_generation_ = 0; ///< Keeps respawned agent names unique.
   bool finished_ = false;
 };
 

@@ -25,6 +25,36 @@ RegressionFormula::RegressionFormula(actors::EventBus& bus,
 }
 
 void RegressionFormula::receive(actors::Envelope& envelope) {
+  // SoA hot path: one SensorBatch → one EstimateBatch, evaluated as a
+  // coefficient sweep down the rate lanes.
+  if (const auto* batch = envelope.payload.get<SensorBatch>()) {
+    if (batch->sensor != SensorKind::kHpc || !batch->features) return;
+    const auto span = stage_.span(name(), batch->seq);
+    const auto snapshot = registry_->current();
+    const model::FeatureMatrix& features = *batch->features;
+
+    EstimateBatch out;
+    out.timestamp = batch->timestamp;
+    out.formula = "powerapi-hpc";
+    out.model_version = snapshot->version;
+    out.features = batch->features;
+    out.watts.assign(features.rows(), 0.0);
+    if (!snapshot->model.empty()) {
+      snapshot->model.estimate_activity_rows(features, out.watts);
+    }
+    // Machine rows carry the idle floor on top of activity, exactly as the
+    // scalar path adds it (idle + activity, in that order).
+    for (std::size_t i = 0; i < features.rows(); ++i) {
+      if (features.pid(i) < 0) out.watts[i] = snapshot->model.idle_watts() + out.watts[i];
+    }
+    out.seq = batch->seq;
+    out.tick_wall_ns = batch->tick_wall_ns;
+    const std::size_t rows = features.rows();
+    bus_->publish(out_topic_, std::move(out), self());
+    for (std::size_t i = 0; i < rows; ++i) stage_.count();
+    return;
+  }
+
   const SensorReport* report = as_report(envelope);
   if (report == nullptr || report->sensor != SensorKind::kHpc) return;
   const auto span = stage_.span(name(), report->seq);
@@ -61,6 +91,27 @@ EstimatorFormula::EstimatorFormula(
 }
 
 void EstimatorFormula::receive(actors::Envelope& envelope) {
+  // Batch path: baselines are machine models, so only the machine row of a
+  // batch produces an estimate — gathered back into the scalar feature
+  // struct the estimator interface takes.
+  if (const auto* batch = envelope.payload.get<SensorBatch>()) {
+    if (!batch->features) return;
+    const auto span = stage_.span(name(), batch->seq);
+    for (std::size_t i = 0; i < batch->features->rows(); ++i) {
+      if (batch->features->pid(i) >= 0) continue;
+      PowerEstimate estimate;
+      estimate.timestamp = batch->timestamp;
+      estimate.pid = kMachinePid;
+      estimate.formula = estimator_->name();
+      estimate.watts = estimator_->estimate(batch->features->row(i));
+      estimate.seq = batch->seq;
+      estimate.tick_wall_ns = batch->tick_wall_ns;
+      bus_->publish(out_topic_, std::move(estimate), self());
+      stage_.count();
+    }
+    return;
+  }
+
   const SensorReport* report = as_report(envelope);
   if (report == nullptr || report->pid != kMachinePid) return;
   const auto span = stage_.span(name(), report->seq);

@@ -15,9 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "model/feature_matrix.h"
 #include "model/feature_vector.h"
 #include "util/units.h"
 
@@ -82,6 +85,24 @@ struct SensorReport : model::FeatureVector {
   std::int64_t tick_wall_ns = 0;
 };
 
+/// One sensor's observations for EVERY completed target of a tick, as a
+/// single lane-major matrix — the SoA hot-path replacement for a burst of
+/// per-target SensorReports. Row order is the scalar publish order (machine
+/// scope first, then the targets in monitoring order), so a consumer that
+/// walks rows front to back sees exactly the scalar message sequence. The
+/// matrix is immutable once published; the sensor allocates a fresh one per
+/// tick because coalesced catch-up ticks can leave several batches queued
+/// in mailboxes at once.
+struct SensorBatch {
+  util::TimestampNs timestamp = 0;
+  SensorKind sensor = SensorKind::kHpc;
+  std::shared_ptr<const model::FeatureMatrix> features;
+
+  // Observability correlation (copied from the triggering MonitorTick).
+  std::uint64_t seq = 0;
+  std::int64_t tick_wall_ns = 0;
+};
+
 /// A formula's power attribution for one target at one timestamp.
 struct PowerEstimate {
   util::TimestampNs timestamp = 0;
@@ -93,6 +114,21 @@ struct PowerEstimate {
   std::uint64_t model_version = 0;
 
   // Observability correlation (carried forward from the SensorReport).
+  std::uint64_t seq = 0;
+  std::int64_t tick_wall_ns = 0;
+};
+
+/// One formula's attributions for every row of a SensorBatch: watts[i]
+/// belongs to features->pid(i). The matrix rides along (shared, immutable)
+/// so downstream stages can reach pids and features without copying.
+struct EstimateBatch {
+  util::TimestampNs timestamp = 0;
+  std::string formula;
+  std::uint64_t model_version = 0;
+  std::shared_ptr<const model::FeatureMatrix> features;
+  std::vector<double> watts;  ///< Parallel to the matrix rows.
+
+  // Observability correlation.
   std::uint64_t seq = 0;
   std::int64_t tick_wall_ns = 0;
 };

@@ -1,6 +1,8 @@
 #include "powerapi/sensors.h"
 
+#include <algorithm>
 #include <any>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -29,85 +31,174 @@ HpcSensor::HpcSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
   stage_.attach(obs, kSensorReports);
 }
 
-void HpcSensor::observe(std::int64_t pid, const MonitorTick& tick) {
+void HpcSensor::realign_rows(const std::vector<std::int64_t>& new_pids) {
+  // The target set changed: rebuild the row layout, carrying surviving
+  // targets' windows (previous-snapshot row + primed/last-time state) over
+  // by pid so they keep reporting without a re-prime gap.
+  const std::size_t rows = new_pids.size();
+  realign_lanes_.resize(rows);
+  realign_last_time_.assign(rows, 0);
+  realign_primed_.assign(rows, 0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < pids_.size(); ++j) {
+      if (pids_[j] != new_pids[i]) continue;
+      realign_lanes_.copy_row_from(prev_, j, i);
+      realign_last_time_[i] = last_time_[j];
+      realign_primed_[i] = primed_[j];
+      break;
+    }
+  }
+  std::swap(prev_, realign_lanes_);
+  last_time_.swap(realign_last_time_);
+  primed_.swap(realign_primed_);
+  pids_ = new_pids;
+}
+
+void HpcSensor::observe(const MonitorTick& tick) {
   const util::TimestampNs now = tick.timestamp;
-  const hpc::Target target =
-      pid == kMachinePid ? hpc::Target::machine() : hpc::Target::process(pid);
-  auto read = backend_->read(target);
-  if (!read.ok()) {
-    POWERAPI_LOG_DEBUG("sensor.hpc") << "read failed for pid " << pid << ": "
-                                     << read.error_message();
-    windows_.erase(pid);
-    return;
-  }
 
-  Snapshot current;
-  current.values = read.value();
-  if (host_ != nullptr) {
-    if (pid == kMachinePid) {
-      current.smt_cycles = host_->machine_counters().smt_shared_cycles;
-    } else if (const auto stat = host_->proc_stat(pid)) {
-      current.smt_cycles = stat->counters.smt_shared_cycles;
-      current.cpu_time = stat->cpu_time_ns;
+  // Row layout: machine scope first, then this tick's targets — the scalar
+  // publish order.
+  const std::vector<std::int64_t> targets = targets_();
+  bool layout_changed = pids_.size() != targets.size() + 1;
+  if (!layout_changed) {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (pids_[i + 1] != targets[i]) {
+        layout_changed = true;
+        break;
+      }
+    }
+  }
+  if (layout_changed) {
+    std::vector<std::int64_t> new_pids;
+    new_pids.reserve(targets.size() + 1);
+    new_pids.push_back(kMachinePid);
+    new_pids.insert(new_pids.end(), targets.begin(), targets.end());
+    realign_rows(new_pids);
+  }
+  const std::size_t rows = pids_.size();
+
+  const bool extended = backend_->read_rows(pids_, cur_);
+  if (!extended && host_ != nullptr) {
+    // The backend only fills generic event lanes (e.g. a real perf
+    // backend): source the SMT co-residency and cpu-time side lanes from
+    // the host interface, exactly as the scalar path did.
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (!cur_.live()[i]) continue;
+      if (pids_[i] < 0) {
+        cur_.lane(simcpu::CounterLanes::kSmtLane)[i] =
+            host_->machine_counters().smt_shared_cycles;
+        cur_.cpu_time()[i] = 0;
+      } else if (const auto stat = host_->proc_stat(pids_[i])) {
+        cur_.lane(simcpu::CounterLanes::kSmtLane)[i] = stat->counters.smt_shared_cycles;
+        cur_.cpu_time()[i] = stat->cpu_time_ns;
+      }
     }
   }
 
-  SamplingWindow<Snapshot>& window = windows_[pid];
-  // Counter-delta underflow guard: a cumulative quantity went backwards,
-  // which means the pid was reused or the counter source reset. Unsigned
-  // subtraction would wrap into an absurd rate, so drop the window and
-  // re-prime from the new baseline instead.
-  if (window.primed()) {
-    const Snapshot& last = window.last();
-    bool regressed = current.smt_cycles < last.smt_cycles ||
-                     current.cpu_time < last.cpu_time;
-    for (const hpc::EventId id : hpc::all_events()) {
-      regressed = regressed || current.values[id] < last.values[id];
-    }
-    if (regressed) {
+  // Per-row window state machine — SamplingWindow semantics, row-parallel:
+  // a dead target drops its window (re-primes when it returns), a
+  // regressed cumulative quantity re-primes from the new baseline, the
+  // priming observation completes no window, and a non-advancing timestamp
+  // is ignored without rolling state.
+  window_seconds_.assign(rows, 1.0);  // Placeholder divisor for idle rows.
+  completed_.assign(rows, 0);
+  std::size_t completed_count = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (!cur_.live()[i]) {
       POWERAPI_LOG_DEBUG("sensor.hpc")
-          << "counters regressed for pid " << pid << " — re-priming";
-      window.reset();
+          << "read failed for pid " << pids_[i] << " — dropping window";
+      primed_[i] = 0;
+      continue;
     }
+    if (primed_[i]) {
+      bool regressed = cur_.cpu_time()[i] < prev_.cpu_time()[i];
+      for (std::size_t l = 0; l < simcpu::CounterLanes::kLanes; ++l) {
+        regressed = regressed || cur_.lane(l)[i] < prev_.lane(l)[i];
+      }
+      if (regressed) {
+        POWERAPI_LOG_DEBUG("sensor.hpc")
+            << "counters regressed for pid " << pids_[i] << " — re-priming";
+        primed_[i] = 0;
+      }
+    }
+    if (!primed_[i]) {
+      prev_.copy_row_from(cur_, i, i);
+      last_time_[i] = now;
+      primed_[i] = 1;
+      continue;
+    }
+    if (now <= last_time_[i]) continue;
+    window_seconds_[i] = util::ns_to_seconds(now - last_time_[i]);
+    completed_[i] = 1;
+    ++completed_count;
   }
 
-  const auto completed = window.advance(now, current);
-  if (!completed) return;
+  if (completed_count > 0) {
+    const double frequency_hz =
+        host_ != nullptr ? host_->system_stat().frequency_hz : 0.0;
+    const std::size_t hw_threads = host_ != nullptr ? host_->hw_threads() : 0;
 
-  const double window_s = completed->seconds;
-  const Snapshot& prev = completed->previous;
-  SensorReport report;
-  report.timestamp = now;
-  report.pid = pid;
-  report.sensor = SensorKind::kHpc;
-  report.window_seconds = window_s;
-  const double frequency_hz =
-      host_ != nullptr ? host_->system_stat().frequency_hz : 0.0;
-  static_cast<model::FeatureVector&>(report) = model::extract_features(
-      current.values.delta_since(prev.values),
-      current.smt_cycles - prev.smt_cycles, window_s, frequency_hz);
-  if (host_ != nullptr) {
-    if (pid == kMachinePid) {
-      report.utilization =
-          model::machine_utilization(report.rates, frequency_hz, host_->hw_threads());
+    // Fresh matrix per publish: catch-up ticks can queue several batches in
+    // mailboxes at once, so a reused buffer would be overwritten while the
+    // previous batch is still in flight.
+    auto matrix = std::make_shared<model::FeatureMatrix>();
+    matrix->frequency_hz = frequency_hz;
+    if (completed_count == rows) {
+      // Steady state: every row completed — extract straight into the
+      // published matrix, whole lanes at a time.
+      matrix->resize(rows);
+      std::copy(pids_.begin(), pids_.end(), matrix->pids());
+      model::extract_features_rows(cur_, prev_, window_seconds_.data(), hw_threads,
+                                   *matrix);
     } else {
-      report.utilization =
-          util::ns_to_seconds(current.cpu_time - prev.cpu_time) / window_s;
+      // Mixed tick (a priming or dead row among completed ones): extract
+      // full-width into scratch, then compact the completed rows.
+      extract_scratch_.frequency_hz = frequency_hz;
+      extract_scratch_.resize(rows);
+      std::copy(pids_.begin(), pids_.end(), extract_scratch_.pids());
+      model::extract_features_rows(cur_, prev_, window_seconds_.data(), hw_threads,
+                                   extract_scratch_);
+      matrix->resize(completed_count);
+      std::size_t out_row = 0;
+      for (std::size_t i = 0; i < rows; ++i) {
+        if (!completed_[i]) continue;
+        for (std::size_t l = 0; l < model::FeatureMatrix::kLanes; ++l) {
+          matrix->lane(l)[out_row] = extract_scratch_.lane(l)[i];
+        }
+        matrix->pids()[out_row] = pids_[i];
+        ++out_row;
+      }
     }
+    if (host_ == nullptr) {
+      // Scalar parity: without a host there is no utilization signal.
+      double* util_lane = matrix->lane(model::FeatureMatrix::kUtilizationLane);
+      for (std::size_t i = 0; i < matrix->rows(); ++i) util_lane[i] = 0.0;
+    }
+
+    SensorBatch batch;
+    batch.timestamp = now;
+    batch.sensor = SensorKind::kHpc;
+    batch.features = std::move(matrix);
+    batch.seq = tick.seq;
+    batch.tick_wall_ns = tick.wall_ns;
+    bus_->publish(out_topic_, std::move(batch), self());
+    for (std::size_t i = 0; i < completed_count; ++i) stage_.count();
   }
 
-  report.seq = tick.seq;
-  report.tick_wall_ns = tick.wall_ns;
-  bus_->publish(out_topic_, std::move(report), self());
-  stage_.count();
+  // Roll the completed rows' windows forward (primed rows already rolled).
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (!completed_[i]) continue;
+    prev_.copy_row_from(cur_, i, i);
+    last_time_[i] = now;
+  }
 }
 
 void HpcSensor::receive(actors::Envelope& envelope) {
   const MonitorTick* tick = as_tick(envelope);
   if (tick == nullptr) return;
   const auto span = stage_.span(name(), tick->seq);
-  observe(kMachinePid, *tick);
-  for (const std::int64_t pid : targets_()) observe(pid, *tick);
+  observe(*tick);
 }
 
 // --- PowerSpySensor ---

@@ -15,6 +15,7 @@
 #include "actors/actor.h"
 #include "actors/event_bus.h"
 #include "hpc/backend.h"
+#include "model/feature_matrix.h"
 #include "os/monitorable_host.h"
 #include "powerapi/messages.h"
 #include "powerapi/sampling_window.h"
@@ -28,13 +29,22 @@ namespace powerapi::api {
 /// and go). Returning an empty vector monitors only the machine scope.
 using TargetsFn = std::function<std::vector<std::int64_t>()>;
 
-/// Reads HPC counters for each target plus the machine scope, converts the
-/// per-window deltas into rates and publishes SensorKind::kHpc reports on
-/// `out_topic`.
+/// Reads HPC counters for each target plus the machine scope in one batched
+/// lane gather, converts the per-window deltas into rates lane-by-lane and
+/// publishes ONE SensorKind::kHpc SensorBatch per tick on `out_topic` (row
+/// 0 = machine scope, then the targets in monitoring order — the scalar
+/// publish order).
+///
+/// Window bookkeeping is kept per row as parallel arrays instead of a
+/// pid→SamplingWindow map: prime/stale/regression semantics are identical
+/// to SamplingWindow's (documented per branch in the implementation), and a
+/// target-set change re-aligns the previous-snapshot lanes by pid so
+/// surviving targets keep their windows.
 ///
 /// `host` is optional: when present (simulation) it supplies frequency,
-/// utilization and the SMT co-residency signal; a live deployment passes
-/// nullptr and those fields default.
+/// utilization and — when the backend's batch read does not — the SMT
+/// co-residency and cpu-time side lanes; a live deployment passes nullptr
+/// and those fields default.
 class HpcSensor final : public actors::Actor {
  public:
   HpcSensor(actors::EventBus& bus, actors::EventBus::TopicId out_topic,
@@ -44,21 +54,29 @@ class HpcSensor final : public actors::Actor {
   void receive(actors::Envelope& envelope) override;
 
  private:
-  /// Everything cumulative we difference per target.
-  struct Snapshot {
-    hpc::EventValues values;
-    std::uint64_t smt_cycles = 0;
-    util::DurationNs cpu_time = 0;
-  };
-
-  void observe(std::int64_t pid, const MonitorTick& tick);
+  void observe(const MonitorTick& tick);
+  void realign_rows(const std::vector<std::int64_t>& new_pids);
 
   actors::EventBus* bus_;
   actors::EventBus::TopicId out_topic_;
   hpc::CounterBackend* backend_;
   TargetsFn targets_;
   const os::MonitorableHost* host_;
-  std::map<std::int64_t, SamplingWindow<Snapshot>> windows_;
+
+  // Row-parallel window state. pids_[0] is always kMachinePid.
+  std::vector<std::int64_t> pids_;
+  simcpu::CounterLanes cur_;
+  simcpu::CounterLanes prev_;
+  std::vector<util::TimestampNs> last_time_;
+  std::vector<std::uint8_t> primed_;
+  // Per-tick scratch.
+  std::vector<double> window_seconds_;
+  std::vector<std::uint8_t> completed_;
+  simcpu::CounterLanes realign_lanes_;
+  std::vector<util::TimestampNs> realign_last_time_;
+  std::vector<std::uint8_t> realign_primed_;
+  model::FeatureMatrix extract_scratch_;
+
   StageObs stage_;
 };
 

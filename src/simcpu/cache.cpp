@@ -25,13 +25,21 @@ CacheHierarchy::CacheHierarchy(const CpuSpec& spec, std::size_t hw_threads)
 
 std::vector<CacheShare> CacheHierarchy::tick(std::span<const CacheDemand> demands,
                                              util::DurationNs dt) {
+  std::vector<CacheShare> out;
+  tick_into(demands, dt, out);
+  return out;
+}
+
+void CacheHierarchy::tick_into(std::span<const CacheDemand> demands, util::DurationNs dt,
+                               std::vector<CacheShare>& out) {
   if (demands.size() != resident_.size()) {
     throw std::invalid_argument("CacheHierarchy::tick: demand slot mismatch");
   }
   const double dt_s = util::ns_to_seconds(dt);
 
   // Demand beyond the private levels: what actually competes for LLC.
-  std::vector<double> llc_need(demands.size(), 0.0);
+  llc_need_.assign(demands.size(), 0.0);
+  std::vector<double>& llc_need = llc_need_;
   double total_need = 0.0;
   for (std::size_t i = 0; i < demands.size(); ++i) {
     if (!demands[i].active) continue;
@@ -44,7 +52,7 @@ std::vector<CacheShare> CacheHierarchy::tick(std::span<const CacheDemand> demand
     total_need += llc_need[i];
   }
 
-  std::vector<CacheShare> out(demands.size());
+  out.assign(demands.size(), CacheShare{});
   for (std::size_t i = 0; i < demands.size(); ++i) {
     const auto& d = demands[i];
     if (!d.active) {
@@ -76,7 +84,6 @@ std::vector<CacheShare> CacheHierarchy::tick(std::span<const CacheDemand> demand
         d.intrinsic_miss_ratio + (1.0 - d.intrinsic_miss_ratio) * capacity_miss, 0.0, 1.0);
     out[i] = s;
   }
-  return out;
 }
 
 }  // namespace powerapi::simcpu

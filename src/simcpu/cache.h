@@ -42,6 +42,12 @@ class CacheHierarchy {
   /// transient. `demands.size()` must equal `hw_threads`.
   std::vector<CacheShare> tick(std::span<const CacheDemand> demands, util::DurationNs dt);
 
+  /// Allocation-free variant for the hot path: writes into `out` (resized
+  /// to `hw_threads`), so a caller-owned scratch vector is reused across
+  /// ticks. Identical arithmetic to tick().
+  void tick_into(std::span<const CacheDemand> demands, util::DurationNs dt,
+                 std::vector<CacheShare>& out);
+
   /// Resident bytes currently attributed to thread `i` (for tests).
   double resident_bytes(std::size_t i) const { return resident_.at(i); }
 
@@ -52,6 +58,7 @@ class CacheHierarchy {
   std::size_t llc_bytes_ = 0;
   std::size_t l2_bytes_ = 0;
   std::vector<double> resident_;  ///< Per-thread warmed-up footprint in LLC.
+  std::vector<double> llc_need_;  ///< Per-tick scratch (reused, no alloc).
 };
 
 }  // namespace powerapi::simcpu

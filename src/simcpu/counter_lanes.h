@@ -1,0 +1,89 @@
+// Structure-of-arrays counter storage: the hot-path batch layout.
+//
+// The monitoring hot path reads cumulative counters for many targets per
+// tick (machine scope + every monitored process on a host, repeated across
+// the hosts of a fleet chunk). An array-of-structs (one CounterBlock per
+// target) scatters each event across memory; differencing and rate
+// conversion then stride through 11 fields per target. CounterLanes flips
+// the layout: one contiguous lane per event, rows are targets, so
+// delta→rate kernels walk each lane linearly and auto-vectorize.
+//
+// Lane order matches CounterBlock field order (and hpc::EventId order for
+// the first ten lanes — asserted by the hpc layer's tests); lane 10 is the
+// SMT co-residency counter. Two side lanes carry the per-target cpu time
+// and a liveness flag so one gather call can report dead pids without a
+// separate error channel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simcpu/counters.h"
+
+namespace powerapi::simcpu {
+
+class CounterLanes {
+ public:
+  /// Ten generic events + the SMT co-residency lane.
+  static constexpr std::size_t kLanes = 11;
+  static constexpr std::size_t kSmtLane = 10;
+
+  /// Sets the row count; zeroes everything when the count changes (rows
+  /// keyed by a new target list must not inherit a previous layout's
+  /// values). Same-size calls keep existing data.
+  void resize(std::size_t rows) {
+    if (rows == rows_ && !values_.empty()) return;
+    rows_ = rows;
+    values_.assign(kLanes * rows, 0);
+    cpu_time_.assign(rows, 0);
+    live_.assign(rows, 0);
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+
+  /// Contiguous per-event lane, `rows()` entries.
+  std::uint64_t* lane(std::size_t index) noexcept { return values_.data() + index * rows_; }
+  const std::uint64_t* lane(std::size_t index) const noexcept {
+    return values_.data() + index * rows_;
+  }
+
+  std::int64_t* cpu_time() noexcept { return cpu_time_.data(); }
+  const std::int64_t* cpu_time() const noexcept { return cpu_time_.data(); }
+  std::uint8_t* live() noexcept { return live_.data(); }
+  const std::uint8_t* live() const noexcept { return live_.data(); }
+
+  /// Scatters one cumulative block into row `row` of every counter lane.
+  void store_block(std::size_t row, const CounterBlock& block) noexcept {
+    std::uint64_t* v = values_.data();
+    const std::size_t n = rows_;
+    v[0 * n + row] = block.cycles;
+    v[1 * n + row] = block.instructions;
+    v[2 * n + row] = block.cache_references;
+    v[3 * n + row] = block.cache_misses;
+    v[4 * n + row] = block.branch_instructions;
+    v[5 * n + row] = block.branch_misses;
+    v[6 * n + row] = block.bus_cycles;
+    v[7 * n + row] = block.stalled_cycles_frontend;
+    v[8 * n + row] = block.stalled_cycles_backend;
+    v[9 * n + row] = block.ref_cycles;
+    v[kSmtLane * n + row] = block.smt_shared_cycles;
+  }
+
+  /// Copies one row (all lanes + side lanes) from `src`. Used when a
+  /// sensor's target list changes and the previous-snapshot lanes must be
+  /// re-aligned to the new row order.
+  void copy_row_from(const CounterLanes& src, std::size_t src_row, std::size_t dst_row) noexcept {
+    for (std::size_t l = 0; l < kLanes; ++l) lane(l)[dst_row] = src.lane(l)[src_row];
+    cpu_time_[dst_row] = src.cpu_time_[src_row];
+    live_[dst_row] = src.live_[src_row];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::vector<std::uint64_t> values_;  ///< Lane-major: [lane][row].
+  std::vector<std::int64_t> cpu_time_;
+  std::vector<std::uint8_t> live_;
+};
+
+}  // namespace powerapi::simcpu

@@ -48,7 +48,7 @@ CState Machine::core_cstate(std::size_t core) const {
   return core_cstates_.at(core).state();
 }
 
-TickResult Machine::tick(std::span<const ThreadWork> work, util::DurationNs dt) {
+const TickResult& Machine::tick(std::span<const ThreadWork> work, util::DurationNs dt) {
   const std::size_t n = spec_.hw_threads();
   if (work.size() != n) throw std::invalid_argument("Machine::tick: work slot mismatch");
   if (dt <= 0) throw std::invalid_argument("Machine::tick: non-positive dt");
@@ -61,12 +61,12 @@ TickResult Machine::tick(std::span<const ThreadWork> work, util::DurationNs dt) 
   double f = frequency_hz_;
   if (!spec_.turbo_frequencies_hz.empty() &&
       frequency_hz_ >= spec_.max_frequency_hz() - 1.0) {
-    std::vector<bool> core_has_work(spec_.cores, false);
+    scratch_.core_has_work.assign(spec_.cores, 0);
     std::size_t busy_cores = 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (work[i].active && work[i].profile.active_fraction > 0.0 &&
-          !core_has_work[i / tpc]) {
-        core_has_work[i / tpc] = true;
+          !scratch_.core_has_work[i / tpc]) {
+        scratch_.core_has_work[i / tpc] = 1;
         ++busy_cores;
       }
     }
@@ -81,7 +81,8 @@ TickResult Machine::tick(std::span<const ThreadWork> work, util::DurationNs dt) 
   const double static_scale = voltages_.static_scale(f);
 
   // --- Pass 1: cache demands (rates only; independent of retired counts) ---
-  std::vector<CacheDemand> demands(n);
+  scratch_.demands.assign(n, CacheDemand{});
+  std::vector<CacheDemand>& demands = scratch_.demands;
   for (std::size_t i = 0; i < n; ++i) {
     const auto& w = work[i];
     if (!w.active || w.profile.active_fraction <= 0.0) continue;
@@ -94,18 +95,27 @@ TickResult Machine::tick(std::span<const ThreadWork> work, util::DurationNs dt) 
     d.intrinsic_miss_ratio = w.profile.intrinsic_miss_ratio;
     demands[i] = d;
   }
-  const auto shares = cache_.tick(demands, dt);
+  cache_.tick_into(demands, dt, scratch_.shares);
+  const std::vector<CacheShare>& shares = scratch_.shares;
 
   // --- Pass 2: execute each hardware thread ---
-  TickResult result;
+  TickResult& result = result_;
   result.threads.resize(n);
-  std::vector<bool> core_busy(spec_.cores, false);
-  std::vector<double> core_activity_joules(spec_.cores, 0.0);
-  std::vector<std::size_t> core_active_threads(spec_.cores, 0);
-  std::vector<double> thread_activity(n, 0.0);
-  std::vector<double> thread_refs(n, 0.0);
-  std::vector<double> thread_misses(n, 0.0);
-  std::vector<double> thread_prefetch(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) result.threads[i] = ThreadTickResult{};
+  scratch_.core_busy.assign(spec_.cores, 0);
+  scratch_.core_activity_joules.assign(spec_.cores, 0.0);
+  scratch_.core_active_threads.assign(spec_.cores, 0);
+  scratch_.thread_activity.assign(n, 0.0);
+  scratch_.thread_refs.assign(n, 0.0);
+  scratch_.thread_misses.assign(n, 0.0);
+  scratch_.thread_prefetch.assign(n, 0.0);
+  std::vector<std::uint8_t>& core_busy = scratch_.core_busy;
+  std::vector<double>& core_activity_joules = scratch_.core_activity_joules;
+  std::vector<std::size_t>& core_active_threads = scratch_.core_active_threads;
+  std::vector<double>& thread_activity = scratch_.thread_activity;
+  std::vector<double>& thread_refs = scratch_.thread_refs;
+  std::vector<double>& thread_misses = scratch_.thread_misses;
+  std::vector<double>& thread_prefetch = scratch_.thread_prefetch;
   double total_llc_refs = 0.0;
   double total_misses = 0.0;
   double total_prefetch_lines = 0.0;
@@ -175,7 +185,7 @@ TickResult Machine::tick(std::span<const ThreadWork> work, util::DurationNs dt) 
 
     thread_counters_[i] += d;
     machine_counters_ += d;
-    core_busy[core] = core_busy[core] || d.instructions > 0;
+    core_busy[core] = core_busy[core] || d.instructions > 0 ? 1 : 0;
     total_llc_refs += refs;
     total_misses += misses;
     total_prefetch_lines += instructions * p.prefetch_lines_per_kinstr / 1000.0;

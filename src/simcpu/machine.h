@@ -67,7 +67,10 @@ class Machine {
   double last_effective_frequency_hz() const noexcept { return effective_hz_; }
 
   /// Executes one quantum. `work.size()` must equal `spec().hw_threads()`.
-  TickResult tick(std::span<const ThreadWork> work, util::DurationNs dt);
+  /// Returns a reference to an internal result buffer (reused every tick,
+  /// so the hot path allocates nothing) — valid until the next tick() call;
+  /// copy it if you need it to outlive that.
+  const TickResult& tick(std::span<const ThreadWork> work, util::DurationNs dt);
 
   // --- Cumulative observables ---
   const CounterBlock& machine_counters() const noexcept { return machine_counters_; }
@@ -83,6 +86,21 @@ class Machine {
   util::TimestampNs sim_time_ns() const noexcept { return sim_time_ns_; }
 
  private:
+  /// Per-tick working vectors, kept as members so steady-state ticks are
+  /// allocation-free (sized once to hw_threads/cores, reused thereafter).
+  struct TickScratch {
+    std::vector<CacheDemand> demands;
+    std::vector<CacheShare> shares;
+    std::vector<std::uint8_t> core_has_work;
+    std::vector<std::uint8_t> core_busy;
+    std::vector<double> core_activity_joules;
+    std::vector<std::size_t> core_active_threads;
+    std::vector<double> thread_activity;
+    std::vector<double> thread_refs;
+    std::vector<double> thread_misses;
+    std::vector<double> thread_prefetch;
+  };
+
   CpuSpec spec_;
   GroundTruthParams params_;
   VoltageTable voltages_;
@@ -90,6 +108,8 @@ class Machine {
   std::vector<CoreCState> core_cstates_;
   std::vector<CounterBlock> thread_counters_;
   CounterBlock machine_counters_;
+  TickScratch scratch_;
+  TickResult result_;
   double frequency_hz_ = 0.0;
   double effective_hz_ = 0.0;
   double total_energy_joules_ = 0.0;

@@ -36,6 +36,33 @@ class Collector final : public actors::Actor {
   std::vector<T> items;
 };
 
+/// Collects "power:estimate" traffic, flattening EstimateBatch rows into
+/// the scalar PowerEstimate shape the assertions use.
+class EstimateCollector final : public actors::Actor {
+ public:
+  void receive(actors::Envelope& envelope) override {
+    if (const auto* estimate = envelope.payload.get<PowerEstimate>()) {
+      items.push_back(*estimate);
+      return;
+    }
+    const auto* batch = envelope.payload.get<EstimateBatch>();
+    if (batch == nullptr || !batch->features) return;
+    for (std::size_t i = 0; i < batch->features->rows() && i < batch->watts.size();
+         ++i) {
+      PowerEstimate row;
+      row.timestamp = batch->timestamp;
+      row.pid = batch->features->pid(i);
+      row.formula = batch->formula;
+      row.model_version = batch->model_version;
+      row.watts = batch->watts[i];
+      row.seq = batch->seq;
+      row.tick_wall_ns = batch->tick_wall_ns;
+      items.push_back(row);
+    }
+  }
+  std::vector<PowerEstimate> items;
+};
+
 /// A model whose structure matches the machine but whose coefficients are
 /// scaled by `distortion` — the "shipped profile gone stale" scenario.
 model::CpuPowerModel scaled_model(double distortion) {
@@ -89,8 +116,8 @@ CalibratedRun run_calibrated(double distortion, util::DurationNs duration,
   CalibratedRun run;
   meter.pipeline().add_model_update_callback(
       [&run](const ModelUpdated& update) { run.swaps.push_back(update); });
-  auto collector = std::make_unique<Collector<PowerEstimate>>();
-  Collector<PowerEstimate>& estimates = *collector;
+  auto collector = std::make_unique<EstimateCollector>();
+  EstimateCollector& estimates = *collector;
   meter.bus().subscribe("power:estimate",
                         meter.actor_system().spawn("collector", std::move(collector)));
 

@@ -1,0 +1,237 @@
+// Golden determinism: the kManual fleet output is pinned bit-for-bit.
+//
+// The committed CSVs under tests/golden/ were produced by the per-actor
+// (pre-SoA) tick path; the batched SoA hot path must reproduce every watt
+// bit-for-bit (doubles are serialized as C99 hexfloats, so a single-ulp
+// drift fails the diff). Three seeds sweep heterogeneous fleets — mixed CPU
+// specs (different core/SMT counts inside one chunk), a fleet size that
+// does not divide evenly into host-chunks, and a per-pid pipeline.
+//
+// Regenerate (only when an intentional semantic change lands) with:
+//   POWERAPI_GOLDEN_REGEN=1 ./test_golden_determinism
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "os/system.h"
+#include "powerapi/fleet_monitor.h"
+#include "workloads/behaviors.h"
+#include "workloads/stress.h"
+
+namespace powerapi::api {
+namespace {
+
+using util::ms_to_ns;
+
+/// Bit-exact double serialization (C99 hexfloat via libc).
+std::string hex_double(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+/// Seed-parameterized per-frequency model over the i3-2120 ladder;
+/// formula_for() snaps other specs' frequencies to the nearest entry.
+model::CpuPowerModel golden_model(std::uint64_t seed) {
+  std::vector<model::FrequencyFormula> formulas;
+  std::size_t k = 0;
+  for (const double hz : simcpu::i3_2120().frequencies_hz) {
+    model::FrequencyFormula f;
+    f.frequency_hz = hz;
+    f.events = {hpc::EventId::kInstructions, hpc::EventId::kCacheReferences,
+                hpc::EventId::kCacheMisses};
+    const double scale = hz / 3.3e9;
+    const double jitter = 1.0 + 0.01 * static_cast<double>((seed + k) % 5);
+    f.coefficients = {2.22e-9 * scale * jitter, 2.48e-8 * scale, 1.87e-7 * jitter};
+    formulas.push_back(std::move(f));
+    ++k;
+  }
+  return model::CpuPowerModel(30.0 + static_cast<double>(seed % 4), std::move(formulas));
+}
+
+simcpu::CpuSpec spec_for(std::size_t index) {
+  switch (index % 4) {
+    case 0: return simcpu::i3_2120();
+    case 1: return simcpu::i7_2600();
+    case 2: return simcpu::quad_core();
+    default: return simcpu::i3_2120_no_smt();
+  }
+}
+
+/// Deterministic host: spec cycles through heterogeneous core/SMT counts,
+/// workload intensity derives from (seed, index). Every host runs exactly
+/// two processes so the per-tick message counts stay symmetric across the
+/// fleet (the fleet dimension's summation order is host order).
+std::unique_ptr<os::System> make_host(std::uint64_t seed, std::size_t index) {
+  auto host = std::make_unique<os::System>(spec_for(index));
+  const double duty = 0.15 + 0.1 * static_cast<double>((seed + index) % 7);
+  const double working_set = 4e6 * static_cast<double>(1 + (seed + index) % 4);
+  host->spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                         workloads::cpu_stress(duty), 0));
+  host->spawn("mem", std::make_unique<workloads::SteadyBehavior>(
+                         workloads::memory_stress(working_set, 0.8), 0));
+  return host;
+}
+
+void serialize(std::ostream& out, const std::string& label, const std::string& formula,
+               const std::vector<AggregatedPower>& rows) {
+  for (const auto& row : rows) {
+    out << label << ',' << formula << ',' << row.timestamp << ',' << row.pid << ','
+        << row.group << ',' << hex_double(row.watts) << '\n';
+  }
+}
+
+const char* const kFormulas[] = {"powerapi-hpc", "powerspy"};
+
+/// Config A: five heterogeneous hosts (does not divide evenly into the
+/// default host-chunk), timestamp dimension, fleet dimension on.
+/// `serialize_fleet` is off for the threaded-equivalence check: the fleet
+/// dimension sums in host-arrival order, which threading legitimately
+/// permutes, while per-host series are single-writer and bit-stable.
+void run_fleet_case(std::uint64_t seed, std::ostream& out,
+                    actors::ActorSystem::Mode mode = actors::ActorSystem::Mode::kManual,
+                    bool serialize_fleet = true) {
+  constexpr std::size_t kHosts = 5;
+  std::vector<std::unique_ptr<os::System>> hosts;
+  for (std::size_t i = 0; i < kHosts; ++i) hosts.push_back(make_host(seed, i));
+
+  FleetMonitor::Options options;
+  options.mode = mode;
+  FleetMonitor fleet(options);
+  std::vector<MemoryReporter*> memory;
+  for (std::size_t i = 0; i < kHosts; ++i) {
+    PipelineSpec spec;
+    spec.period = ms_to_ns(25);
+    spec.model = golden_model(seed);
+    spec.seed = seed * 1000 + i;
+    const std::size_t index = fleet.add_host(*hosts[i], std::move(spec));
+    memory.push_back(&fleet.add_memory_reporter(index));
+    fleet.monitor_all(index);
+  }
+  auto& fleet_memory = fleet.add_fleet_reporter();
+  fleet.run_for(ms_to_ns(600));
+  fleet.finish();
+
+  for (std::size_t i = 0; i < kHosts; ++i) {
+    for (const char* formula : kFormulas) {
+      serialize(out, "A:h" + std::to_string(i), formula, memory[i]->series(formula));
+    }
+  }
+  if (!serialize_fleet) return;
+  for (const char* formula : kFormulas) {
+    serialize(out, "A:fleet", formula, fleet_memory.group_series(formula, "(fleet)"));
+  }
+}
+
+/// Config B: one host under the per-pid dimension — pins per-process rows
+/// (activity-only attribution) in addition to machine rows.
+void run_per_pid_case(std::uint64_t seed, std::ostream& out) {
+  auto host = std::make_unique<os::System>(simcpu::i3_2120());
+  const double duty = 0.2 + 0.1 * static_cast<double>(seed % 5);
+  host->spawn("app", std::make_unique<workloads::SteadyBehavior>(
+                         workloads::cpu_stress(duty), 0));
+  host->spawn("mem", std::make_unique<workloads::SteadyBehavior>(
+                         workloads::memory_stress(8e6, 0.7), 0));
+  host->spawn("mix", std::make_unique<workloads::SteadyBehavior>(
+                         workloads::mixed_stress(0.5, 2e6, 0.9), 0));
+
+  FleetMonitor::Options options;
+  options.mode = actors::ActorSystem::Mode::kManual;
+  options.fleet_aggregation = false;
+  FleetMonitor fleet(options);
+  PipelineSpec spec;
+  spec.period = ms_to_ns(25);
+  spec.model = golden_model(seed);
+  spec.seed = seed * 7919;
+  spec.dimension = AggregationDimension::kPid;
+  const std::size_t index = fleet.add_host(*host, std::move(spec));
+  auto& memory = fleet.add_memory_reporter(index);
+  fleet.monitor_all(index);
+  fleet.run_for(ms_to_ns(600));
+  fleet.finish();
+
+  for (const char* formula : kFormulas) {
+    for (const std::int64_t pid : {kMachinePid, std::int64_t{1}, std::int64_t{2},
+                                   std::int64_t{3}}) {
+      serialize(out, "B:pid", formula, memory.series(formula, pid));
+    }
+  }
+}
+
+std::string run_case(std::uint64_t seed) {
+  std::ostringstream out;
+  out << "config:host,formula,timestamp_ns,pid,group,watts_hex\n";
+  run_fleet_case(seed, out);
+  run_per_pid_case(seed, out);
+  return out.str();
+}
+
+std::string golden_path(std::uint64_t seed) {
+  return std::string(POWERAPI_GOLDEN_DIR) + "/fleet_kmanual_seed" +
+         std::to_string(seed) + ".csv";
+}
+
+class GoldenDeterminism : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GoldenDeterminism, MatchesCommittedCsvBitForBit) {
+  const std::uint64_t seed = GetParam();
+  const std::string actual = run_case(seed);
+  ASSERT_GT(actual.size(), 1000u) << "suspiciously small output";
+
+  if (std::getenv("POWERAPI_GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(golden_path(seed), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path(seed);
+    out << actual;
+    GTEST_SKIP() << "regenerated " << golden_path(seed);
+  }
+
+  std::ifstream in(golden_path(seed), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path(seed)
+                         << " — run with POWERAPI_GOLDEN_REGEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+
+  // Compare line-by-line for a readable first divergence, then whole-file.
+  std::istringstream actual_lines(actual), expected_lines(expected.str());
+  std::string a, e;
+  std::size_t line = 0;
+  while (std::getline(expected_lines, e)) {
+    ++line;
+    ASSERT_TRUE(std::getline(actual_lines, a))
+        << "output truncated at golden line " << line;
+    ASSERT_EQ(a, e) << "first divergence at line " << line;
+  }
+  EXPECT_FALSE(std::getline(actual_lines, a)) << "extra rows beyond the golden file";
+}
+
+TEST_P(GoldenDeterminism, RunTwiceIsIdentical) {
+  const std::uint64_t seed = GetParam();
+  EXPECT_EQ(run_case(seed), run_case(seed));
+}
+
+// Threaded-fleet equivalence (the TSan target in CI): the work-stealing
+// dispatcher may interleave host-chunks arbitrarily, but every host's
+// pipeline is single-writer, so its per-host series must match the kManual
+// run bit-for-bit. Fleet-dimension rows are excluded (summation order is
+// arrival order under threading).
+TEST_P(GoldenDeterminism, ThreadedFleetMatchesManualPerHostSeries) {
+  const std::uint64_t seed = GetParam();
+  std::ostringstream manual, threaded;
+  run_fleet_case(seed, manual, actors::ActorSystem::Mode::kManual,
+                 /*serialize_fleet=*/false);
+  run_fleet_case(seed, threaded, actors::ActorSystem::Mode::kThreaded,
+                 /*serialize_fleet=*/false);
+  EXPECT_EQ(manual.str(), threaded.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, GoldenDeterminism,
+                         testing::Values(1u, 7u, 42u));
+
+}  // namespace
+}  // namespace powerapi::api

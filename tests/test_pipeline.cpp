@@ -107,14 +107,35 @@ class ScriptedBackend final : public hpc::CounterBackend {
   std::map<std::int64_t, hpc::EventValues> values;
 };
 
+/// Flattens SensorBatch rows back into per-target SensorReports so the
+/// regression assertions stay row-level.
+class BatchRowCollector final : public actors::Actor {
+ public:
+  void receive(actors::Envelope& envelope) override {
+    const auto* batch = envelope.payload.get<SensorBatch>();
+    if (batch == nullptr || !batch->features) return;
+    for (std::size_t i = 0; i < batch->features->rows(); ++i) {
+      SensorReport row;
+      static_cast<model::FeatureVector&>(row) = batch->features->row(i);
+      row.timestamp = batch->timestamp;
+      row.pid = batch->features->pid(i);
+      row.sensor = batch->sensor;
+      row.window_seconds = batch->features->window_seconds(i);
+      row.seq = batch->seq;
+      items.push_back(row);
+    }
+  }
+  std::vector<SensorReport> items;
+};
+
 TEST(HpcSensor, CounterRegressionRePrimesInsteadOfWrapping) {
   actors::ActorSystem actors(actors::ActorSystem::Mode::kManual);
   actors::EventBus bus(actors);
   ScriptedBackend backend;
   constexpr std::int64_t kPid = 42;
 
-  auto collector = std::make_unique<Collector<SensorReport>>();
-  Collector<SensorReport>& reports = *collector;
+  auto collector = std::make_unique<BatchRowCollector>();
+  BatchRowCollector& reports = *collector;
   bus.subscribe("sensor:hpc", actors.spawn("collector", std::move(collector)));
   const auto sensor = actors.spawn_as<HpcSensor>(
       "sensor", bus, bus.intern("sensor:hpc"), backend,

@@ -36,6 +36,28 @@ class Collector final : public actors::Actor {
   std::vector<T> items;
 };
 
+/// Flattens each SensorBatch into per-row SensorReports (the pre-SoA shape)
+/// so window-semantics assertions stay row-level.
+class BatchRowCollector final : public actors::Actor {
+ public:
+  void receive(actors::Envelope& envelope) override {
+    const auto* batch = envelope.payload.get<SensorBatch>();
+    if (batch == nullptr || !batch->features) return;
+    for (std::size_t i = 0; i < batch->features->rows(); ++i) {
+      SensorReport row;
+      static_cast<model::FeatureVector&>(row) = batch->features->row(i);
+      row.timestamp = batch->timestamp;
+      row.pid = batch->features->pid(i);
+      row.sensor = batch->sensor;
+      row.window_seconds = batch->features->window_seconds(i);
+      row.seq = batch->seq;
+      row.tick_wall_ns = batch->tick_wall_ns;
+      items.push_back(row);
+    }
+  }
+  std::vector<SensorReport> items;
+};
+
 struct PipelineHarness {
   PipelineHarness() : actors(actors::ActorSystem::Mode::kManual), bus(actors) {}
 
@@ -47,6 +69,13 @@ struct PipelineHarness {
   Collector<T>& collect(const std::string& topic) {
     auto owned = std::make_unique<Collector<T>>();
     Collector<T>& ref = *owned;
+    bus.subscribe(topic, actors.spawn("collector", std::move(owned)));
+    return ref;
+  }
+
+  BatchRowCollector& collect_batch_rows(const std::string& topic) {
+    auto owned = std::make_unique<BatchRowCollector>();
+    BatchRowCollector& ref = *owned;
     bus.subscribe(topic, actors.spawn("collector", std::move(owned)));
     return ref;
   }
@@ -63,7 +92,7 @@ TEST(HpcSensor, FirstTickPrimesSecondTickReports) {
                           workloads::cpu_stress(), 0));
   PipelineHarness h;
   hpc::SimBackend backend(system);
-  auto& reports = h.collect<SensorReport>("sensor:hpc");
+  auto& reports = h.collect_batch_rows("sensor:hpc");
   const auto sensor = h.actors.spawn_as<HpcSensor>(
       "sensor", h.bus, h.bus.intern("sensor:hpc"), backend,
       [] { return std::vector<std::int64_t>{}; }, &system);
@@ -92,7 +121,7 @@ TEST(HpcSensor, ReportsEachMonitoredPidAndForgetsDeadOnes) {
       "app", std::make_unique<workloads::SteadyBehavior>(workloads::cpu_stress(), 0));
   PipelineHarness h;
   hpc::SimBackend backend(system);
-  auto& reports = h.collect<SensorReport>("sensor:hpc");
+  auto& reports = h.collect_batch_rows("sensor:hpc");
   std::vector<std::int64_t> targets = {pid};
   const auto sensor = h.actors.spawn_as<HpcSensor>(
       "sensor", h.bus, h.bus.intern("sensor:hpc"), backend,
@@ -128,7 +157,7 @@ TEST(HpcSensor, IgnoresNonTickPayloadsAndStaleTimestamps) {
   os::System system(simcpu::i3_2120());
   PipelineHarness h;
   hpc::SimBackend backend(system);
-  auto& reports = h.collect<SensorReport>("sensor:hpc");
+  auto& reports = h.collect_batch_rows("sensor:hpc");
   const auto sensor = h.actors.spawn_as<HpcSensor>(
       "sensor", h.bus, h.bus.intern("sensor:hpc"), backend,
       [] { return std::vector<std::int64_t>{}; }, &system);
