@@ -1,0 +1,40 @@
+// Shared example scaffolding. Every demo used to repeat the same "train a
+// quick model" block (reduced stress grid, 1 s per point) before getting to
+// the part it actually demonstrates; this header is the one copy.
+#pragma once
+
+#include <cstdio>
+
+#include "model/trainer.h"
+#include "simcpu/cpu_spec.h"
+#include "util/units.h"
+#include "workloads/stress.h"
+
+namespace powerapi::examples {
+
+/// Trainer options sized for interactive demos: two duty-cycle levels and
+/// one second per grid cell — seconds of simulated sampling instead of the
+/// full evaluation sweep, at model quality that is fine for demonstration.
+inline model::TrainerOptions quick_trainer_options() {
+  model::TrainerOptions options;
+  options.grid.intensities = {0.5, 1.0};
+  options.point_duration = util::seconds_to_ns(1);
+  return options;
+}
+
+/// Runs the Figure 1 pipeline with quick_trainer_options() and returns the
+/// learned model, logging the sweep size first.
+inline model::CpuPowerModel train_quick_model(const simcpu::CpuSpec& spec) {
+  const model::TrainerOptions options = quick_trainer_options();
+  std::printf("training the power model (%zu workloads x %zu frequencies)...\n",
+              workloads::make_stress_grid(options.grid).size(),
+              spec.frequencies_hz.size());
+  model::Trainer trainer(spec, simcpu::GroundTruthParams{}, options);
+  return trainer.train().model;
+}
+
+inline model::CpuPowerModel train_quick_model() {
+  return train_quick_model(simcpu::i3_2120());
+}
+
+}  // namespace powerapi::examples

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common.h"
 #include "model/trainer.h"
 #include "net/bus_bridge.h"
 #include "net/collector_server.h"
@@ -128,11 +129,7 @@ int main(int argc, char** argv) {
 
   // One model serves the fleet; trained before the fork so every agent
   // inherits the identical model.
-  model::TrainerOptions train_options;
-  train_options.grid.intensities = {0.5, 1.0};
-  train_options.point_duration = util::seconds_to_ns(1);
-  model::Trainer trainer(simcpu::i3_2120(), simcpu::GroundTruthParams{}, train_options);
-  const model::CpuPowerModel power_model = trainer.train().model;
+  const model::CpuPowerModel power_model = examples::train_quick_model();
 
   // --- Collector: server + bridge + fleet aggregation over the bridge ---
   actors::ActorSystem system(actors::ActorSystem::Mode::kManual);

@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "common.h"
 #include "model/trainer.h"
 #include "obs/observability.h"
 #include "os/system.h"
@@ -42,11 +43,7 @@ int main(int argc, char** argv) {
   if (const auto exit_code = parser.parse(argc, argv)) return *exit_code;
   std::printf("=== observability: the monitor watching itself ===\n");
 
-  model::TrainerOptions options;
-  options.grid.intensities = {0.5, 1.0};
-  options.point_duration = util::seconds_to_ns(1);
-  model::Trainer trainer(simcpu::i3_2120(), simcpu::GroundTruthParams{}, options);
-  const model::CpuPowerModel power_model = trainer.train().model;
+  const model::CpuPowerModel power_model = examples::train_quick_model();
 
   os::System system(simcpu::i3_2120());
   util::Rng rng(31);

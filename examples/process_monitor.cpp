@@ -14,6 +14,7 @@
 #include <iostream>
 #include <map>
 
+#include "common.h"
 #include "model/model_io.h"
 #include "model/trainer.h"
 #include "os/system.h"
@@ -41,12 +42,8 @@ model::CpuPowerModel obtain_model(const char* path) {
                    parsed.error_message().c_str());
     }
   }
-  std::printf("training a fresh power model (use energy_profiler to cache one)...\n");
-  model::TrainerOptions options;
-  options.grid.intensities = {0.5, 1.0};
-  options.point_duration = util::seconds_to_ns(1);
-  model::Trainer trainer(simcpu::i3_2120(), simcpu::GroundTruthParams{}, options);
-  return trainer.train().model;
+  // No cached model (energy_profiler writes one) — train a fresh quick one.
+  return examples::train_quick_model();
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common.h"
 #include "model/trainer.h"
 #include "os/system.h"
 #include "powerapi/power_meter.h"
@@ -33,9 +34,7 @@ int main(int argc, char** argv) {
             << spec.describe() << "\n";
 
   // --- Step 1: learn the power model (Figure 1) ---
-  model::TrainerOptions options;
-  options.grid.intensities = {0.5, 1.0};  // Small grid: quickstart speed.
-  options.point_duration = util::seconds_to_ns(1);
+  const model::TrainerOptions options = examples::quick_trainer_options();
   model::Trainer trainer(spec, simcpu::GroundTruthParams{}, options);
   std::cout << "Training the CPU power model (sweeping "
             << workloads::make_stress_grid(options.grid).size() << " workloads x "

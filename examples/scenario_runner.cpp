@@ -1,0 +1,160 @@
+// scenario_runner: execute a declarative .scenario file (see DESIGN.md
+// §"Scenario layer" and examples/scenarios/) against the full middleware.
+//
+//   $ ./scenario_runner examples/scenarios/rack8.scenario
+//   $ ./scenario_runner --mode manual --csv out.csv examples/scenarios/big_little.scenario
+//   $ ./scenario_runner --check examples/scenarios/*.scenario   # parse + round-trip
+//
+// --check parses, serializes and re-parses each file, verifying the specs
+// compare equal (the round-trip property CI enforces); --smoke bounds the
+// simulated duration for fast pipeline-wide validation runs.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_parser.h"
+#include "scenario/scenario_runner.h"
+#include "util/arg_parser.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+using namespace powerapi;
+
+namespace {
+
+int check_file(const std::string& path) {
+  const scenario::ScenarioSpec spec = scenario::ScenarioParser::parse_string(
+      [&] {
+        std::ifstream in(path);
+        if (!in) throw std::runtime_error("cannot open scenario file: " + path);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+      }(),
+      path);
+  const std::string text = scenario::serialize(spec);
+  const scenario::ScenarioSpec reparsed =
+      scenario::ScenarioParser::parse_string(text, path + " (serialized)");
+  if (!(reparsed == spec)) {
+    std::fprintf(stderr, "%s: serialize/parse round trip does NOT reproduce the spec\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("OK %-40s scenario '%s': %zu host%s, %zu workload%s, %zu injection%s\n",
+              path.c_str(), spec.name.c_str(), spec.expanded_host_ids().size(),
+              spec.expanded_host_ids().size() == 1 ? "" : "s", spec.workloads.size(),
+              spec.workloads.size() == 1 ? "" : "s", spec.injections.size(),
+              spec.injections.size() == 1 ? "" : "s");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::configure_logging(argc, argv);
+  std::string mode = "threaded";
+  std::string csv_path;
+  std::int64_t duration_s = 0;
+  bool check = false;
+  bool smoke = false;
+  util::ArgParser parser("scenario_runner",
+                         "Run a declarative .scenario file through the PowerAPI "
+                         "middleware (FleetMonitor + pipelines).");
+  parser.add_string("mode", &mode, "dispatch mode: manual (deterministic) or threaded");
+  parser.add_string("csv", &csv_path, "write every aggregated row to this CSV file");
+  parser.add_int64("duration", &duration_s, "cap the simulated seconds (0 = full spec)");
+  parser.add_flag("check", &check, "parse + round-trip the files, run nothing");
+  parser.add_flag("smoke", &smoke, "manual mode, duration capped at 2 s (CI)");
+  if (const auto exit_code = parser.parse(argc, argv)) return *exit_code;
+
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) files.emplace_back(argv[i]);
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: scenario_runner [options] <file.scenario>...\n");
+    return 2;
+  }
+
+  try {
+    if (check) {
+      int rc = 0;
+      for (const std::string& file : files) rc |= check_file(file);
+      return rc;
+    }
+    if (files.size() != 1) {
+      std::fprintf(stderr, "run mode takes exactly one scenario file\n");
+      return 2;
+    }
+
+    scenario::ScenarioSpec spec = scenario::ScenarioParser::parse_file(files[0]);
+    scenario::RunOptions options;
+    if (smoke) mode = "manual";
+    if (mode == "manual") {
+      options.mode = actors::ActorSystem::Mode::kManual;
+    } else if (mode == "threaded") {
+      options.mode = actors::ActorSystem::Mode::kThreaded;
+    } else {
+      std::fprintf(stderr, "unknown --mode '%s' (expected manual or threaded)\n",
+                   mode.c_str());
+      return 2;
+    }
+    if (smoke) options.max_duration = util::seconds_to_ns(2);
+    if (duration_s > 0) options.max_duration = util::seconds_to_ns(duration_s);
+
+    std::printf("=== scenario '%s' (%s): %zu hosts, %.1f s @ %s dispatch ===\n",
+                spec.name.c_str(), files[0].c_str(), spec.expanded_host_ids().size(),
+                util::ns_to_seconds(options.max_duration > 0
+                                        ? std::min(options.max_duration, spec.duration)
+                                        : spec.duration),
+                mode.c_str());
+
+    scenario::ScenarioRunner runner(std::move(spec));
+    const scenario::RunResult result = runner.run(options);
+
+    std::printf("\n%-12s %8s", "host", "rows");
+    std::map<std::string, bool> formulas;
+    for (const auto& host : result.hosts) {
+      for (const auto& row : host.rows) formulas[row.formula] = true;
+    }
+    for (const auto& [formula, _] : formulas) std::printf(" %14s", formula.c_str());
+    std::printf("\n");
+    for (const auto& host : result.hosts) {
+      std::printf("%-12s %8zu", host.id.c_str(), host.rows.size());
+      for (const auto& [formula, _] : formulas) {
+        std::vector<double> watts;
+        for (const auto& row : host.rows) {
+          if (row.formula == formula && row.pid == api::kMachinePid) {
+            watts.push_back(row.watts);
+          }
+        }
+        if (watts.empty()) {
+          std::printf(" %14s", "-");
+        } else {
+          std::printf(" %12.2fW ", util::mean(watts));
+        }
+      }
+      std::printf("\n");
+    }
+    if (!result.fleet.empty()) {
+      std::printf("fleet dimension: %zu rows\n", result.fleet.size());
+    }
+    if (result.model_swaps > 0) {
+      std::printf("calibration: %zu model swap%s\n", result.model_swaps,
+                  result.model_swaps == 1 ? "" : "s");
+    }
+
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+        return 1;
+      }
+      scenario::write_csv(out, result);
+      std::printf("wrote %s\n", csv_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

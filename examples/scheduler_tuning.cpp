@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common.h"
 #include "model/trainer.h"
 #include "os/scheduler.h"
 #include "os/system.h"
@@ -84,11 +85,7 @@ int main(int argc, char** argv) {
   std::printf("=== scheduler_tuning: pick the greenest (placement, DVFS) policy ===\n");
 
   // Train once on the target machine.
-  model::TrainerOptions toptions;
-  toptions.grid.intensities = {0.5, 1.0};
-  toptions.point_duration = util::seconds_to_ns(1);
-  model::Trainer trainer(simcpu::i3_2120(), simcpu::GroundTruthParams{}, toptions);
-  const model::CpuPowerModel power_model = trainer.train().model;
+  const model::CpuPowerModel power_model = examples::train_quick_model();
 
   const std::vector<Candidate> candidates = {
       {"pack   @ 1.6 GHz", false, 1.6e9}, {"pack   @ 3.3 GHz", false, 3.3e9},

@@ -1,0 +1,43 @@
+// Parser for the scenario text format (grammar in DESIGN.md §"Scenario
+// layer"). Strict by construction: unknown keys, bad enum values, duplicate
+// ids, dangling references and truncated sections are all errors, and every
+// error carries the offending <file>:<line> so a scenario typo reads like a
+// compiler diagnostic, never a crash or a silently-ignored setting.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "scenario/scenario_spec.h"
+
+namespace powerapi::scenario {
+
+/// Thrown on any parse or validation failure; what() starts with
+/// "<file>:<line>:".
+class ScenarioError : public std::runtime_error {
+ public:
+  ScenarioError(const std::string& file, std::size_t line, const std::string& message)
+      : std::runtime_error(file + ":" + std::to_string(line) + ": " + message),
+        file_(file),
+        line_(line) {}
+
+  const std::string& file() const noexcept { return file_; }
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::string file_;
+  std::size_t line_;
+};
+
+class ScenarioParser {
+ public:
+  /// Parses scenario text; `filename` labels diagnostics only.
+  static ScenarioSpec parse_string(std::string_view text, const std::string& filename);
+
+  /// Reads and parses a scenario file; throws ScenarioError (parse errors)
+  /// or std::runtime_error (unreadable file).
+  static ScenarioSpec parse_file(const std::string& path);
+};
+
+}  // namespace powerapi::scenario

@@ -1,0 +1,356 @@
+#include "scenario/scenario_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "hpc/events.h"
+#include "model/trainer.h"
+#include "os/system.h"
+#include "powerapi/fleet_monitor.h"
+#include "util/rng.h"
+#include "workloads/behaviors.h"
+#include "workloads/stress.h"
+#include "workloads/zoo.h"
+
+namespace powerapi::scenario {
+
+namespace {
+
+simcpu::CpuSpec resolve_cpu(const CpuDecl& decl) {
+  if (decl.preset == "i3_2120") return simcpu::i3_2120();
+  if (decl.preset == "i3_2120_no_smt") return simcpu::i3_2120_no_smt();
+  if (decl.preset == "i7_2600") return simcpu::i7_2600();
+  if (decl.preset == "quad_core") return simcpu::quad_core();
+  if (decl.preset == "big_little") return simcpu::big_little();
+  // Custom part.
+  simcpu::CpuSpec spec;
+  spec.vendor = "Scenario";
+  spec.model = decl.id;
+  spec.cores = decl.cores;
+  spec.threads_per_core = decl.threads_per_core;
+  spec.tdp_watts = decl.tdp_watts;
+  spec.speedstep = decl.speedstep;
+  spec.c_states = decl.c_states;
+  spec.turbo_boost = false;
+  if (!decl.clusters.empty()) {
+    for (const CpuDecl::Cluster& cl : decl.clusters) {
+      simcpu::CoreClusterSpec cluster;
+      cluster.name = cl.name;
+      cluster.cores = cl.cores;
+      cluster.frequencies_hz = cl.ladder;
+      cluster.perf_scale = cl.perf;
+      cluster.energy_scale = cl.energy;
+      spec.clusters.push_back(std::move(cluster));
+    }
+    spec.frequencies_hz = spec.clusters.front().frequencies_hz;
+  } else {
+    spec.frequencies_hz = decl.ladder;
+  }
+  spec.caches = {
+      {"L1d", 32 * 1024, false, 4},
+      {"L2", 256 * 1024, false, 12},
+      {"L3", 4 * 1024 * 1024, true, 30},
+  };
+  try {
+    spec.validate();
+  } catch (const std::exception& e) {
+    throw std::runtime_error("scenario cpu '" + decl.id + "': " + e.what());
+  }
+  return spec;
+}
+
+simcpu::ExecProfile resolve_profile(const ProfileSpec& p) {
+  if (p.kind == "cpu") return workloads::cpu_stress(p.intensity);
+  if (p.kind == "memory") return workloads::memory_stress(p.working_set_bytes, p.intensity);
+  if (p.kind == "mixed") {
+    return workloads::mixed_stress(p.memory_share, p.working_set_bytes, p.intensity);
+  }
+  if (p.kind == "branchy") return workloads::branchy_stress(p.intensity);
+  return workloads::idle_profile();
+}
+
+/// Builds one behavior instance. `instance`/`instances` index this copy
+/// among every instance of the declaration scenario-wide (diurnal phase
+/// spreading); `rng` is already forked uniquely for this instance.
+std::unique_ptr<os::TaskBehavior> make_behavior(const WorkloadDecl& w, util::Rng rng,
+                                                std::size_t instance,
+                                                std::size_t instances) {
+  std::unique_ptr<os::TaskBehavior> behavior;
+  if (w.kind == "steady") {
+    behavior = std::make_unique<workloads::SteadyBehavior>(resolve_profile(w.profile),
+                                                           w.duration);
+  } else if (w.kind == "bursty") {
+    behavior = std::make_unique<workloads::BurstyBehavior>(
+        resolve_profile(w.profile), w.mean_burst, w.mean_gap, w.duration, rng.fork(1));
+  } else if (w.kind == "phased") {
+    std::vector<workloads::Phase> phases;
+    for (const PhaseSpec& phase : w.phases) {
+      phases.push_back({resolve_profile(phase.profile), phase.duration});
+    }
+    behavior = std::make_unique<workloads::PhasedBehavior>(std::move(phases), w.loop);
+  } else if (w.kind == "llm") {
+    workloads::LlmInferenceBehavior::Options options;
+    options.mean_interarrival = w.mean_interarrival;
+    options.mean_prefill = w.mean_prefill;
+    options.mean_decode = w.mean_decode;
+    options.working_set_bytes = w.working_set_bytes;
+    options.duration = w.duration;
+    behavior = workloads::make_llm_inference(options, rng.fork(1));
+  } else if (w.kind == "diurnal") {
+    workloads::DiurnalBehavior::Options options;
+    options.peak_profile = resolve_profile(w.profile);
+    options.period = w.period;
+    options.valley_load = w.valley;
+    options.peak_load = w.peak;
+    if (!w.flash_crowds) options.mean_flash_interarrival = 0;
+    if (w.spread_phase && instances > 1) {
+      options.phase_offset = static_cast<util::DurationNs>(
+          static_cast<double>(w.period) * static_cast<double>(instance) /
+          static_cast<double>(instances));
+    }
+    options.duration = w.duration;
+    behavior = workloads::make_diurnal(options, rng.fork(1));
+  } else {
+    throw std::runtime_error("scenario workload '" + w.id + "': unknown kind '" + w.kind +
+                             "'");
+  }
+  if (w.jitter) {
+    behavior = std::make_unique<workloads::JitterBehavior>(std::move(behavior), rng.fork(2));
+  }
+  return behavior;
+}
+
+model::CpuPowerModel fixed_model(const FormulaSpec& formula, const simcpu::CpuSpec& cpu) {
+  std::vector<model::FrequencyFormula> formulas;
+  const double hz_max = cpu.max_frequency_hz();
+  for (const double hz : cpu.frequencies_hz) {
+    model::FrequencyFormula f;
+    f.frequency_hz = hz;
+    f.events.assign(hpc::paper_events().begin(), hpc::paper_events().end());
+    const double scale = hz / hz_max;
+    for (const double c : formula.coefficients) f.coefficients.push_back(c * scale);
+    formulas.push_back(std::move(f));
+  }
+  return model::CpuPowerModel(formula.idle_watts, std::move(formulas));
+}
+
+model::CpuPowerModel trained_model(const FormulaSpec& formula, const simcpu::CpuSpec& cpu,
+                                   std::uint64_t seed) {
+  model::TrainerOptions options;
+  options.grid.intensities = formula.intensities;
+  if (!formula.memory_shares.empty()) options.grid.memory_shares = formula.memory_shares;
+  options.point_duration = formula.point_duration;
+  options.seed = seed;
+  model::Trainer trainer(cpu, simcpu::GroundTruthParams{}, options);
+  return trainer.train().model;
+}
+
+api::AggregationDimension resolve_dimension(const std::string& name) {
+  if (name == "pid") return api::AggregationDimension::kPid;
+  if (name == "group") return api::AggregationDimension::kGroup;
+  return api::AggregationDimension::kTimestamp;
+}
+
+std::string hex_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  return buffer;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const RunResult& result) {
+  out << "host,formula,timestamp,pid,group,watts\n";
+  for (const HostSeries& host : result.hosts) {
+    for (const api::AggregatedPower& row : host.rows) {
+      out << host.id << ',' << row.formula << ',' << row.timestamp << ',' << row.pid
+          << ',' << row.group << ',' << hex_double(row.watts) << '\n';
+    }
+  }
+  for (const api::AggregatedPower& row : result.fleet) {
+    out << "(fleet)," << row.formula << ',' << row.timestamp << ',' << row.pid << ','
+        << row.group << ',' << hex_double(row.watts) << '\n';
+  }
+}
+
+/// Everything the run owns; hidden so the header stays light.
+struct ScenarioRunner::Impl {
+  struct Host {
+    std::string id;
+    const HostDecl* decl = nullptr;
+    std::unique_ptr<os::System> system;
+    /// Process name → live pids, for kill/shift injections.
+    std::multimap<std::string, os::Pid> named_pids;
+    util::Rng rng{0};
+    std::size_t spawn_counter = 0;
+  };
+  std::vector<Host> hosts;
+  bool ran = false;
+};
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
+    : spec_(std::move(spec)), impl_(std::make_unique<Impl>()) {}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+RunResult ScenarioRunner::run(const RunOptions& options) {
+  if (impl_->ran) throw std::logic_error("ScenarioRunner: one run per runner");
+  impl_->ran = true;
+
+  // --- Resolve CPUs and models (one per distinct cpu declaration) ---
+  std::map<std::string, simcpu::CpuSpec> cpu_specs;
+  std::map<std::string, model::CpuPowerModel> cpu_models;
+  for (const CpuDecl& decl : spec_.cpus) cpu_specs.emplace(decl.id, resolve_cpu(decl));
+  for (const auto& [id, cpu] : cpu_specs) {
+    if (spec_.formula.mode == "fixed") {
+      cpu_models.emplace(id, fixed_model(spec_.formula, cpu));
+    } else if (spec_.formula.mode == "trained") {
+      cpu_models.emplace(id, trained_model(spec_.formula, cpu, spec_.seed));
+    }
+  }
+
+  // --- Count instances per workload (diurnal phase spreading) ---
+  std::map<std::string, std::size_t> workload_instances;
+  for (const HostDecl& h : spec_.hosts) {
+    for (const RunDecl& r : h.runs) workload_instances[r.workload] += h.count * r.copies;
+  }
+  std::map<std::string, const WorkloadDecl*> workloads_by_id;
+  for (const WorkloadDecl& w : spec_.workloads) workloads_by_id.emplace(w.id, &w);
+  std::map<std::string, std::size_t> next_instance;
+
+  // --- Build hosts ---
+  const util::Rng base_rng(spec_.seed);
+  std::size_t host_index = 0;
+  for (const HostDecl& decl : spec_.hosts) {
+    for (std::size_t copy = 0; copy < decl.count; ++copy, ++host_index) {
+      Impl::Host host;
+      host.id = decl.count <= 1 ? decl.id : decl.id + std::to_string(copy);
+      host.decl = &decl;
+      host.rng = base_rng.fork(1000 + host_index);
+      os::System::Options sys_options;
+      sys_options.tick_ns = spec_.tick;
+      host.system = std::make_unique<os::System>(cpu_specs.at(decl.cpu),
+                                                 std::move(sys_options));
+      if (decl.daemon) {
+        host.system->spawn("kdaemon", workloads::make_background_daemon(host.rng.fork(0)));
+      }
+      for (const RunDecl& r : decl.runs) {
+        const WorkloadDecl& w = *workloads_by_id.at(r.workload);
+        for (std::size_t i = 0; i < r.copies; ++i) {
+          const std::size_t instance = next_instance[r.workload]++;
+          auto behavior = make_behavior(w, host.rng.fork(10 + host.spawn_counter++),
+                                        instance, workload_instances[r.workload]);
+          const os::Pid pid = host.system->spawn(r.name, std::move(behavior));
+          host.named_pids.emplace(r.name, pid);
+        }
+      }
+      impl_->hosts.push_back(std::move(host));
+    }
+  }
+
+  // --- Wire the fleet ---
+  api::FleetMonitor::Options fleet_options;
+  fleet_options.mode = options.mode;
+  fleet_options.workers = spec_.workers;
+  fleet_options.fleet_aggregation = spec_.fleet_aggregation;
+  fleet_options.hosts_per_chunk = spec_.hosts_per_chunk;
+  api::FleetMonitor fleet(fleet_options);
+
+  std::atomic<std::size_t> swaps{0};
+  std::vector<api::MemoryReporter*> reporters;
+  for (Impl::Host& host : impl_->hosts) {
+    api::PipelineSpec pipeline;
+    pipeline.period = spec_.monitor.period;
+    pipeline.with_powerspy = spec_.monitor.powerspy;
+    pipeline.with_rapl = spec_.monitor.rapl;
+    pipeline.dimension = resolve_dimension(spec_.monitor.dimension);
+    pipeline.seed = spec_.seed;
+    const auto model_it = cpu_models.find(host.decl->cpu);
+    if (model_it != cpu_models.end()) pipeline.model = model_it->second;
+    if (spec_.calibration.enabled) {
+      pipeline.with_calibration = true;
+      pipeline.calibration.drift_window = spec_.calibration.drift_window;
+      pipeline.calibration.drift_threshold_watts = spec_.calibration.threshold_watts;
+      pipeline.calibration.min_samples_per_fit = spec_.calibration.min_samples;
+      pipeline.calibration.min_refit_interval = spec_.calibration.refit_interval;
+    }
+    const std::size_t index = fleet.add_host(*host.system, std::move(pipeline));
+    reporters.push_back(&fleet.add_memory_reporter(index));
+    if (spec_.monitor.all) {
+      fleet.monitor_all(index);
+    } else {
+      fleet.monitor(index, {});
+    }
+    if (spec_.calibration.enabled) {
+      fleet.pipeline(index).add_model_update_callback(
+          [&swaps](const api::ModelUpdated&) { swaps.fetch_add(1); });
+    }
+  }
+  api::MemoryReporter* fleet_reporter =
+      spec_.fleet_aggregation ? &fleet.add_fleet_reporter() : nullptr;
+
+  // --- Simulate, pausing at injection times ---
+  util::DurationNs duration = spec_.duration;
+  if (options.max_duration > 0) duration = std::min(duration, options.max_duration);
+
+  std::vector<const InjectDecl*> injections;
+  for (const InjectDecl& inj : spec_.injections) {
+    if (inj.at <= duration) injections.push_back(&inj);
+  }
+  std::stable_sort(injections.begin(), injections.end(),
+                   [](const InjectDecl* a, const InjectDecl* b) { return a->at < b->at; });
+
+  auto apply = [&](const InjectDecl& inj) {
+    for (Impl::Host& host : impl_->hosts) {
+      if (inj.host != "all" && inj.host != host.id) continue;
+      if (inj.kind == "frequency") {
+        host.system->pin_frequency(inj.frequency_hz);
+        continue;
+      }
+      if (inj.kind == "kill" || inj.kind == "shift") {
+        const auto [begin, end] = host.named_pids.equal_range(inj.name);
+        for (auto it = begin; it != end; ++it) host.system->kill(it->second);
+        host.named_pids.erase(begin, end);
+      }
+      if (inj.kind == "spawn" || inj.kind == "shift") {
+        const WorkloadDecl& w = *workloads_by_id.at(inj.workload);
+        auto behavior = make_behavior(w, host.rng.fork(10 + host.spawn_counter++),
+                                      /*instance=*/0, /*instances=*/1);
+        const os::Pid pid = host.system->spawn(inj.name, std::move(behavior));
+        host.named_pids.emplace(inj.name, pid);
+      }
+    }
+  };
+
+  util::TimestampNs now = 0;
+  std::size_t next = 0;
+  while (next < injections.size()) {
+    const util::TimestampNs at = injections[next]->at;
+    if (at > now) {
+      fleet.run_for(at - now);
+      now = at;
+    }
+    while (next < injections.size() && injections[next]->at == at) {
+      apply(*injections[next]);
+      ++next;
+    }
+  }
+  if (duration > now) fleet.run_for(duration - now);
+  fleet.finish();
+
+  // --- Collect ---
+  RunResult result;
+  for (std::size_t i = 0; i < impl_->hosts.size(); ++i) {
+    result.hosts.push_back({impl_->hosts[i].id, reporters[i]->all()});
+  }
+  if (fleet_reporter) result.fleet = fleet_reporter->all();
+  result.model_swaps = swaps.load();
+  return result;
+}
+
+}  // namespace powerapi::scenario

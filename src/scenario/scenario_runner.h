@@ -1,0 +1,63 @@
+// ScenarioRunner: lowers a validated ScenarioSpec onto the real middleware —
+// builds one os::System per expanded host (CpuSpec from the declaration,
+// workloads from the zoo/stress factories, all RNG streams forked from the
+// scenario seed), obtains the regression model per the formula mode, wires
+// every host into one FleetMonitor (kManual for bit-exact determinism or
+// threaded for throughput), applies timed injections between run chunks and
+// returns every aggregated row for inspection or CSV export.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actors/actor_system.h"
+#include "powerapi/messages.h"
+#include "scenario/scenario_spec.h"
+
+namespace powerapi::scenario {
+
+struct RunOptions {
+  actors::ActorSystem::Mode mode = actors::ActorSystem::Mode::kManual;
+  /// Caps the simulated duration; <= 0 runs the spec's full duration. CI
+  /// smoke runs use this to bound long scenarios.
+  util::DurationNs max_duration = 0;
+};
+
+/// One host's aggregated output, labelled with its expanded id.
+struct HostSeries {
+  std::string id;
+  std::vector<api::AggregatedPower> rows;
+};
+
+struct RunResult {
+  std::vector<HostSeries> hosts;            ///< Expanded-declaration order.
+  std::vector<api::AggregatedPower> fleet;  ///< "(fleet)" rows; may be empty.
+  std::size_t model_swaps = 0;              ///< Calibration registry swaps.
+};
+
+/// Writes the result as CSV: host,formula,timestamp,pid,group,watts — watts
+/// in C99 hexfloat so byte-identical files mean bit-identical runs.
+void write_csv(std::ostream& out, const RunResult& result);
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioSpec spec);
+  ~ScenarioRunner();
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  const ScenarioSpec& spec() const noexcept { return spec_; }
+
+  /// Builds the fleet and simulates the scenario. One run per runner.
+  RunResult run(const RunOptions& options = {});
+
+ private:
+  struct Impl;
+  ScenarioSpec spec_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace powerapi::scenario

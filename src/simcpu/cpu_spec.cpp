@@ -35,6 +35,16 @@ std::size_t CpuSpec::frequency_index(double hz) const {
   throw std::invalid_argument("CpuSpec: frequency not in DVFS ladder");
 }
 
+std::size_t CpuSpec::cluster_of_core(std::size_t core) const noexcept {
+  if (clusters.empty()) return 0;
+  std::size_t first = 0;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    first += clusters[c].cores;
+    if (core < first) return c;
+  }
+  return clusters.size() - 1;
+}
+
 std::vector<double> CpuSpec::all_frequencies_hz() const {
   std::vector<double> all = frequencies_hz;
   all.insert(all.end(), turbo_frequencies_hz.begin(), turbo_frequencies_hz.end());
@@ -55,6 +65,12 @@ std::string CpuSpec::describe() const {
   for (const auto& c : caches) {
     out << c.name << " cache          " << c.bytes / 1024 << " KB"
         << (c.shared ? " (shared)" : " / core") << "\n";
+  }
+  for (const auto& cl : clusters) {
+    out << "Cluster " << cl.name << "       " << cl.cores << " cores, "
+        << util::hz_to_ghz(cl.frequencies_hz.front()) << "-"
+        << util::hz_to_ghz(cl.frequencies_hz.back()) << " GHz, perf "
+        << cl.perf_scale << "x, energy " << cl.energy_scale << "x\n";
   }
   return out.str();
 }
@@ -86,6 +102,46 @@ void CpuSpec::validate() const {
     }
     if (turbo_frequencies_hz.front() <= frequencies_hz.back()) {
       throw std::invalid_argument("CpuSpec: turbo bins must exceed the nominal maximum");
+    }
+  }
+  if (!clusters.empty()) {
+    if (turbo_boost) {
+      throw std::invalid_argument("CpuSpec: TurboBoost unsupported on clustered parts");
+    }
+    std::size_t total = 0;
+    for (const auto& cl : clusters) {
+      if (cl.name.empty()) throw std::invalid_argument("CpuSpec: cluster without a name");
+      if (cl.cores == 0) throw std::invalid_argument("CpuSpec: cluster with zero cores");
+      if (cl.frequencies_hz.empty()) {
+        throw std::invalid_argument("CpuSpec: cluster '" + cl.name + "' has an empty ladder");
+      }
+      if (!std::is_sorted(cl.frequencies_hz.begin(), cl.frequencies_hz.end())) {
+        throw std::invalid_argument("CpuSpec: cluster '" + cl.name +
+                                    "' ladder must be ascending");
+      }
+      for (double f : cl.frequencies_hz) {
+        if (f <= 0) {
+          throw std::invalid_argument("CpuSpec: cluster '" + cl.name +
+                                      "' has a non-positive frequency");
+        }
+      }
+      if (cl.perf_scale <= 0 || cl.energy_scale <= 0) {
+        throw std::invalid_argument("CpuSpec: cluster '" + cl.name +
+                                    "' scales must be positive");
+      }
+      for (const auto& other : clusters) {
+        if (&other != &cl && other.name == cl.name) {
+          throw std::invalid_argument("CpuSpec: duplicate cluster name '" + cl.name + "'");
+        }
+      }
+      total += cl.cores;
+    }
+    if (total != cores) {
+      throw std::invalid_argument("CpuSpec: cluster core counts must sum to `cores`");
+    }
+    if (clusters.front().frequencies_hz != frequencies_hz) {
+      throw std::invalid_argument(
+          "CpuSpec: cluster 0 is the primary domain; its ladder must equal frequencies_hz");
     }
   }
 }
@@ -150,6 +206,43 @@ CpuSpec i7_2600() {
   spec.speedstep = true;
   spec.c_states = true;
   spec.caches = sandy_bridge_caches(8 * 1024 * 1024);
+  spec.validate();
+  return spec;
+}
+
+CpuSpec big_little() {
+  CpuSpec spec;
+  spec.vendor = "SimSoC";
+  spec.model = "bL-6 (2 big + 4 LITTLE)";
+  spec.cores = 6;
+  spec.threads_per_core = 1;  // Neither mobile cluster runs SMT.
+  CoreClusterSpec big;
+  big.name = "big";
+  big.cores = 2;
+  for (double ghz = 1.0; ghz < 2.65; ghz += 0.4) {
+    big.frequencies_hz.push_back(util::ghz_to_hz(ghz));
+  }
+  big.perf_scale = 1.0;
+  big.energy_scale = 1.0;
+  CoreClusterSpec little;
+  little.name = "little";
+  little.cores = 4;
+  for (double ghz = 0.6; ghz < 1.55; ghz += 0.3) {
+    little.frequencies_hz.push_back(util::ghz_to_hz(ghz));
+  }
+  little.perf_scale = 0.55;
+  little.energy_scale = 0.35;
+  spec.frequencies_hz = big.frequencies_hz;  // Cluster 0 = primary domain.
+  spec.clusters = {std::move(big), std::move(little)};
+  spec.tdp_watts = 12.0;
+  spec.speedstep = true;
+  spec.turbo_boost = false;
+  spec.c_states = true;
+  spec.caches = {
+      {"L1d", 32 * 1024, false, 4},
+      {"L2", 128 * 1024, false, 10},
+      {"L3", 2 * 1024 * 1024, true, 28},
+  };
   spec.validate();
   return spec;
 }

@@ -14,6 +14,29 @@ struct CacheLevelSpec {
   double hit_cycles = 4;   ///< Access latency in core cycles.
 };
 
+/// One core type of a heterogeneous (big.LITTLE-style) part: its own DVFS
+/// ladder and execution/energy character. Cores are laid out in cluster
+/// declaration order — cluster 0 owns cores [0, cores), cluster 1 the next
+/// block, and so on — and cluster 0 is the package's PRIMARY frequency
+/// domain: its ladder must equal CpuSpec::frequencies_hz, so every consumer
+/// that sweeps or bins by the package ladder (governor, trainer,
+/// per-frequency formulas) keeps working unchanged on heterogeneous parts.
+struct CoreClusterSpec {
+  std::string name;                    ///< "big", "little".
+  std::size_t cores = 0;
+  std::vector<double> frequencies_hz;  ///< Cluster DVFS ladder, ascending.
+  /// Issue-width multiplier on retired IPC: the same code's base CPI is
+  /// divided by this (out-of-order big core = 1.0; an in-order LITTLE at
+  /// ~0.5 needs twice the cycles per instruction).
+  double perf_scale = 1.0;
+  /// Energy multiplier on the cluster's switching activity and C0 static
+  /// power, normalized at the cluster's own f_max (a LITTLE core spends a
+  /// fraction of a big core's energy per instruction).
+  double energy_scale = 1.0;
+
+  bool operator==(const CoreClusterSpec&) const = default;
+};
+
 /// Full machine specification. `i3_2120()` reproduces the paper's Table 1;
 /// variants (SMT off, more cores) are derived for the baseline experiments.
 struct CpuSpec {
@@ -31,9 +54,22 @@ struct CpuSpec {
   bool turbo_boost = false;
   bool c_states = true;
   std::vector<CacheLevelSpec> caches;
+  /// Heterogeneous core types. Empty = homogeneous (every core runs the
+  /// package ladder at scale 1.0). When present, the cluster core counts
+  /// must sum to `cores`, cluster 0's ladder must equal `frequencies_hz`,
+  /// and TurboBoost must be off (turbo is a package-global mechanism).
+  std::vector<CoreClusterSpec> clusters;
 
   std::size_t hw_threads() const noexcept { return cores * threads_per_core; }
   bool smt() const noexcept { return threads_per_core > 1; }
+  bool heterogeneous() const noexcept { return !clusters.empty(); }
+  /// Number of frequency domains: clusters.size(), or 1 when homogeneous.
+  std::size_t cluster_count() const noexcept {
+    return clusters.empty() ? 1 : clusters.size();
+  }
+  /// Cluster owning `core` (0 for homogeneous parts; core out of range is
+  /// clamped to the last cluster).
+  std::size_t cluster_of_core(std::size_t core) const noexcept;
   double min_frequency_hz() const;
   double max_frequency_hz() const;
   /// Nearest ladder frequency to `hz`; throws if the ladder is empty.
@@ -70,5 +106,12 @@ CpuSpec quad_core();
 /// TurboBoost bins 3.5–3.8 GHz — exercises the turbo-aware code paths the
 /// i3-2120 (Table 1: TurboBoost absent) cannot.
 CpuSpec i7_2600();
+
+/// A big.LITTLE-style SoC in the mold of the heterogeneous parts Mazzola et
+/// al. fit per-domain power models on: 2 out-of-order "big" cores
+/// (1.0–2.6 GHz) plus 4 in-order "LITTLE" cores (0.6–1.5 GHz at ~0.55×
+/// the IPC and ~0.35× the energy per unit activity), no SMT, shared 2 MB
+/// LLC. Cluster 0 (big) is the primary frequency domain.
+CpuSpec big_little();
 
 }  // namespace powerapi::simcpu

@@ -5,9 +5,14 @@
 
 namespace powerapi::simcpu {
 
-VoltageTable::VoltageTable(const CpuSpec& spec, double v_min, double v_max) {
+VoltageTable::VoltageTable(const CpuSpec& spec, double v_min, double v_max)
+    : VoltageTable(spec.frequencies_hz, spec.turbo_frequencies_hz, v_min, v_max) {}
+
+VoltageTable::VoltageTable(const std::vector<double>& ladder,
+                           const std::vector<double>& turbo, double v_min,
+                           double v_max) {
   if (v_min <= 0 || v_max < v_min) throw std::invalid_argument("VoltageTable: bad voltage range");
-  freqs_ = spec.frequencies_hz;
+  freqs_ = ladder;
   if (freqs_.empty()) throw std::invalid_argument("VoltageTable: empty ladder");
   volts_.resize(freqs_.size());
   const double f_lo = freqs_.front();
@@ -19,8 +24,8 @@ VoltageTable::VoltageTable(const CpuSpec& spec, double v_min, double v_max) {
   // Turbo bins ride above nominal max at a steeper voltage ramp (the VID
   // bump per 100 MHz bin on Sandy Bridge parts).
   constexpr double kTurboVoltsPerBin = 0.035;
-  for (std::size_t i = 0; i < spec.turbo_frequencies_hz.size(); ++i) {
-    freqs_.push_back(spec.turbo_frequencies_hz[i]);
+  for (std::size_t i = 0; i < turbo.size(); ++i) {
+    freqs_.push_back(turbo[i]);
     volts_.push_back(v_max + kTurboVoltsPerBin * static_cast<double>(i + 1));
   }
   nominal_max_hz_ = f_hi;

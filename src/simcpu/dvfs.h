@@ -17,6 +17,11 @@ class VoltageTable {
   /// frequency to `v_min` volts and the highest to `v_max` volts.
   VoltageTable(const CpuSpec& spec, double v_min = 0.85, double v_max = 1.10);
 
+  /// Builds the table for one frequency domain (a big.LITTLE cluster):
+  /// `ladder` plus optional turbo bins above it, same voltage endpoints.
+  VoltageTable(const std::vector<double>& ladder, const std::vector<double>& turbo,
+               double v_min, double v_max);
+
   /// Core voltage at `hz`; `hz` must be a ladder frequency (1 Hz tolerance)
   /// — off-ladder values are interpolated, below/above are clamped.
   double voltage_at(double hz) const noexcept;

@@ -19,25 +19,78 @@ constexpr double kBranchFlushCycles = 15.0;
 /// the classic ~25% SMT gain.
 constexpr double kSmtIssueShare = 0.62;
 constexpr double kCacheLineBytes = 64.0;
+
+double closest_on_ladder(const std::vector<double>& ladder, double hz) {
+  double best = ladder.front();
+  for (double f : ladder) {
+    if (std::abs(f - hz) < std::abs(best - hz)) best = f;
+  }
+  return best;
+}
 }  // namespace
 
 Machine::Machine(CpuSpec spec, GroundTruthParams params)
     : spec_(std::move(spec)),
       params_(params),
-      voltages_(spec_, params.v_min, params.v_max),
       cache_(spec_, spec_.hw_threads()),
       thread_counters_(spec_.hw_threads()) {
   spec_.validate();
   params_.cstates.enabled = spec_.c_states;
   core_cstates_.assign(spec_.cores, CoreCState(params_.cstates));
-  frequency_hz_ = spec_.max_frequency_hz();
-  effective_hz_ = frequency_hz_;
+  // One frequency domain per cluster; a homogeneous part is one pseudo
+  // cluster spanning every core at scale 1.0 (the arithmetic then reduces
+  // bit-for-bit to the single-domain form).
+  const std::size_t domains = spec_.cluster_count();
+  for (std::size_t c = 0; c < domains; ++c) {
+    if (spec_.heterogeneous()) {
+      const CoreClusterSpec& cl = spec_.clusters[c];
+      cluster_voltages_.emplace_back(cl.frequencies_hz, std::vector<double>{},
+                                     params_.v_min, params_.v_max);
+      cluster_freq_hz_.push_back(cl.frequencies_hz.back());
+      cluster_ladder_max_.push_back(cl.frequencies_hz.back());
+      cluster_perf_.push_back(cl.perf_scale);
+      cluster_energy_.push_back(cl.energy_scale);
+    } else {
+      cluster_voltages_.emplace_back(spec_, params_.v_min, params_.v_max);
+      cluster_freq_hz_.push_back(spec_.max_frequency_hz());
+      cluster_ladder_max_.push_back(spec_.max_frequency_hz());
+      cluster_perf_.push_back(1.0);
+      cluster_energy_.push_back(1.0);
+    }
+  }
+  core_cluster_.resize(spec_.cores);
+  for (std::size_t core = 0; core < spec_.cores; ++core) {
+    core_cluster_[core] = static_cast<std::uint32_t>(spec_.cluster_of_core(core));
+  }
+  cluster_eff_hz_.resize(domains);
+  cluster_dyn_scale_.resize(domains);
+  cluster_static_scale_.resize(domains);
+  cluster_dram_latency_cycles_.resize(domains);
+  effective_hz_ = cluster_freq_hz_[0];
 }
 
 double Machine::set_frequency(double hz) {
-  if (!spec_.speedstep) return frequency_hz_;
-  frequency_hz_ = spec_.closest_frequency_hz(hz);
-  return frequency_hz_;
+  if (!spec_.speedstep) return cluster_freq_hz_[0];
+  cluster_freq_hz_[0] = spec_.closest_frequency_hz(hz);
+  // Secondary domains follow proportionally on their own ladders.
+  const double primary_max = cluster_ladder_max_[0];
+  for (std::size_t c = 1; c < cluster_freq_hz_.size(); ++c) {
+    cluster_freq_hz_[c] = closest_on_ladder(
+        spec_.clusters[c].frequencies_hz, hz * cluster_ladder_max_[c] / primary_max);
+  }
+  return cluster_freq_hz_[0];
+}
+
+double Machine::set_cluster_frequency(std::size_t cluster, double hz) {
+  if (cluster >= cluster_freq_hz_.size()) {
+    throw std::invalid_argument("Machine::set_cluster_frequency: no such cluster");
+  }
+  if (!spec_.speedstep) return cluster_freq_hz_[cluster];
+  const std::vector<double>& ladder = spec_.heterogeneous()
+                                          ? spec_.clusters[cluster].frequencies_hz
+                                          : spec_.frequencies_hz;
+  cluster_freq_hz_[cluster] = closest_on_ladder(ladder, hz);
+  return cluster_freq_hz_[cluster];
 }
 
 const CounterBlock& Machine::thread_counters(std::size_t hw_thread) const {
@@ -58,9 +111,11 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
 
   // TurboBoost: with the set point at nominal max and few busy cores, the
   // clock rises into the per-active-core turbo table (last bin = 1 core).
-  double f = frequency_hz_;
+  // Turbo only exists on single-domain parts (validated), so it adjusts the
+  // primary cluster alone.
+  double f0 = cluster_freq_hz_[0];
   if (!spec_.turbo_frequencies_hz.empty() &&
-      frequency_hz_ >= spec_.max_frequency_hz() - 1.0) {
+      cluster_freq_hz_[0] >= spec_.max_frequency_hz() - 1.0) {
     scratch_.core_has_work.assign(spec_.cores, 0);
     std::size_t busy_cores = 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -72,13 +127,21 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
     }
     const auto& turbo = spec_.turbo_frequencies_hz;
     if (busy_cores >= 1 && busy_cores <= turbo.size()) {
-      f = turbo[turbo.size() - busy_cores];
+      f0 = turbo[turbo.size() - busy_cores];
     }
   }
-  effective_hz_ = f;
+  effective_hz_ = f0;
 
-  const double dyn_scale = voltages_.dynamic_scale(f);
-  const double static_scale = voltages_.static_scale(f);
+  // Per-domain effective frequency and V²f scale factors for this tick.
+  for (std::size_t c = 0; c < cluster_eff_hz_.size(); ++c) {
+    const double fc = c == 0 ? f0 : cluster_freq_hz_[c];
+    cluster_eff_hz_[c] = fc;
+    cluster_dyn_scale_[c] = cluster_voltages_[c].dynamic_scale(fc);
+    cluster_static_scale_[c] = cluster_voltages_[c].static_scale(fc);
+    // DRAM latency is fixed in wall time, so its cost in core cycles scales
+    // with that core's clock.
+    cluster_dram_latency_cycles_[c] = kDramLatencyNs * 1e-9 * fc;
+  }
 
   // --- Pass 1: cache demands (rates only; independent of retired counts) ---
   scratch_.demands.assign(n, CacheDemand{});
@@ -89,8 +152,10 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
     CacheDemand d;
     d.active = true;
     d.working_set_bytes = w.profile.working_set_bytes;
-    const double optimistic_ips =
-        f / std::max(0.05, w.profile.cpi_base) * w.profile.active_fraction;
+    const std::size_t cl = core_cluster_[i / tpc];
+    const double optimistic_ips = cluster_eff_hz_[cl] /
+                                  std::max(0.05, w.profile.cpi_base) *
+                                  w.profile.active_fraction * cluster_perf_[cl];
     d.llc_refs_per_sec = optimistic_ips * w.profile.cache_refs_per_kinstr / 1000.0;
     d.intrinsic_miss_ratio = w.profile.intrinsic_miss_ratio;
     demands[i] = d;
@@ -124,8 +189,6 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
     if (demands[i].active) core_active_threads[i / tpc]++;
   }
 
-  const double dram_latency_cycles = kDramLatencyNs * 1e-9 * f;
-
   for (std::size_t i = 0; i < n; ++i) {
     auto& out = result.threads[i];
     out.task_id = work[i].task_id;
@@ -133,6 +196,9 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
 
     const auto& p = work[i].profile;
     const std::size_t core = i / tpc;
+    const std::size_t cl = core_cluster_[core];
+    const double f = cluster_eff_hz_[cl];
+    const double dram_latency_cycles = cluster_dram_latency_cycles_[cl];
     const bool smt_shared = core_active_threads[core] > 1;
     const double issue_share = smt_shared ? kSmtIssueShare : 1.0;
 
@@ -155,8 +221,9 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
     const double branch_stall_per_instr =
         p.branches_per_kinstr / 1000.0 * p.branch_miss_ratio * kBranchFlushCycles;
 
-    const double effective_cpi =
-        std::max(0.05, p.cpi_base) / issue_share + mem_stall_per_instr + branch_stall_per_instr;
+    const double effective_cpi = std::max(0.05, p.cpi_base) /
+                                     (issue_share * cluster_perf_[cl]) +
+                                 mem_stall_per_instr + branch_stall_per_instr;
     const double instructions = cycles / effective_cpi;
 
     CounterBlock d;
@@ -176,7 +243,7 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
         static_cast<std::uint64_t>(std::llround(instructions * branch_stall_per_instr));
     d.bus_cycles = static_cast<std::uint64_t>(std::llround(cycles / 10.0));
     d.ref_cycles =
-        static_cast<std::uint64_t>(std::llround(spec_.max_frequency_hz() * active_s));
+        static_cast<std::uint64_t>(std::llround(cluster_ladder_max_[cl] * active_s));
     if (smt_shared) d.smt_shared_cycles = d.cycles;
 
     out.delta = d;
@@ -193,7 +260,7 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
     // Per-thread activity energy (V²f scaled). The SMT discount applies at
     // core scope below; collect raw activity per core first.
     const double activity_joules =
-        dyn_scale *
+        cluster_dyn_scale_[cl] * cluster_energy_[cl] *
         (instructions * params_.joules_per_instruction * p.instruction_energy_scale +
          cycles * params_.joules_per_cycle +
          branch_misses * params_.joules_per_branch_miss);
@@ -216,8 +283,11 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
     any_core_busy = any_core_busy || busy;
     idle_joules += core_cstates_[core].advance(dt, busy);
     if (busy) {
-      // An active core burns its C0 static power (voltage-scaled).
-      idle_joules += params_.cstates.c0_idle_watts * static_scale * dt_s;
+      // An active core burns its C0 static power (voltage-scaled, sized by
+      // its cluster's silicon).
+      const std::size_t cl = core_cluster_[core];
+      idle_joules += params_.cstates.c0_idle_watts * cluster_static_scale_[cl] *
+                     cluster_energy_[cl] * dt_s;
       const bool both = core_active_threads[core] > 1;
       const double discount = both ? (1.0 - params_.smt_activity_discount) : 1.0;
       dynamic_joules += core_activity_joules[core] * discount;
@@ -249,11 +319,13 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
   for (std::size_t i = 0; i < n; ++i) {
     if (!demands[i].active) continue;
     const std::size_t core = i / tpc;
+    const std::size_t cl = core_cluster_[core];
     const bool both = core_active_threads[core] > 1;
     const double discount = both ? (1.0 - params_.smt_activity_discount) : 1.0;
     const double static_share =
         core_busy[core]
-            ? params_.cstates.c0_idle_watts * static_scale * dt_s /
+            ? params_.cstates.c0_idle_watts * cluster_static_scale_[cl] *
+                  cluster_energy_[cl] * dt_s /
                   static_cast<double>(core_active_threads[core])
             : 0.0;
     result.threads[i].attributed_joules =

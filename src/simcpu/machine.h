@@ -58,13 +58,26 @@ class Machine {
 
   /// Sets the package frequency set point; snaps to the nearest NOMINAL
   /// DVFS ladder point (turbo bins cannot be pinned). Returns the applied
-  /// set point.
+  /// set point. On a clustered (big.LITTLE) part this drives every domain:
+  /// cluster 0 snaps `hz` on its own (= the package) ladder, every other
+  /// cluster snaps the proportional point `hz × cluster_max / package_max`
+  /// on its ladder — one governor decision moves the whole SoC coherently.
   double set_frequency(double hz);
-  double frequency() const noexcept { return frequency_hz_; }
+  double frequency() const noexcept { return cluster_freq_hz_[0]; }
   /// The frequency the last tick actually ran at: equals the set point,
   /// except when TurboBoost engaged (set point at nominal max and few busy
-  /// cores) — then one of spec().turbo_frequencies_hz.
+  /// cores) — then one of spec().turbo_frequencies_hz. Clustered parts
+  /// report the primary (cluster 0) domain.
   double last_effective_frequency_hz() const noexcept { return effective_hz_; }
+
+  // --- Per-cluster frequency domains (big.LITTLE) ---
+  std::size_t cluster_count() const noexcept { return cluster_freq_hz_.size(); }
+  /// Pins ONE cluster's set point on that cluster's own ladder, leaving the
+  /// others untouched (per-domain DVFS). Returns the applied set point.
+  double set_cluster_frequency(std::size_t cluster, double hz);
+  double cluster_frequency(std::size_t cluster) const {
+    return cluster_freq_hz_.at(cluster);
+  }
 
   /// Executes one quantum. `work.size()` must equal `spec().hw_threads()`.
   /// Returns a reference to an internal result buffer (reused every tick,
@@ -103,14 +116,26 @@ class Machine {
 
   CpuSpec spec_;
   GroundTruthParams params_;
-  VoltageTable voltages_;
   CacheHierarchy cache_;
   std::vector<CoreCState> core_cstates_;
   std::vector<CounterBlock> thread_counters_;
   CounterBlock machine_counters_;
   TickScratch scratch_;
   TickResult result_;
-  double frequency_hz_ = 0.0;
+  // Per-frequency-domain state (one entry for homogeneous parts, one per
+  // CoreClusterSpec otherwise). Indexed by cluster; core → cluster via
+  // core_cluster_.
+  std::vector<VoltageTable> cluster_voltages_;
+  std::vector<double> cluster_freq_hz_;      ///< Set points.
+  std::vector<double> cluster_ladder_max_;   ///< Nominal max per cluster.
+  std::vector<double> cluster_perf_;         ///< IPC multiplier.
+  std::vector<double> cluster_energy_;       ///< Activity-energy multiplier.
+  std::vector<std::uint32_t> core_cluster_;  ///< Core index → cluster index.
+  /// Per-tick effective frequency / scale per cluster (tick scratch).
+  std::vector<double> cluster_eff_hz_;
+  std::vector<double> cluster_dyn_scale_;
+  std::vector<double> cluster_static_scale_;
+  std::vector<double> cluster_dram_latency_cycles_;
   double effective_hz_ = 0.0;
   double total_energy_joules_ = 0.0;
   double package_energy_joules_ = 0.0;

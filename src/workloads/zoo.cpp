@@ -1,0 +1,178 @@
+#include "workloads/zoo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerapi::workloads {
+
+namespace {
+util::DurationNs draw_exponential(util::Rng& rng, util::DurationNs mean) {
+  if (mean <= 0) return 0;
+  return std::max<util::DurationNs>(
+      1, static_cast<util::DurationNs>(rng.exponential(1.0 / static_cast<double>(mean))));
+}
+}  // namespace
+
+LlmInferenceBehavior::LlmInferenceBehavior(Options options, util::Rng rng)
+    : options_(options), rng_(std::move(rng)), remaining_total_(options.duration) {
+  if (options_.mean_interarrival <= 0 || options_.mean_prefill <= 0 ||
+      options_.mean_decode <= 0) {
+    throw std::invalid_argument("LlmInferenceBehavior: non-positive mean duration");
+  }
+  if (options_.working_set_bytes <= 0) {
+    throw std::invalid_argument("LlmInferenceBehavior: non-positive working set");
+  }
+
+  // PREFILL: the prompt crunch. Batched GEMMs stream the weight matrices —
+  // wide SIMD (hot instruction mix), few demand misses because the hardware
+  // prefetcher runs ahead of the sweep, pipeline saturated.
+  prefill_profile_.cpi_base = 0.45;
+  prefill_profile_.cache_refs_per_kinstr = 45.0;
+  prefill_profile_.intrinsic_miss_ratio = 0.10;
+  prefill_profile_.working_set_bytes = options_.working_set_bytes;
+  prefill_profile_.branches_per_kinstr = 40.0;  // Unrolled inner loops.
+  prefill_profile_.branch_miss_ratio = 0.004;
+  prefill_profile_.active_fraction = 1.0;
+  prefill_profile_.mem_bandwidth_share = 0.9;
+  prefill_profile_.prefetch_lines_per_kinstr = 22.0;
+  prefill_profile_.instruction_energy_scale = 1.45;  // FP/SIMD heavy.
+
+  // DECODE: token-at-a-time generation. Every step walks the KV cache —
+  // latency-bound pointer chasing the prefetcher cannot help, low IPC,
+  // plenty of data-dependent branches in the sampling loop.
+  decode_profile_.cpi_base = 1.6;
+  decode_profile_.cache_refs_per_kinstr = 120.0;
+  decode_profile_.intrinsic_miss_ratio = 0.35;
+  decode_profile_.working_set_bytes = options_.working_set_bytes;
+  decode_profile_.branches_per_kinstr = 150.0;
+  decode_profile_.branch_miss_ratio = 0.05;
+  decode_profile_.active_fraction = 0.9;  // Brief stalls on output tokens.
+  decode_profile_.mem_bandwidth_share = 0.5;
+  decode_profile_.prefetch_lines_per_kinstr = 1.0;
+  decode_profile_.instruction_energy_scale = 1.05;
+
+  next_arrival_in_ = draw_exponential(rng_, options_.mean_interarrival);
+}
+
+void LlmInferenceBehavior::start_request() {
+  stage_ = Stage::kPrefill;
+  stage_left_ = draw_exponential(rng_, options_.mean_prefill);
+}
+
+std::optional<simcpu::ExecProfile> LlmInferenceBehavior::next(util::TimestampNs /*now*/,
+                                                              util::DurationNs dt) {
+  if (options_.duration > 0) {
+    if (remaining_total_ <= 0) return std::nullopt;
+    remaining_total_ -= dt;
+  }
+
+  // Arrivals accumulate regardless of what the server is doing.
+  next_arrival_in_ -= dt;
+  while (next_arrival_in_ <= 0) {
+    ++queue_;
+    next_arrival_in_ += draw_exponential(rng_, options_.mean_interarrival);
+  }
+
+  // Advance the request state machine.
+  stage_left_ -= dt;
+  while (stage_ != Stage::kIdle && stage_left_ <= 0) {
+    if (stage_ == Stage::kPrefill) {
+      stage_ = Stage::kDecode;
+      stage_left_ += draw_exponential(rng_, options_.mean_decode);
+    } else {  // Decode finished: next queued request or idle.
+      if (queue_ > 0) {
+        --queue_;
+        const util::DurationNs carry = stage_left_;
+        start_request();
+        stage_left_ += carry;
+      } else {
+        stage_ = Stage::kIdle;
+        stage_left_ = 0;
+      }
+    }
+  }
+  if (stage_ == Stage::kIdle && queue_ > 0) {
+    --queue_;
+    start_request();
+  }
+
+  switch (stage_) {
+    case Stage::kPrefill:
+      return prefill_profile_;
+    case Stage::kDecode:
+      return decode_profile_;
+    case Stage::kIdle:
+    default: {
+      simcpu::ExecProfile idle = decode_profile_;
+      idle.active_fraction = 0.0;
+      return idle;
+    }
+  }
+}
+
+DiurnalBehavior::DiurnalBehavior(Options options, util::Rng rng)
+    : options_(options), rng_(std::move(rng)), remaining_total_(options.duration) {
+  if (options_.period <= 0) throw std::invalid_argument("DiurnalBehavior: non-positive period");
+  if (options_.valley_load < 0 || options_.peak_load > 1.0 ||
+      options_.valley_load > options_.peak_load) {
+    throw std::invalid_argument("DiurnalBehavior: loads must satisfy 0 <= valley <= peak <= 1");
+  }
+  if (options_.flash_boost_min < 1.0 || options_.flash_boost_max < options_.flash_boost_min) {
+    throw std::invalid_argument("DiurnalBehavior: flash boost range must be >= 1 and ordered");
+  }
+  if (options_.mean_flash_interarrival > 0) {
+    next_flash_in_ = draw_exponential(rng_, options_.mean_flash_interarrival);
+  }
+}
+
+double DiurnalBehavior::load_at(util::TimestampNs now) const {
+  // Day starts at the valley: load(0) = valley, load(period/2) = peak.
+  const double t = static_cast<double>((now + options_.phase_offset) % options_.period) /
+                   static_cast<double>(options_.period);
+  const double wave = 0.5 * (1.0 - std::cos(2.0 * M_PI * t));
+  double load = options_.valley_load + (options_.peak_load - options_.valley_load) * wave;
+  if (flash_left_ > 0) load *= flash_boost_;
+  return std::clamp(load, 0.0, 1.0);
+}
+
+std::optional<simcpu::ExecProfile> DiurnalBehavior::next(util::TimestampNs now,
+                                                         util::DurationNs dt) {
+  if (options_.duration > 0) {
+    if (remaining_total_ <= 0) return std::nullopt;
+    remaining_total_ -= dt;
+  }
+
+  // Flash crowd process: exponential gaps, exponential durations, a fresh
+  // boost factor per event.
+  if (flash_left_ > 0) {
+    flash_left_ -= dt;
+  } else if (options_.mean_flash_interarrival > 0) {
+    next_flash_in_ -= dt;
+    if (next_flash_in_ <= 0) {
+      flash_left_ = draw_exponential(rng_, options_.mean_flash_duration);
+      flash_boost_ = rng_.uniform(options_.flash_boost_min, options_.flash_boost_max);
+      next_flash_in_ = draw_exponential(rng_, options_.mean_flash_interarrival);
+    }
+  }
+
+  const double load = load_at(now);
+  simcpu::ExecProfile p = options_.peak_profile;
+  p.active_fraction = std::clamp(p.active_fraction * load, 0.0, 1.0);
+  // Traffic also moves the memory system: request mix stays the same but
+  // concurrency raises bandwidth pressure roughly with load.
+  p.mem_bandwidth_share = std::clamp(p.mem_bandwidth_share * load, 0.0, 1.0);
+  return p;
+}
+
+std::unique_ptr<os::TaskBehavior> make_llm_inference(LlmInferenceBehavior::Options options,
+                                                     util::Rng rng) {
+  return std::make_unique<LlmInferenceBehavior>(options, std::move(rng));
+}
+
+std::unique_ptr<os::TaskBehavior> make_diurnal(DiurnalBehavior::Options options,
+                                               util::Rng rng) {
+  return std::make_unique<DiurnalBehavior>(options, std::move(rng));
+}
+
+}  // namespace powerapi::workloads

@@ -1,0 +1,121 @@
+// The workload zoo: behaviors mimicking datacenter applications that the
+// stress grid does not cover. Two residents so far:
+//
+//  - LlmInferenceBehavior: an LLM serving thread. Requests arrive on a
+//    Poisson process and queue; each request is a short compute-saturated
+//    PREFILL burst (streaming SIMD over the whole model working set) followed
+//    by a longer memory-latency-bound DECODE phase (token-at-a-time KV-cache
+//    chasing). The two phases have near-opposite counter signatures at
+//    similar watts, which is exactly the regime where single-counter power
+//    models mispredict.
+//
+//  - DiurnalBehavior: a million-user service's day compressed into a
+//    configurable period — sinusoidal base load between a night valley and a
+//    day peak, plus Poisson flash crowds that multiply the load for a short
+//    window. Spreading instances with different phase offsets over a fleet
+//    replays a datacenter-wide traffic day.
+//
+// Both are deterministic given their Rng and the simulated clock.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "os/task.h"
+#include "simcpu/exec_profile.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace powerapi::workloads {
+
+/// Queue-driven LLM inference serving: Poisson arrivals, prefill → decode
+/// per request, idle when the queue drains.
+class LlmInferenceBehavior final : public os::TaskBehavior {
+ public:
+  struct Options {
+    /// Mean time between request arrivals (Poisson process).
+    util::DurationNs mean_interarrival = util::ms_to_ns(400);
+    /// Mean prefill burst length (exponentially distributed per request).
+    util::DurationNs mean_prefill = util::ms_to_ns(60);
+    /// Mean decode phase length (exponentially distributed per request).
+    util::DurationNs mean_decode = util::ms_to_ns(250);
+    /// Model weights + KV cache resident set; far beyond any LLC.
+    double working_set_bytes = 48.0 * 1024 * 1024;
+    /// Wall-clock bound; <= 0 runs forever.
+    util::DurationNs duration = 0;
+  };
+
+  LlmInferenceBehavior(Options options, util::Rng rng);
+
+  std::optional<simcpu::ExecProfile> next(util::TimestampNs now,
+                                          util::DurationNs dt) override;
+
+  /// Requests waiting (excludes the one being served); for tests.
+  std::size_t queue_depth() const noexcept { return queue_; }
+
+ private:
+  enum class Stage { kIdle, kPrefill, kDecode };
+
+  void start_request();
+
+  Options options_;
+  util::Rng rng_;
+  simcpu::ExecProfile prefill_profile_;
+  simcpu::ExecProfile decode_profile_;
+  Stage stage_ = Stage::kIdle;
+  std::size_t queue_ = 0;
+  util::DurationNs next_arrival_in_ = 0;
+  util::DurationNs stage_left_ = 0;
+  util::DurationNs remaining_total_ = 0;
+};
+
+/// Sinusoidal daily traffic with flash crowds, driven by the simulated
+/// clock (`now`), so instances with different phase offsets stay coherent.
+class DiurnalBehavior final : public os::TaskBehavior {
+ public:
+  struct Options {
+    /// The profile at 100% load; active_fraction scales with traffic.
+    simcpu::ExecProfile peak_profile;
+    /// Length of one simulated "day".
+    util::DurationNs period = util::seconds_to_ns(120);
+    /// Where in the day this instance starts (rotates the sinusoid).
+    util::DurationNs phase_offset = 0;
+    /// Load floor at the night valley and ceiling at the day peak, in [0,1].
+    double valley_load = 0.15;
+    double peak_load = 0.95;
+    /// Mean time between flash crowds (Poisson); <= 0 disables them.
+    util::DurationNs mean_flash_interarrival = util::seconds_to_ns(45);
+    /// Mean flash crowd length (exponentially distributed).
+    util::DurationNs mean_flash_duration = util::seconds_to_ns(4);
+    /// Load multiplier range a flash crowd draws from (uniform).
+    double flash_boost_min = 1.6;
+    double flash_boost_max = 2.8;
+    /// Wall-clock bound; <= 0 runs forever.
+    util::DurationNs duration = 0;
+  };
+
+  DiurnalBehavior(Options options, util::Rng rng);
+
+  std::optional<simcpu::ExecProfile> next(util::TimestampNs now,
+                                          util::DurationNs dt) override;
+
+  /// Instantaneous load factor in [0,1] at simulated time `now`, including
+  /// any active flash crowd; for tests.
+  double load_at(util::TimestampNs now) const;
+
+ private:
+  Options options_;
+  util::Rng rng_;
+  util::DurationNs next_flash_in_ = 0;
+  util::DurationNs flash_left_ = 0;
+  double flash_boost_ = 1.0;
+  util::DurationNs remaining_total_ = 0;
+};
+
+/// Factory helpers matching the scenario layer's workload kinds.
+std::unique_ptr<os::TaskBehavior> make_llm_inference(LlmInferenceBehavior::Options options,
+                                                     util::Rng rng);
+std::unique_ptr<os::TaskBehavior> make_diurnal(DiurnalBehavior::Options options,
+                                               util::Rng rng);
+
+}  // namespace powerapi::workloads

@@ -430,5 +430,122 @@ TEST_P(MachineFrequencyProperty, PowerWithinTdpAndAboveIdle) {
 INSTANTIATE_TEST_SUITE_P(Ladder, MachineFrequencyProperty,
                          ::testing::Values(1.6e9, 2.0e9, 2.6e9, 3.0e9, 3.3e9));
 
+// --- Heterogeneous clusters (big.LITTLE) ---
+
+TEST(CpuSpecClusters, BigLittlePresetIsConsistent) {
+  const CpuSpec spec = big_little();
+  EXPECT_TRUE(spec.heterogeneous());
+  EXPECT_EQ(spec.cluster_count(), 2u);
+  EXPECT_EQ(spec.cores, 6u);
+  EXPECT_EQ(spec.hw_threads(), 6u);
+  // Cores map to clusters by prefix sums of the cluster core counts.
+  EXPECT_EQ(spec.cluster_of_core(0), 0u);
+  EXPECT_EQ(spec.cluster_of_core(1), 0u);
+  EXPECT_EQ(spec.cluster_of_core(2), 1u);
+  EXPECT_EQ(spec.cluster_of_core(5), 1u);
+  // The primary cluster's ladder IS the package ladder.
+  EXPECT_EQ(spec.clusters[0].frequencies_hz, spec.frequencies_hz);
+  EXPECT_LT(spec.clusters[1].perf_scale, 1.0);
+  EXPECT_LT(spec.clusters[1].energy_scale, 1.0);
+}
+
+TEST(CpuSpecClusters, ValidateCatchesBadClusterSpecs) {
+  CpuSpec spec = big_little();
+  spec.clusters[1].cores = 5;  // 2 + 5 != 6.
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = big_little();
+  spec.clusters[0].frequencies_hz.pop_back();  // Ladder != package ladder.
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = big_little();
+  spec.turbo_boost = true;  // Turbo is package-global; forbidden here.
+  spec.turbo_frequencies_hz = {3.0e9};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = big_little();
+  spec.clusters[1].name = "big";  // Duplicate cluster name.
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(MachineClusters, HomogeneousSingleClusterIsBitIdentical) {
+  // A one-cluster part with scale 1.0 and the package ladder must behave
+  // exactly like the clusterless spec — the refactor's safety property.
+  const CpuSpec plain = i3_2120();
+  CpuSpec clustered = plain;
+  CoreClusterSpec only;
+  only.name = "uniform";
+  only.cores = plain.cores;
+  only.frequencies_hz = plain.frequencies_hz;
+  clustered.clusters = {only};
+
+  Machine a(plain);
+  Machine b(clustered);
+  const auto work = all_active(plain, workloads::mixed_stress(0.7, 8e6, 0.8));
+  for (int i = 0; i < 50; ++i) {
+    const auto& ra = a.tick(work, ms_to_ns(1));
+    const auto& rb = b.tick(work, ms_to_ns(1));
+    ASSERT_EQ(ra.energy_joules, rb.energy_joules) << "tick " << i;
+    ASSERT_EQ(ra.power.total(), rb.power.total()) << "tick " << i;
+  }
+  EXPECT_EQ(a.machine_counters(), b.machine_counters());
+}
+
+TEST(MachineClusters, LittleCoresAreSlowerAndCheaper) {
+  const CpuSpec spec = big_little();
+  const auto profile = workloads::cpu_stress(1.0);
+  // Same single-thread workload on a big core (thread 0) vs a LITTLE core
+  // (thread 5), everything else idle.
+  auto run_on = [&](std::size_t thread) {
+    Machine machine(spec);
+    std::vector<ThreadWork> work(spec.hw_threads());
+    work[thread].active = true;
+    work[thread].task_id = 1;
+    work[thread].profile = profile;
+    double joules = 0.0;
+    double instructions = 0.0;
+    for (int i = 0; i < 50; ++i) {
+      const auto& r = machine.tick(work, ms_to_ns(1));
+      joules += r.threads[thread].attributed_joules;
+      instructions = static_cast<double>(machine.thread_counters(thread).instructions);
+    }
+    return std::pair<double, double>(instructions, joules);
+  };
+  const auto [big_instr, big_joules] = run_on(0);
+  const auto [little_instr, little_joules] = run_on(5);
+  EXPECT_LT(little_instr, big_instr);          // perf_scale and lower f_max.
+  EXPECT_LT(little_joules, big_joules);        // energy_scale.
+  // And per instruction the LITTLE core is still cheaper.
+  EXPECT_LT(little_joules / little_instr, big_joules / big_instr);
+}
+
+TEST(MachineClusters, PerClusterFrequencyDomains) {
+  Machine machine(big_little());
+  ASSERT_EQ(machine.cluster_count(), 2u);
+  // Package set point drives both domains proportionally: 1.0 GHz on the
+  // big ladder is 1.0/2.6 of max → LITTLE snaps 0.577 GHz to 0.6 GHz.
+  EXPECT_DOUBLE_EQ(machine.set_frequency(1.0e9), 1.0e9);
+  EXPECT_DOUBLE_EQ(machine.cluster_frequency(0), 1.0e9);
+  EXPECT_DOUBLE_EQ(machine.cluster_frequency(1), 0.6e9);
+  // Pinning one domain leaves the other alone, snapping on its own ladder.
+  EXPECT_DOUBLE_EQ(machine.set_cluster_frequency(1, 1.0e9), 0.9e9);
+  EXPECT_DOUBLE_EQ(machine.cluster_frequency(0), 1.0e9);
+  EXPECT_DOUBLE_EQ(machine.cluster_frequency(1), 0.9e9);
+  EXPECT_THROW(machine.set_cluster_frequency(2, 1e9), std::invalid_argument);
+}
+
+TEST(MachineClusters, DroppingLittleFrequencySavesPower) {
+  const CpuSpec spec = big_little();
+  const auto work = all_active(spec, workloads::cpu_stress(0.9));
+  Machine fast(spec);
+  Machine slow(spec);
+  slow.set_cluster_frequency(1, 0.6e9);
+  TickResult rf;
+  TickResult rs;
+  for (int i = 0; i < 20; ++i) {
+    rf = fast.tick(work, ms_to_ns(1));
+    rs = slow.tick(work, ms_to_ns(1));
+  }
+  EXPECT_LT(rs.power.total(), rf.power.total());
+  EXPECT_LT(slow.machine_counters().instructions, fast.machine_counters().instructions);
+}
+
 }  // namespace
 }  // namespace powerapi::simcpu

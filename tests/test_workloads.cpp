@@ -6,6 +6,7 @@
 #include "workloads/spec2006.h"
 #include "workloads/specjbb.h"
 #include "workloads/stress.h"
+#include "workloads/zoo.h"
 
 namespace powerapi::workloads {
 namespace {
@@ -230,6 +231,121 @@ TEST(BackgroundDaemon, HasTinyDutyCycle) {
   }
   EXPECT_LT(duty / ticks, 0.2);
   EXPECT_GT(duty / ticks, 0.005);
+}
+
+// --- Workload zoo ---
+
+TEST(LlmInference, AlternatesPrefillAndDecodeSignatures) {
+  LlmInferenceBehavior::Options options;
+  options.mean_interarrival = ms_to_ns(100);
+  LlmInferenceBehavior b(options, util::Rng(7));
+  int prefill = 0;
+  int decode = 0;
+  int idle = 0;
+  util::TimestampNs now = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto p = b.next(now, ms_to_ns(1));
+    ASSERT_TRUE(p.has_value());  // Unbounded: always returns a profile.
+    now += ms_to_ns(1);
+    if (p->active_fraction <= 0.0) {
+      ++idle;
+    } else if (p->cpi_base < 1.0) {
+      ++prefill;  // Compute-saturated: low CPI, prefetch-friendly.
+      EXPECT_LT(p->intrinsic_miss_ratio, 0.2);
+    } else {
+      ++decode;  // Memory-latency-bound: high CPI, frequent misses.
+      EXPECT_GT(p->intrinsic_miss_ratio, 0.2);
+    }
+  }
+  EXPECT_GT(prefill, 0);
+  EXPECT_GT(decode, 0);
+  EXPECT_GT(idle, 0);
+  // Decode dominates prefill in time (250 ms vs 60 ms mean stages).
+  EXPECT_GT(decode, prefill);
+}
+
+TEST(LlmInference, DeterministicGivenSeedAndBounded) {
+  LlmInferenceBehavior::Options options;
+  options.duration = ms_to_ns(500);
+  LlmInferenceBehavior a(options, util::Rng(42));
+  LlmInferenceBehavior b(options, util::Rng(42));
+  int ticks = 0;
+  for (;; ++ticks) {
+    const auto pa = a.next(ticks * ms_to_ns(1), ms_to_ns(1));
+    const auto pb = b.next(ticks * ms_to_ns(1), ms_to_ns(1));
+    ASSERT_EQ(pa.has_value(), pb.has_value());
+    if (!pa) break;
+    ASSERT_DOUBLE_EQ(pa->cpi_base, pb->cpi_base);
+    ASSERT_DOUBLE_EQ(pa->active_fraction, pb->active_fraction);
+    ASSERT_EQ(a.queue_depth(), b.queue_depth());
+  }
+  EXPECT_EQ(ticks, 500);
+}
+
+TEST(Diurnal, LoadFollowsTheSinusoidBetweenValleyAndPeak) {
+  DiurnalBehavior::Options options;
+  options.peak_profile = cpu_stress(1.0);
+  options.period = seconds_to_ns(10);
+  options.mean_flash_interarrival = 0;  // Disable flash crowds.
+  DiurnalBehavior b(options, util::Rng(3));
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int i = 0; i <= 1000; ++i) {
+    const double load = b.load_at(i * ms_to_ns(10));
+    EXPECT_GE(load, options.valley_load - 1e-12);
+    EXPECT_LE(load, options.peak_load + 1e-12);
+    lo = std::min(lo, load);
+    hi = std::max(hi, load);
+  }
+  EXPECT_NEAR(lo, options.valley_load, 1e-6);  // Night valley reached...
+  EXPECT_NEAR(hi, options.peak_load, 1e-6);    // ...and the midday peak.
+  // The valley sits at the start of the period, the peak half-way through.
+  EXPECT_NEAR(b.load_at(0), options.valley_load, 1e-6);
+  EXPECT_NEAR(b.load_at(seconds_to_ns(5)), options.peak_load, 1e-6);
+}
+
+TEST(Diurnal, PhaseOffsetRotatesTheDay) {
+  DiurnalBehavior::Options base;
+  base.peak_profile = cpu_stress(1.0);
+  base.period = seconds_to_ns(10);
+  base.mean_flash_interarrival = 0;
+  DiurnalBehavior::Options shifted = base;
+  shifted.phase_offset = seconds_to_ns(5);
+  DiurnalBehavior a(base, util::Rng(3));
+  DiurnalBehavior b(shifted, util::Rng(3));
+  // Half a period apart: b's valley lands on a's peak.
+  EXPECT_NEAR(b.load_at(0), a.load_at(seconds_to_ns(5)), 1e-9);
+  EXPECT_NEAR(b.load_at(seconds_to_ns(5)), a.load_at(0), 1e-9);
+}
+
+TEST(Diurnal, FlashCrowdsBoostLoadButStayClamped) {
+  DiurnalBehavior::Options options;
+  options.peak_profile = cpu_stress(1.0);
+  options.period = seconds_to_ns(10);
+  options.mean_flash_interarrival = seconds_to_ns(2);
+  options.mean_flash_duration = seconds_to_ns(1);
+  DiurnalBehavior with_flash(options, util::Rng(11));
+  options.mean_flash_interarrival = 0;
+  DiurnalBehavior without(options, util::Rng(11));
+  double extra = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    const util::TimestampNs now = i * ms_to_ns(10);
+    // next() advances the flash process; load_at reads the current state.
+    ASSERT_TRUE(with_flash.next(now, ms_to_ns(10)).has_value());
+    ASSERT_TRUE(without.next(now, ms_to_ns(10)).has_value());
+    const double lf = with_flash.load_at(now);
+    const double lb = without.load_at(now);
+    EXPECT_LE(lf, 1.0 + 1e-12);  // Load factor never exceeds saturation.
+    extra += lf - lb;
+  }
+  EXPECT_GT(extra, 0.0);  // Flash crowds added load somewhere in the run.
+}
+
+TEST(Zoo, FactoriesProduceWorkingBehaviors) {
+  auto llm = make_llm_inference({}, util::Rng(1));
+  auto diurnal = make_diurnal({.peak_profile = cpu_stress(1.0)}, util::Rng(2));
+  EXPECT_TRUE(llm->next(0, ms_to_ns(1)).has_value());
+  EXPECT_TRUE(diurnal->next(0, ms_to_ns(1)).has_value());
 }
 
 }  // namespace
