@@ -12,8 +12,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -24,7 +26,10 @@
 #include "model/trainer.h"
 #include "net/bus_bridge.h"
 #include "net/collector_server.h"
+#include "net/collector_status.h"
 #include "net/telemetry_client.h"
+#include "obs/observability.h"
+#include "obs/trace_merge.h"
 #include "os/system.h"
 #include "powerapi/fleet_monitor.h"
 #include "powerapi/power_meter.h"
@@ -72,19 +77,41 @@ api::PipelineSpec make_spec(const model::CpuPowerModel& power_model,
 
 /// One agent process: a standalone kManual PowerMeter over host `index`,
 /// with a RemoteReporter shipping every aggregated row to the collector.
+/// With obs_cadence_ms > 0 the agent also ships its own metrics snapshots
+/// and trace spans, feeding the collector's merged Chrome trace.
 int agent_main(std::size_t index, std::uint16_t port,
                const model::CpuPowerModel& power_model, util::DurationNs period,
-               util::DurationNs duration) {
+               util::DurationNs duration, std::int64_t obs_cadence_ms) {
+  obs::Observability obs;
   net::TelemetryClientOptions options;
   options.port = port;
   options.agent_id = "h" + std::to_string(index);
+  options.obs = &obs;
+  options.obs_interval_ms = obs_cadence_ms;  // 0 = PR-5-identical wire.
   net::TelemetryClient client(options);
   client.start();
 
   const auto host = make_host(index);
   api::PowerMeter meter(*host, {}, make_spec(power_model, period));
   meter.add_remote_reporter(client);
-  meter.run_for(duration);
+
+  // Advance in chunks so each agent records a handful of "agent/run" spans
+  // bracketing real wall time — the payload of the merged trace. Chunks are
+  // whole monitoring periods: run_for samples at its advance boundaries, so
+  // a misaligned chunk would shift sampling points versus the in-process
+  // reference and break the bit-exact cross-check.
+  const auto run_span = obs.trace.intern("agent/run");
+  const util::DurationNs chunk =
+      period * std::max<util::DurationNs>(1, duration / 8 / period);
+  util::DurationNs remaining = duration;
+  std::uint64_t seq = 0;
+  while (remaining > 0) {
+    const util::DurationNs step = std::min(chunk, remaining);
+    const std::int64_t start = obs::wall_now_ns();
+    meter.run_for(step);
+    obs.trace.complete(run_span, start, obs::wall_now_ns() - start, seq++);
+    remaining -= step;
+  }
   meter.finish();
 
   const bool flushed = client.flush(5000);
@@ -116,12 +143,22 @@ int main(int argc, char** argv) {
   std::int64_t agents = 3;
   std::int64_t duration_s = 10;
   std::int64_t period_ms = 250;
+  std::int64_t obs_cadence_ms = 200;
+  std::int64_t status_port = 0;
+  std::string trace_path;
   util::ArgParser parser("distributed_fleet",
                          "Collector + N agent processes over loopback TCP, "
                          "cross-checked against an in-process FleetMonitor.");
   parser.add_int64("agents", &agents, "agent processes (monitored hosts)");
   parser.add_int64("duration", &duration_s, "monitored seconds per host");
   parser.add_int64("period-ms", &period_ms, "monitoring period in ms");
+  parser.add_int64("obs-cadence-ms", &obs_cadence_ms,
+                   "agents ship metrics snapshots + spans this often (0 = off)");
+  parser.add_int64("status-port", &status_port,
+                   "TCP status listener port (0 = no listener)");
+  parser.add_string("trace", &trace_path,
+                    "write the merged fleet Chrome trace (all agents + the "
+                    "collector, clock-corrected) to this file");
   if (const auto exit_code = parser.parse(argc, argv)) return *exit_code;
   const auto hosts = static_cast<std::size_t>(agents);
   const util::DurationNs period = util::ms_to_ns(period_ms);
@@ -137,10 +174,32 @@ int main(int argc, char** argv) {
   net::BusBridgeOptions bridge_options;
   bridge_options.per_agent_topics = false;  // Only the merged topic is consumed.
   net::BusBridge bridge(bus, bridge_options);
-  net::CollectorServer server({}, bridge);
+  obs::TraceMerger merger;
+  net::CollectorStatusOptions status_options;
+  status_options.merger = &merger;
+  net::CollectorStatus status(bridge, status_options);
+  net::CollectorServer server({}, status);
   if (!server.listening()) {
     std::fprintf(stderr, "collector: %s\n", server.error().c_str());
     return 1;
+  }
+  status.attach_server(&server);
+  // The collector is its own trace source: it defines the merged timeline,
+  // so its offset is zero by construction.
+  const auto collector_src = merger.add_source("collector");
+  merger.set_offset(collector_src, 0);
+  std::unique_ptr<net::StatusListener> listener;
+  if (status_port > 0) {
+    listener = std::make_unique<net::StatusListener>(
+        static_cast<std::uint16_t>(status_port),
+        [&status](std::ostream& out, bool json) {
+          json ? status.render_json(out) : status.render_text(out);
+        });
+    if (listener->listening()) {
+      std::printf("status listener on 127.0.0.1:%u\n", listener->port());
+    } else {
+      std::fprintf(stderr, "status listener: %s\n", listener->error().c_str());
+    }
   }
   std::printf("=== distributed_fleet: collector on 127.0.0.1:%u, %zu agents ===\n",
               server.port(), hosts);
@@ -164,7 +223,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (pid == 0) {
-      const int code = agent_main(i, server.port(), power_model, period, duration);
+      const int code = agent_main(i, server.port(), power_model, period, duration,
+                                  obs_cadence_ms);
       std::fflush(stdout);
       ::_exit(code);
     }
@@ -174,14 +234,23 @@ int main(int argc, char** argv) {
   // --- Single-threaded collection loop: poll sockets, drain the bus ---
   int failures = 0;
   std::size_t live = children.size();
+  std::uint64_t poll_seq = 0;
   while (live > 0 || server.connection_count() > 0) {
+    const std::int64_t poll_start = obs::wall_now_ns();
     server.poll_once(20);
-    system.drain();
-    int status = 0;
-    const pid_t done = ::waitpid(-1, &status, WNOHANG);
+    const std::size_t processed = system.drain();
+    // Only busy iterations become spans, so the merged trace shows when the
+    // collector actually worked rather than a wall of idle polls.
+    if (processed > 0) {
+      merger.add_span(collector_src, "collector/drain", 0, poll_start,
+                      obs::wall_now_ns() - poll_start, poll_seq++);
+    }
+    if (listener != nullptr) listener->poll_once(0);
+    int wait_status = 0;
+    const pid_t done = ::waitpid(-1, &wait_status, WNOHANG);
     if (done > 0) {
       --live;
-      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++failures;
+      if (!WIFEXITED(wait_status) || WEXITSTATUS(wait_status) != 0) ++failures;
     }
   }
   server.poll_once(0);  // Final reads raced with the last disconnect.
@@ -191,11 +260,36 @@ int main(int argc, char** argv) {
 
   const auto stats = server.stats();
   std::printf("collector: %llu records in %llu frames from %llu connections "
-              "(%llu decode errors)\n",
+              "(%llu decode errors, %llu snapshots, %llu span frames)\n",
               static_cast<unsigned long long>(stats.records_decoded),
               static_cast<unsigned long long>(stats.frames_decoded),
               static_cast<unsigned long long>(stats.connections_accepted),
-              static_cast<unsigned long long>(stats.decode_errors));
+              static_cast<unsigned long long>(stats.decode_errors),
+              static_cast<unsigned long long>(stats.snapshots_decoded),
+              static_cast<unsigned long long>(stats.spans_decoded));
+  for (const auto& agent : status.agents()) {
+    if (agent.snapshots == 0 && agent.spans == 0) continue;
+    std::printf("  %-6s %llu snapshots, %llu spans, clock offset %+.3f ms, "
+                "self %.3f W\n",
+                agent.label.c_str(),
+                static_cast<unsigned long long>(agent.snapshots),
+                static_cast<unsigned long long>(agent.spans),
+                agent.has_offset ? static_cast<double>(agent.clock_offset_ns) / 1e6
+                                 : 0.0,
+                agent.self_watts);
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream trace_out(trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    merger.write_chrome_trace(trace_out);
+    std::printf("merged trace: %zu spans -> %s (open in Perfetto / "
+                "chrome://tracing)\n",
+                merger.size(), trace_path.c_str());
+  }
 
   // --- Reference: the same fleet, in one process ---
   std::vector<std::unique_ptr<os::System>> ref_hosts;

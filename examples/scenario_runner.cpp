@@ -24,6 +24,26 @@ using namespace powerapi;
 
 namespace {
 
+const char* metric_kind_name(obs::MetricKind kind) {
+  switch (kind) {
+    case obs::MetricKind::kCounter: return "counter";
+    case obs::MetricKind::kGauge: return "gauge";
+    case obs::MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Final metrics snapshot as name,kind,value CSV (values in %.17g so reruns
+/// diff cleanly).
+void write_metrics_csv(std::ostream& out, const obs::MetricsSnapshot& snapshot) {
+  out << "name,kind,value\n";
+  for (const obs::MetricValue& metric : snapshot.metrics) {
+    char value[64];
+    std::snprintf(value, sizeof value, "%.17g", metric.value);
+    out << metric.name << ',' << metric_kind_name(metric.kind) << ',' << value << '\n';
+  }
+}
+
 int check_file(const std::string& path) {
   const scenario::ScenarioSpec spec = scenario::ScenarioParser::parse_string(
       [&] {
@@ -55,6 +75,7 @@ int main(int argc, char** argv) {
   util::configure_logging(argc, argv);
   std::string mode = "threaded";
   std::string csv_path;
+  std::string metrics_csv_path;
   std::int64_t duration_s = 0;
   bool check = false;
   bool smoke = false;
@@ -63,6 +84,9 @@ int main(int argc, char** argv) {
                          "middleware (FleetMonitor + pipelines).");
   parser.add_string("mode", &mode, "dispatch mode: manual (deterministic) or threaded");
   parser.add_string("csv", &csv_path, "write every aggregated row to this CSV file");
+  parser.add_string("metrics-csv", &metrics_csv_path,
+                    "write the final metrics snapshot (name,kind,value) to this CSV "
+                    "file; forces the observability plane on");
   parser.add_int64("duration", &duration_s, "cap the simulated seconds (0 = full spec)");
   parser.add_flag("check", &check, "parse + round-trip the files, run nothing");
   parser.add_flag("smoke", &smoke, "manual mode, duration capped at 2 s (CI)");
@@ -100,6 +124,9 @@ int main(int argc, char** argv) {
     }
     if (smoke) options.max_duration = util::seconds_to_ns(2);
     if (duration_s > 0) options.max_duration = util::seconds_to_ns(duration_s);
+    // The snapshot only exists when the observability plane runs, so the
+    // flag enables it even for scenarios without an observe directive.
+    if (!metrics_csv_path.empty()) spec.observe.enabled = true;
 
     std::printf("=== scenario '%s' (%s): %zu hosts, %.1f s @ %s dispatch ===\n",
                 spec.name.c_str(), files[0].c_str(), spec.expanded_host_ids().size(),
@@ -142,6 +169,12 @@ int main(int argc, char** argv) {
       std::printf("calibration: %zu model swap%s\n", result.model_swaps,
                   result.model_swaps == 1 ? "" : "s");
     }
+    if (!result.metrics.metrics.empty()) {
+      std::printf("observability: %zu metrics, %llu watchdog alert%s\n",
+                  result.metrics.metrics.size(),
+                  static_cast<unsigned long long>(result.watchdog_alerts),
+                  result.watchdog_alerts == 1 ? "" : "s");
+    }
 
     if (!csv_path.empty()) {
       std::ofstream out(csv_path);
@@ -151,6 +184,15 @@ int main(int argc, char** argv) {
       }
       scenario::write_csv(out, result);
       std::printf("wrote %s\n", csv_path.c_str());
+    }
+    if (!metrics_csv_path.empty()) {
+      std::ofstream out(metrics_csv_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_csv_path.c_str());
+        return 1;
+      }
+      write_metrics_csv(out, result.metrics);
+      std::printf("wrote %s\n", metrics_csv_path.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "scenario_runner: %s\n", e.what());

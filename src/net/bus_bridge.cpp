@@ -2,33 +2,52 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace powerapi::net {
 
 BusBridge::BusBridge(actors::EventBus& bus, BusBridgeOptions options)
     : bus_(&bus),
       options_(std::move(options)),
       merged_estimate_(bus.intern(options_.topic_prefix + "power:estimation")),
-      merged_aggregated_(bus.intern(options_.topic_prefix + "power:aggregated")) {}
-
-BusBridge::AgentState& BusBridge::state(ConnId conn) {
-  auto [it, inserted] = agents_.try_emplace(conn);
-  if (inserted) {
-    it->second.label = "conn" + std::to_string(conn);
-    if (options_.per_agent_topics) {
-      const std::string ns = options_.topic_prefix + it->second.label + "/";
-      it->second.estimate_topic = bus_->intern(ns + "power:estimation");
-      it->second.aggregated_topic = bus_->intern(ns + "power:aggregated");
-    }
+      merged_aggregated_(bus.intern(options_.topic_prefix + "power:aggregated")) {
+  if (options_.obs != nullptr) {
+    collector_id_ = options_.obs->metrics.add_collector(
+        [this](obs::SnapshotBuilder& builder) { collect(builder); });
   }
-  return it->second;
 }
 
-void BusBridge::on_connect(ConnId conn) { state(conn); }
+BusBridge::~BusBridge() {
+  if (options_.obs != nullptr) {
+    options_.obs->metrics.remove_collector(collector_id_);
+  }
+}
 
-void BusBridge::on_hello(ConnId conn, std::string_view agent_id,
-                         std::uint8_t /*version*/) {
-  AgentState& agent = state(conn);
-  agent.label.assign(agent_id);
+std::size_t BusBridge::live_agents() const {
+  std::lock_guard lock(mutex_);
+  return agents_.size();
+}
+
+void BusBridge::set_clock(std::function<std::int64_t()> clock) {
+  std::lock_guard lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+std::int64_t BusBridge::now_ns() const {
+  return clock_ ? clock_() : obs::wall_now_ns();
+}
+
+void BusBridge::assign_label_locked(ConnId conn, AgentState& agent,
+                                    std::string label) {
+  // Two live agents with the same hello id must not share a namespace —
+  // suffix the newcomer with its connection id.
+  for (const auto& [other_conn, other] : agents_) {
+    if (other_conn != conn && other.label == label) {
+      label += "#" + std::to_string(conn);
+      break;
+    }
+  }
+  agent.label = std::move(label);
   if (options_.per_agent_topics) {
     const std::string ns = options_.topic_prefix + agent.label + "/";
     agent.estimate_topic = bus_->intern(ns + "power:estimation");
@@ -36,35 +55,100 @@ void BusBridge::on_hello(ConnId conn, std::string_view agent_id,
   }
 }
 
-void BusBridge::on_estimate(ConnId conn, const api::PowerEstimate& estimate) {
-  const AgentState& agent = state(conn);
-  if (agent.estimate_topic != actors::EventBus::kNoTopic) {
-    bus_->publish(agent.estimate_topic, estimate);
+BusBridge::AgentState& BusBridge::state_locked(ConnId conn) {
+  auto [it, inserted] = agents_.try_emplace(conn);
+  if (inserted) {
+    assign_label_locked(conn, it->second, "conn" + std::to_string(conn));
+    it->second.last_update_ns = now_ns();
   }
+  return it->second;
+}
+
+void BusBridge::on_connect(ConnId conn) {
+  std::lock_guard lock(mutex_);
+  state_locked(conn);
+}
+
+void BusBridge::on_hello(ConnId conn, std::string_view agent_id,
+                         std::uint8_t /*version*/) {
+  std::lock_guard lock(mutex_);
+  AgentState& agent = state_locked(conn);
+  assign_label_locked(conn, agent, std::string(agent_id));
+  agent.last_update_ns = now_ns();
+}
+
+void BusBridge::on_estimate(ConnId conn, const api::PowerEstimate& estimate) {
+  actors::EventBus::TopicId topic = actors::EventBus::kNoTopic;
+  {
+    std::lock_guard lock(mutex_);
+    AgentState& agent = state_locked(conn);
+    agent.last_update_ns = now_ns();
+    topic = agent.estimate_topic;
+  }
+  // Publish outside the lock: subscribers run arbitrary code.
+  if (topic != actors::EventBus::kNoTopic) bus_->publish(topic, estimate);
   bus_->publish(merged_estimate_, estimate);
 }
 
 void BusBridge::on_aggregated(ConnId conn, const api::AggregatedPower& row) {
-  const AgentState& agent = state(conn);
-  if (agent.aggregated_topic != actors::EventBus::kNoTopic) {
-    bus_->publish(agent.aggregated_topic, row);
+  actors::EventBus::TopicId topic = actors::EventBus::kNoTopic;
+  {
+    std::lock_guard lock(mutex_);
+    AgentState& agent = state_locked(conn);
+    agent.last_update_ns = now_ns();
+    topic = agent.aggregated_topic;
   }
+  if (topic != actors::EventBus::kNoTopic) bus_->publish(topic, row);
   bus_->publish(merged_aggregated_, row);
 }
 
 void BusBridge::on_metric(ConnId conn, std::string_view name,
                           obs::MetricKind /*kind*/, double value) {
   if (options_.obs == nullptr) return;
+  std::lock_guard lock(mutex_);
+  AgentState& agent = state_locked(conn);
   // Every remote metric kind lands as a gauge: the wire carries point-in-
   // time values (a remote counter's running total IS a gauge here).
-  const AgentState& agent = state(conn);
-  options_.obs->metrics
-      .gauge("remote." + agent.label + "." + std::string(name))
-      .set(value);
+  agent.metrics[std::string(name)] = value;
+  agent.last_update_ns = now_ns();
+}
+
+void BusBridge::on_metrics_snapshot(ConnId conn, std::int64_t /*send_wall_ns*/,
+                                    std::int64_t /*recv_wall_ns*/,
+                                    const obs::MetricsSnapshot& snapshot) {
+  if (options_.obs == nullptr) return;
+  std::lock_guard lock(mutex_);
+  AgentState& agent = state_locked(conn);
+  for (const obs::MetricValue& metric : snapshot.metrics) {
+    const std::string base = "obs." + metric.name;
+    if (metric.kind == obs::MetricKind::kHistogram) {
+      agent.metrics[base + ".count"] = static_cast<double>(metric.hist.count);
+      agent.metrics[base + ".mean"] = metric.hist.mean();
+      agent.metrics[base + ".p99"] = metric.hist.percentile(0.99);
+    } else {
+      agent.metrics[base] = metric.value;
+    }
+  }
+  agent.last_update_ns = now_ns();
 }
 
 void BusBridge::on_disconnect(ConnId conn, std::string_view /*reason*/) {
+  std::lock_guard lock(mutex_);
   agents_.erase(conn);
+}
+
+void BusBridge::collect(obs::SnapshotBuilder& builder) const {
+  std::lock_guard lock(mutex_);
+  const std::int64_t now = now_ns();
+  for (const auto& [conn, agent] : agents_) {
+    if (options_.metrics_stale_after_ns > 0 &&
+        now - agent.last_update_ns > options_.metrics_stale_after_ns) {
+      continue;  // Silent agent: withhold rather than serve stale values.
+    }
+    for (const auto& [name, value] : agent.metrics) {
+      builder.gauge("remote." + agent.label + "." + name, value);
+    }
+  }
 }
 
 }  // namespace powerapi::net

@@ -41,6 +41,14 @@ struct CollectorServer::Connection : WireSink {
                  double value) override {
     sink.on_metric(id, name, kind, value);
   }
+  void on_metrics_snapshot(std::int64_t send_wall_ns,
+                           const obs::MetricsSnapshot& snapshot) override {
+    sink.on_metrics_snapshot(id, send_wall_ns, obs::wall_now_ns(), snapshot);
+  }
+  void on_spans(std::int64_t send_wall_ns,
+                const std::vector<RemoteSpan>& spans) override {
+    sink.on_spans(id, send_wall_ns, obs::wall_now_ns(), spans);
+  }
   void on_bye() override { said_bye = true; }
 
   ConnId id;
@@ -189,11 +197,18 @@ bool CollectorServer::read_connection(Connection& conn) {
 
     const std::uint64_t frames_before = conn.decoder.frames_decoded();
     const std::uint64_t records_before = conn.decoder.records_decoded();
+    const std::uint64_t snapshots_before = conn.decoder.snapshots_decoded();
+    const std::uint64_t spans_before = conn.decoder.spans_decoded();
     const bool ok =
         conn.decoder.consume(buf, static_cast<std::size_t>(n), conn);
     const std::uint64_t new_frames = conn.decoder.frames_decoded() - frames_before;
     const std::uint64_t new_records =
         conn.decoder.records_decoded() - records_before;
+    snapshots_decoded_.fetch_add(
+        conn.decoder.snapshots_decoded() - snapshots_before,
+        std::memory_order_relaxed);
+    spans_decoded_.fetch_add(conn.decoder.spans_decoded() - spans_before,
+                             std::memory_order_relaxed);
     if (new_frames > 0) {
       frames_decoded_.fetch_add(new_frames, std::memory_order_relaxed);
       if (obs_frames_ != nullptr) obs_frames_->add(new_frames);
@@ -238,6 +253,8 @@ CollectorServer::Stats CollectorServer::stats() const {
   stats.connections_closed = connections_closed_.load(std::memory_order_relaxed);
   stats.frames_decoded = frames_decoded_.load(std::memory_order_relaxed);
   stats.records_decoded = records_decoded_.load(std::memory_order_relaxed);
+  stats.snapshots_decoded = snapshots_decoded_.load(std::memory_order_relaxed);
+  stats.spans_decoded = spans_decoded_.load(std::memory_order_relaxed);
   stats.bytes_received = bytes_received_.load(std::memory_order_relaxed);
   stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
   return stats;

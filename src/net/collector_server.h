@@ -45,6 +45,17 @@ class CollectorSink {
   virtual void on_aggregated(ConnId /*conn*/, const api::AggregatedPower& /*row*/) {}
   virtual void on_metric(ConnId /*conn*/, std::string_view /*name*/,
                          obs::MetricKind /*kind*/, double /*value*/) {}
+  /// A remote metrics snapshot. `send_wall_ns` is the agent's local clock at
+  /// emission; `recv_wall_ns` is this process's clock at decode — the pair
+  /// feeds per-connection clock-offset estimation.
+  virtual void on_metrics_snapshot(ConnId /*conn*/, std::int64_t /*send_wall_ns*/,
+                                   std::int64_t /*recv_wall_ns*/,
+                                   const obs::MetricsSnapshot& /*snapshot*/) {}
+  /// Remote trace spans (agent-local timestamps; see on_metrics_snapshot
+  /// for the clock stamps).
+  virtual void on_spans(ConnId /*conn*/, std::int64_t /*send_wall_ns*/,
+                        std::int64_t /*recv_wall_ns*/,
+                        const std::vector<RemoteSpan>& /*spans*/) {}
   /// `reason` is "bye", "eof", or a decode/read error description.
   virtual void on_disconnect(ConnId /*conn*/, std::string_view /*reason*/) {}
 };
@@ -70,6 +81,8 @@ class CollectorServer {
     std::uint64_t connections_closed = 0;
     std::uint64_t frames_decoded = 0;
     std::uint64_t records_decoded = 0;
+    std::uint64_t snapshots_decoded = 0;  ///< Remote metrics snapshots.
+    std::uint64_t spans_decoded = 0;      ///< Remote trace spans.
     std::uint64_t bytes_received = 0;
     std::uint64_t decode_errors = 0;  ///< Connections killed by bad input.
   };
@@ -123,6 +136,8 @@ class CollectorServer {
   std::atomic<std::uint64_t> bytes_received_{0};
   std::atomic<std::uint64_t> frames_decoded_{0};
   std::atomic<std::uint64_t> records_decoded_{0};
+  std::atomic<std::uint64_t> snapshots_decoded_{0};
+  std::atomic<std::uint64_t> spans_decoded_{0};
   std::atomic<std::uint64_t> decode_errors_{0};
 
   obs::Counter* obs_accepted_ = nullptr;

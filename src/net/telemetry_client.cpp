@@ -39,6 +39,7 @@ TelemetryClient::TelemetryClient(TelemetryClientOptions options)
     obs_frames_ = &obs->metrics.counter("net.client.frames_sent");
     obs_bytes_ = &obs->metrics.counter("net.client.bytes_sent");
     obs_reconnects_ = &obs->metrics.counter("net.client.reconnects");
+    obs_obs_frames_ = &obs->metrics.counter("net.client.obs_frames_sent");
     obs_batch_records_ = &obs->metrics.histogram("net.client.batch_records",
                                                  std::int64_t{1} << 20);
     obs_flush_latency_ = &obs->metrics.histogram("net.client.flush_latency_ns");
@@ -102,6 +103,12 @@ void TelemetryClient::stop(std::int64_t flush_timeout_ms) {
     if (!poll_once(5) && state_ != ConnState::kConnecting) break;
   }
   if (state_ == ConnState::kConnected) {
+    // Final obs emission so the collector sees the agent's last word
+    // (terminal drop counts, final self-watts) before the bye.
+    if (options_.obs != nullptr && options_.obs_interval_ms > 0) {
+      last_obs_ms_ = 0;
+      maybe_emit_obs(now_ms());
+    }
     OutFrame bye;
     bye.bytes = WireEncoder::bye_frame();
     bye.opened_ms = now_ms();
@@ -191,6 +198,7 @@ bool TelemetryClient::step_connecting(int timeout_ms) {
   connected_.store(true, std::memory_order_relaxed);
   connects_.fetch_add(1, std::memory_order_relaxed);
   backoff_attempts_ = 0;
+  last_obs_ms_ = 0;  // First obs emission goes out right away.
   POWERAPI_LOG_INFO(kLog) << options_.agent_id << ": connected to "
                           << options_.host << ":" << options_.port;
   return true;
@@ -198,15 +206,21 @@ bool TelemetryClient::step_connecting(int timeout_ms) {
 
 bool TelemetryClient::step_connected(int timeout_ms) {
   bool progress = encode_batches(now_ms());
+  progress |= maybe_emit_obs(now_ms());
   progress |= write_frames();
   if (state_ != ConnState::kConnected) return progress;
 
-  // Sleep only when nothing moved; cap the sleep at the batch deadline so
-  // flush-on-deadline fires on time.
+  // Sleep only when nothing moved; cap the sleep at the batch deadline (so
+  // flush-on-deadline fires on time) and at the obs cadence deadline.
   int timeout = progress ? 0 : timeout_ms;
   if (encoder_.pending_records() > 0) {
     const std::int64_t due =
         batch_opened_ms_ + options_.flush_interval_ms - now_ms();
+    timeout = static_cast<int>(
+        std::clamp<std::int64_t>(due, 0, static_cast<std::int64_t>(timeout)));
+  }
+  if (options_.obs != nullptr && options_.obs_interval_ms > 0) {
+    const std::int64_t due = last_obs_ms_ + options_.obs_interval_ms - now_ms();
     timeout = static_cast<int>(
         std::clamp<std::int64_t>(due, 0, static_cast<std::int64_t>(timeout)));
   }
@@ -232,8 +246,45 @@ bool TelemetryClient::step_connected(int timeout_ms) {
     if ((pfd.revents & POLLOUT) != 0) progress |= write_frames();
   }
   progress |= encode_batches(now_ms());
+  if (state_ == ConnState::kConnected) progress |= maybe_emit_obs(now_ms());
   if (state_ == ConnState::kConnected) progress |= write_frames();
   return progress;
+}
+
+bool TelemetryClient::maybe_emit_obs(std::int64_t now) {
+  if (options_.obs == nullptr || options_.obs_interval_ms <= 0 ||
+      state_ != ConnState::kConnected) {
+    return false;
+  }
+  if (now - last_obs_ms_ < options_.obs_interval_ms) return false;
+  // Obs frames yield to the slow-reader guard like everything else; the
+  // cadence just slips until the socket drains.
+  if (unsent_bytes_ >= options_.max_unsent_bytes) return false;
+  last_obs_ms_ = now;
+  // Close any open batch first: the obs frames intern into the shared
+  // dictionary, and dict definitions must reach the decoder in stream
+  // order.
+  if (encoder_.pending_records() > 0) close_batch(now);
+  const std::int64_t wall = obs::wall_now_ns();
+  OutFrame metrics;
+  metrics.bytes = encoder_.take_metrics_frame(options_.obs->metrics.snapshot(), wall);
+  metrics.opened_ms = now;
+  unsent_bytes_ += metrics.bytes.size();
+  out_frames_.push_back(std::move(metrics));
+  obs_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_obs_frames_ != nullptr) obs_obs_frames_->add(1);
+  span_buf_.clear();
+  if (options_.obs->trace.drain(span_buf_) > 0) {
+    OutFrame spans;
+    spans.bytes =
+        encoder_.take_spans_frame(span_buf_, options_.obs->trace, wall);
+    spans.opened_ms = now;
+    unsent_bytes_ += spans.bytes.size();
+    out_frames_.push_back(std::move(spans));
+    obs_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_obs_frames_ != nullptr) obs_obs_frames_->add(1);
+  }
+  return true;
 }
 
 bool TelemetryClient::encode_batches(std::int64_t now) {
@@ -382,6 +433,7 @@ TelemetryClient::Stats TelemetryClient::stats() const {
   stats.records_sent = records_sent_.load(std::memory_order_relaxed);
   stats.records_dropped = records_dropped_.load(std::memory_order_relaxed);
   stats.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  stats.obs_frames_sent = obs_frames_sent_.load(std::memory_order_relaxed);
   stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   stats.connects = connects_.load(std::memory_order_relaxed);
   stats.reconnects = reconnects_.load(std::memory_order_relaxed);

@@ -60,6 +60,12 @@ struct TelemetryClientOptions {
   /// Optional self-observability (non-owning): "net.client.*" counters and
   /// batch-size / flush-latency histograms.
   obs::Observability* obs = nullptr;
+
+  /// Cadence for shipping the agent's own observability over the wire
+  /// (metrics-snapshot frame + drained trace spans). 0 disables the obs
+  /// frames entirely — the stream is then byte-identical to the base wire.
+  /// Requires `obs` to be set.
+  std::int64_t obs_interval_ms = 0;
 };
 
 class TelemetryClient {
@@ -69,6 +75,7 @@ class TelemetryClient {
     std::uint64_t records_sent = 0;     ///< Fully written to the socket.
     std::uint64_t records_dropped = 0;  ///< Queue overflow + lost in-flight.
     std::uint64_t frames_sent = 0;
+    std::uint64_t obs_frames_sent = 0;  ///< Metrics-snapshot + span frames.
     std::uint64_t bytes_sent = 0;
     std::uint64_t connects = 0;         ///< Successful connections.
     std::uint64_t reconnects = 0;       ///< Backoff cycles scheduled.
@@ -127,6 +134,7 @@ class TelemetryClient {
   bool step_connected(int timeout_ms);
   bool encode_batches(std::int64_t now_ms);
   void close_batch(std::int64_t now_ms);
+  bool maybe_emit_obs(std::int64_t now_ms);
   bool write_frames();
   void handle_disconnect(bool failure);
   void schedule_backoff(std::int64_t now_ms);
@@ -148,6 +156,8 @@ class TelemetryClient {
   std::deque<OutFrame> out_frames_;
   std::size_t unsent_bytes_ = 0;
   std::int64_t batch_opened_ms_ = 0;
+  std::int64_t last_obs_ms_ = 0;
+  std::vector<obs::TraceCollector::Span> span_buf_;
   std::int64_t next_attempt_ms_ = 0;
   std::uint32_t backoff_attempts_ = 0;
 
@@ -160,6 +170,7 @@ class TelemetryClient {
   std::atomic<std::uint64_t> records_sent_{0};
   std::atomic<std::uint64_t> records_dropped_{0};
   std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> obs_frames_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> connects_{0};
   std::atomic<std::uint64_t> reconnects_{0};
@@ -171,6 +182,7 @@ class TelemetryClient {
   obs::Counter* obs_frames_ = nullptr;
   obs::Counter* obs_bytes_ = nullptr;
   obs::Counter* obs_reconnects_ = nullptr;
+  obs::Counter* obs_obs_frames_ = nullptr;
   obs::Histogram* obs_batch_records_ = nullptr;
   obs::Histogram* obs_flush_latency_ = nullptr;
 

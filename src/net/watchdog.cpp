@@ -1,0 +1,119 @@
+#include "net/watchdog.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace powerapi::net {
+
+namespace {
+constexpr const char* kLog = "net.watchdog";
+}  // namespace
+
+std::string_view to_string(Alert::Kind kind) noexcept {
+  switch (kind) {
+    case Alert::Kind::kDropSpike: return "drop_spike";
+    case Alert::Kind::kReconnectStorm: return "reconnect_storm";
+    case Alert::Kind::kStale: return "stale";
+    case Alert::Kind::kSelfWattsBudget: return "self_watts_budget";
+  }
+  return "?";
+}
+
+WatchdogActor::WatchdogActor(actors::EventBus& bus, Probe probe,
+                             WatchdogOptions options)
+    : bus_(&bus),
+      probe_(std::move(probe)),
+      options_(options),
+      alert_topic_(bus.intern("obs/alert")) {
+  if (options_.obs != nullptr) {
+    obs_alerts_ = &options_.obs->metrics.counter("obs.watchdog.alerts");
+    obs_suppressed_ = &options_.obs->metrics.counter("obs.watchdog.suppressed");
+  }
+}
+
+void WatchdogActor::receive(actors::Envelope& envelope) {
+  if (const WatchdogTick* tick = envelope.payload.get<WatchdogTick>()) {
+    evaluate(tick->now_ns);
+  }
+}
+
+void WatchdogActor::evaluate(std::int64_t now_ns) {
+  const WatchdogSample sample = probe_ ? probe_() : WatchdogSample{};
+  for (const WatchdogSample::Agent& agent : sample.agents) {
+    AgentBaseline& base = baselines_[agent.label];
+    if (base.seen) {
+      // Counters are monotone per agent; a reconnect-reset (smaller value)
+      // just re-baselines without alerting.
+      const std::uint64_t drop_delta =
+          agent.records_dropped >= base.records_dropped
+              ? agent.records_dropped - base.records_dropped
+              : 0;
+      const std::uint64_t reconnect_delta = agent.reconnects >= base.reconnects
+                                                ? agent.reconnects - base.reconnects
+                                                : 0;
+      if (drop_delta > options_.drop_spike) {
+        raise(Alert::Kind::kDropSpike, agent.label,
+              static_cast<double>(drop_delta),
+              static_cast<double>(options_.drop_spike), now_ns,
+              agent.label + " dropped " + std::to_string(drop_delta) +
+                  " records since last tick");
+      }
+      if (reconnect_delta > options_.reconnect_storm) {
+        raise(Alert::Kind::kReconnectStorm, agent.label,
+              static_cast<double>(reconnect_delta),
+              static_cast<double>(options_.reconnect_storm), now_ns,
+              agent.label + " reconnected " + std::to_string(reconnect_delta) +
+                  " times since last tick");
+      }
+    }
+    base.records_dropped = agent.records_dropped;
+    base.reconnects = agent.reconnects;
+    base.seen = true;
+
+    if (agent.connected && agent.last_activity_wall_ns > 0 &&
+        now_ns - agent.last_activity_wall_ns > options_.staleness_ns) {
+      const double silent_ns =
+          static_cast<double>(now_ns - agent.last_activity_wall_ns);
+      raise(Alert::Kind::kStale, agent.label, silent_ns,
+            static_cast<double>(options_.staleness_ns), now_ns,
+            agent.label + " silent for " +
+                std::to_string(silent_ns / 1e9) + " s");
+    }
+  }
+  if (options_.self_watts_budget > 0.0 &&
+      sample.fleet_self_watts > options_.self_watts_budget) {
+    std::ostringstream message;
+    message << "fleet self-monitoring at " << sample.fleet_self_watts
+            << " W exceeds budget " << options_.self_watts_budget << " W";
+    raise(Alert::Kind::kSelfWattsBudget, "", sample.fleet_self_watts,
+          options_.self_watts_budget, now_ns, message.str());
+  }
+}
+
+void WatchdogActor::raise(Alert::Kind kind, const std::string& agent,
+                          double value, double threshold, std::int64_t now_ns,
+                          std::string message) {
+  std::int64_t& last = last_alert_ns_[{static_cast<int>(kind), agent}];
+  // `last` is one-past the real stamp so a legitimate tick at now_ns == 0
+  // (deterministic tests start there) is not mistaken for "never raised".
+  if (last != 0 && now_ns - (last - 1) < options_.min_alert_interval_ns) {
+    ++alerts_suppressed_;
+    if (obs_suppressed_ != nullptr) obs_suppressed_->add(1);
+    return;
+  }
+  last = now_ns + 1;
+  ++alerts_raised_;
+  if (obs_alerts_ != nullptr) obs_alerts_->add(1);
+  Alert alert;
+  alert.kind = kind;
+  alert.agent = agent;
+  alert.value = value;
+  alert.threshold = threshold;
+  alert.wall_ns = now_ns;
+  alert.message = std::move(message);
+  POWERAPI_LOG_WARN(kLog) << to_string(kind) << ": " << alert.message;
+  bus_->publish(alert_topic_, alert, self());
+}
+
+}  // namespace powerapi::net

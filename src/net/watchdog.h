@@ -1,0 +1,125 @@
+// WatchdogActor: rate-limited, structured anomaly alerts over the fleet's
+// observability plane.
+//
+// The watchdog is the first consumer of the collector's merged view (and
+// the hook the future GovernorActor will reuse): on every WatchdogTick it
+// pulls a WatchdogSample from a probe (CollectorStatus::watchdog_sample in
+// production, a scripted lambda in tests) and publishes an Alert on topic
+// "obs/alert" for each tripped rule:
+//
+//   kDropSpike       — an agent dropped more than `drop_spike` records
+//                      since the previous tick;
+//   kReconnectStorm  — an agent's reconnect counter grew by more than
+//                      `reconnect_storm` since the previous tick;
+//   kStale           — a connected agent produced no records for longer
+//                      than `staleness_ns`;
+//   kSelfWattsBudget — fleet-wide self-monitoring watts exceed
+//                      `self_watts_budget` (the observer-effect cap).
+//
+// Alerts are rate-limited per (kind, agent): repeats inside
+// `min_alert_interval_ns` are suppressed and counted, so a flapping agent
+// cannot flood the bus. Both raised and suppressed alerts surface as
+// "obs.watchdog.*" counters. Time comes exclusively from WatchdogTick's
+// now_ns, so every rule is deterministic under kManual dispatch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "actors/actor.h"
+#include "actors/event_bus.h"
+#include "obs/observability.h"
+
+namespace powerapi::net {
+
+/// Point-in-time fleet view the watchdog evaluates (a snapshot of
+/// CollectorStatus, decoupled so tests can script it).
+struct WatchdogSample {
+  struct Agent {
+    std::string label;
+    bool connected = false;
+    std::uint64_t records_dropped = 0;  ///< Running total (deltas evaluated).
+    std::uint64_t reconnects = 0;       ///< Running total (deltas evaluated).
+    std::int64_t last_activity_wall_ns = 0;
+  };
+  std::vector<Agent> agents;
+  double fleet_self_watts = 0.0;
+};
+
+/// Tick message: drives evaluation; `now_ns` is the evaluation clock.
+struct WatchdogTick {
+  std::int64_t now_ns = 0;
+};
+
+struct WatchdogOptions {
+  /// Per-tick drop delta that trips kDropSpike.
+  std::uint64_t drop_spike = 100;
+  /// Per-tick reconnect delta that trips kReconnectStorm.
+  std::uint64_t reconnect_storm = 3;
+  /// Silence that trips kStale for a connected agent.
+  std::int64_t staleness_ns = 5'000'000'000;
+  /// Fleet self-watts cap for kSelfWattsBudget (0 disables the rule).
+  double self_watts_budget = 0.0;
+  /// Minimum spacing between repeats of the same (kind, agent) alert.
+  std::int64_t min_alert_interval_ns = 1'000'000'000;
+  /// Optional counters "obs.watchdog.alerts" / ".suppressed" (non-owning).
+  obs::Observability* obs = nullptr;
+};
+
+struct Alert {
+  enum class Kind { kDropSpike, kReconnectStorm, kStale, kSelfWattsBudget };
+
+  Kind kind = Kind::kDropSpike;
+  std::string agent;  ///< Empty for fleet-wide alerts.
+  double value = 0.0;
+  double threshold = 0.0;
+  std::int64_t wall_ns = 0;
+  std::string message;
+};
+
+std::string_view to_string(Alert::Kind kind) noexcept;
+
+class WatchdogActor final : public actors::Actor {
+ public:
+  using Probe = std::function<WatchdogSample()>;
+
+  /// Alerts publish on `bus` topic "obs/alert"; `probe` supplies the fleet
+  /// view per tick.
+  WatchdogActor(actors::EventBus& bus, Probe probe, WatchdogOptions options = {});
+
+  actors::EventBus::TopicId alert_topic() const noexcept { return alert_topic_; }
+
+  std::uint64_t alerts_raised() const noexcept { return alerts_raised_; }
+  std::uint64_t alerts_suppressed() const noexcept { return alerts_suppressed_; }
+
+  void receive(actors::Envelope& envelope) override;
+
+ private:
+  struct AgentBaseline {
+    std::uint64_t records_dropped = 0;
+    std::uint64_t reconnects = 0;
+    bool seen = false;
+  };
+
+  void evaluate(std::int64_t now_ns);
+  void raise(Alert::Kind kind, const std::string& agent, double value,
+             double threshold, std::int64_t now_ns, std::string message);
+
+  actors::EventBus* bus_;
+  Probe probe_;
+  WatchdogOptions options_;
+  actors::EventBus::TopicId alert_topic_;
+
+  std::map<std::string, AgentBaseline> baselines_;
+  std::map<std::pair<int, std::string>, std::int64_t> last_alert_ns_;
+  std::uint64_t alerts_raised_ = 0;
+  std::uint64_t alerts_suppressed_ = 0;
+  obs::Counter* obs_alerts_ = nullptr;
+  obs::Counter* obs_suppressed_ = nullptr;
+};
+
+}  // namespace powerapi::net

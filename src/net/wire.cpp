@@ -19,6 +19,22 @@ enum RecordKind : std::uint8_t {
 /// Largest record kind the decoder knows; anything above is a violation.
 constexpr std::uint8_t kMaxRecordKind = kMetric;
 
+// Record kinds inside the obs-frame payloads (metrics snapshot / spans).
+// Kind 1 is the dict record in every payload flavor, so the shared
+// per-connection dictionary grows identically whichever frame defines a
+// string first.
+enum ObsRecordKind : std::uint8_t {
+  kObsDict = 1,
+  kObsValue = 2,      ///< Metrics frame: counter or gauge.
+  kObsHistogram = 3,  ///< Metrics frame: histogram with buckets.
+  kObsComplete = 2,   ///< Spans frame: complete span (with duration).
+  kObsInstant = 3,    ///< Spans frame: instant event.
+};
+
+/// Histograms larger than this are a protocol violation (a real HDR
+/// histogram has at most a few hundred non-empty buckets).
+constexpr std::uint64_t kMaxHistogramBuckets = 1u << 16;
+
 /// Dictionary ids per connection are capped so a corrupt stream cannot make
 /// the decoder allocate unboundedly.
 constexpr std::uint64_t kMaxDictEntries = 1u << 16;
@@ -153,11 +169,68 @@ std::vector<std::uint8_t> WireEncoder::take_batch_frame() {
   return frame;
 }
 
+std::vector<std::uint8_t> WireEncoder::take_metrics_frame(
+    const obs::MetricsSnapshot& snapshot, std::int64_t send_wall_ns) {
+  // batch_ doubles as the build buffer so intern() lands dict records in
+  // stream order; the precondition (no pending batch) makes that safe.
+  batch_.push_back(kObsPayloadVersion);
+  util::put_varint_signed(batch_, send_wall_ns);
+  for (const obs::MetricValue& metric : snapshot.metrics) {
+    const std::uint64_t name = intern(metric.name);
+    if (metric.kind == obs::MetricKind::kHistogram) {
+      batch_.push_back(kObsHistogram);
+      util::put_varint(batch_, name);
+      util::put_varint(batch_, metric.hist.count);
+      util::put_varint(batch_, metric.hist.overflow);
+      put_f64(batch_, metric.hist.sum);
+      util::put_varint(batch_, metric.hist.buckets.size());
+      std::int64_t last_lower = 0;
+      for (const auto& [lower, count] : metric.hist.buckets) {
+        util::put_varint_signed(batch_, lower - last_lower);
+        util::put_varint(batch_, count);
+        last_lower = lower;
+      }
+    } else {
+      batch_.push_back(kObsValue);
+      batch_.push_back(static_cast<std::uint8_t>(metric.kind));
+      util::put_varint(batch_, name);
+      put_f64(batch_, metric.value);
+    }
+  }
+  std::vector<std::uint8_t> frame = make_frame(FrameType::kMetricsSnapshot, batch_);
+  batch_.clear();
+  return frame;
+}
+
+std::vector<std::uint8_t> WireEncoder::take_spans_frame(
+    const std::vector<obs::TraceCollector::Span>& spans,
+    const obs::TraceCollector& trace, std::int64_t send_wall_ns) {
+  batch_.push_back(kObsPayloadVersion);
+  util::put_varint_signed(batch_, send_wall_ns);
+  for (const obs::TraceCollector::Span& span : spans) {
+    const std::uint64_t name = intern(trace.name_of(span.name));
+    const bool instant = span.dur_ns < 0;
+    batch_.push_back(instant ? kObsInstant : kObsComplete);
+    util::put_varint(batch_, name);
+    util::put_varint(batch_, span.tid);
+    // Spans are roughly time-ordered per shard, so deltas against their own
+    // base stay small without disturbing the batch-record timestamp base.
+    util::put_varint_signed(batch_, span.ts_ns - last_span_ts_);
+    last_span_ts_ = span.ts_ns;
+    if (!instant) util::put_varint(batch_, static_cast<std::uint64_t>(span.dur_ns));
+    util::put_varint(batch_, span.seq);
+  }
+  std::vector<std::uint8_t> frame = make_frame(FrameType::kSpans, batch_);
+  batch_.clear();
+  return frame;
+}
+
 void WireEncoder::reset() {
   batch_.clear();
   records_ = 0;
   dict_.clear();
   last_ts_ = 0;
+  last_span_ts_ = 0;
 }
 
 std::vector<std::uint8_t> WireEncoder::make_frame(
@@ -202,6 +275,7 @@ void FrameDecoder::reset() {
   error_.clear();
   dict_.clear();
   last_ts_ = 0;
+  last_span_ts_ = 0;
 }
 
 bool FrameDecoder::consume(const std::uint8_t* data, std::size_t size,
@@ -228,9 +302,8 @@ bool FrameDecoder::consume(const std::uint8_t* data, std::size_t size,
     std::uint32_t crc = util::crc32c(head, 10);
     crc = util::crc32c_extend(crc, payload, payload_len);
     if (crc != get_u32(head + 10)) return fail("frame crc32c mismatch");
-    if (type != static_cast<std::uint8_t>(FrameType::kHello) &&
-        type != static_cast<std::uint8_t>(FrameType::kBatch) &&
-        type != static_cast<std::uint8_t>(FrameType::kBye)) {
+    if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+        type > static_cast<std::uint8_t>(FrameType::kSpans)) {
       return fail("unknown frame type " + std::to_string(type));
     }
     if (!decode_frame(static_cast<FrameType>(type), payload, payload_len, sink)) {
@@ -267,6 +340,10 @@ bool FrameDecoder::decode_frame(FrameType type, const std::uint8_t* payload,
     sink.on_hello(agent_id, static_cast<std::uint8_t>(version));
     return true;
   }
+  if (type == FrameType::kMetricsSnapshot) {
+    return decode_metrics_snapshot(payload, size, sink);
+  }
+  if (type == FrameType::kSpans) return decode_spans(payload, size, sink);
   return decode_batch(payload, size, sink);
 }
 
@@ -355,6 +432,156 @@ bool FrameDecoder::decode_batch(const std::uint8_t* payload, std::size_t size,
         return fail("unknown record kind " + std::to_string(kind));
     }
   }
+  return true;
+}
+
+bool FrameDecoder::decode_metrics_snapshot(const std::uint8_t* payload,
+                                           std::size_t size, WireSink& sink) {
+  Reader r{payload, size};
+  std::uint8_t payload_version = 0;
+  std::int64_t send_wall_ns = 0;
+  if (!r.u8(payload_version) || !r.svarint(send_wall_ns)) {
+    return fail("truncated metrics-snapshot header");
+  }
+  if (payload_version != kObsPayloadVersion) {
+    return fail("unsupported metrics-snapshot payload version " +
+                std::to_string(payload_version));
+  }
+  obs::MetricsSnapshot snapshot;
+  while (!r.done()) {
+    std::uint8_t kind = 0;
+    if (!r.u8(kind)) return fail("truncated metrics record kind");
+    switch (kind) {
+      case kObsDict: {
+        std::uint64_t id = 0;
+        std::uint64_t len = 0;
+        std::string_view text;
+        if (!r.varint(id) || !r.varint(len) || len > kMaxDictStringBytes ||
+            !r.bytes(len, text)) {
+          return fail("truncated dict record");
+        }
+        if (id != dict_.size() || id >= kMaxDictEntries) {
+          return fail("dict id " + std::to_string(id) + " out of sequence");
+        }
+        dict_.emplace_back(text);
+        break;
+      }
+      case kObsValue: {
+        obs::MetricValue metric;
+        std::uint8_t metric_kind = 0;
+        std::uint64_t name = 0;
+        if (!r.u8(metric_kind) ||
+            metric_kind > static_cast<std::uint8_t>(obs::MetricKind::kHistogram) ||
+            !r.varint(name) || !r.f64(metric.value)) {
+          return fail("truncated metric value record");
+        }
+        if (name >= dict_.size()) return fail("metric name id undefined");
+        metric.name = dict_[name];
+        metric.kind = static_cast<obs::MetricKind>(metric_kind);
+        snapshot.metrics.push_back(std::move(metric));
+        break;
+      }
+      case kObsHistogram: {
+        obs::MetricValue metric;
+        metric.kind = obs::MetricKind::kHistogram;
+        std::uint64_t name = 0;
+        std::uint64_t bucket_count = 0;
+        if (!r.varint(name) || !r.varint(metric.hist.count) ||
+            !r.varint(metric.hist.overflow) || !r.f64(metric.hist.sum) ||
+            !r.varint(bucket_count) || bucket_count > kMaxHistogramBuckets) {
+          return fail("truncated histogram record");
+        }
+        if (name >= dict_.size()) return fail("metric name id undefined");
+        metric.name = dict_[name];
+        metric.hist.buckets.reserve(bucket_count);
+        std::int64_t last_lower = 0;
+        for (std::uint64_t i = 0; i < bucket_count; ++i) {
+          std::int64_t lower_delta = 0;
+          std::uint64_t count = 0;
+          if (!r.svarint(lower_delta) || !r.varint(count)) {
+            return fail("truncated histogram bucket");
+          }
+          last_lower += lower_delta;
+          metric.hist.buckets.emplace_back(last_lower, count);
+        }
+        metric.value = static_cast<double>(metric.hist.count);
+        snapshot.metrics.push_back(std::move(metric));
+        break;
+      }
+      default:
+        return fail("unknown metrics record kind " + std::to_string(kind));
+    }
+  }
+  ++snapshots_;
+  sink.on_metrics_snapshot(send_wall_ns, snapshot);
+  return true;
+}
+
+bool FrameDecoder::decode_spans(const std::uint8_t* payload, std::size_t size,
+                                WireSink& sink) {
+  Reader r{payload, size};
+  std::uint8_t payload_version = 0;
+  std::int64_t send_wall_ns = 0;
+  if (!r.u8(payload_version) || !r.svarint(send_wall_ns)) {
+    return fail("truncated spans header");
+  }
+  if (payload_version != kObsPayloadVersion) {
+    return fail("unsupported spans payload version " +
+                std::to_string(payload_version));
+  }
+  std::vector<RemoteSpan> decoded;
+  std::vector<std::uint64_t> name_ids;
+  while (!r.done()) {
+    std::uint8_t kind = 0;
+    if (!r.u8(kind)) return fail("truncated span record kind");
+    switch (kind) {
+      case kObsDict: {
+        std::uint64_t id = 0;
+        std::uint64_t len = 0;
+        std::string_view text;
+        if (!r.varint(id) || !r.varint(len) || len > kMaxDictStringBytes ||
+            !r.bytes(len, text)) {
+          return fail("truncated dict record");
+        }
+        if (id != dict_.size() || id >= kMaxDictEntries) {
+          return fail("dict id " + std::to_string(id) + " out of sequence");
+        }
+        dict_.emplace_back(text);
+        break;
+      }
+      case kObsComplete:
+      case kObsInstant: {
+        RemoteSpan span;
+        std::uint64_t name = 0;
+        std::uint64_t tid = 0;
+        std::int64_t ts_delta = 0;
+        std::uint64_t dur = 0;
+        const bool instant = kind == kObsInstant;
+        if (!r.varint(name) || !r.varint(tid) || !r.svarint(ts_delta) ||
+            (!instant && !r.varint(dur)) || !r.varint(span.seq)) {
+          return fail("truncated span record");
+        }
+        if (name >= dict_.size()) return fail("span name id undefined");
+        last_span_ts_ += ts_delta;
+        name_ids.push_back(name);
+        span.tid = static_cast<std::uint32_t>(tid);
+        span.ts_ns = last_span_ts_;
+        span.dur_ns = instant ? -1 : static_cast<std::int64_t>(dur);
+        decoded.push_back(span);
+        break;
+      }
+      default:
+        return fail("unknown span record kind " + std::to_string(kind));
+    }
+  }
+  // Name views are resolved only now: a dict record later in the frame grows
+  // dict_, and the reallocation moves small-string buffers, so a view taken
+  // mid-loop could dangle by the time the sink sees it.
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    decoded[i].name = dict_[name_ids[i]];
+  }
+  spans_ += decoded.size();
+  sink.on_spans(send_wall_ns, decoded);
   return true;
 }
 

@@ -19,6 +19,13 @@
 //   aggregated  Δts, pid, formula-id, group-id, watts(f64)
 //   metric      metric-kind(u8), name-id, value(f64)
 //
+// Two further frame kinds carry the observability plane (emitted only when
+// an obs cadence is configured, so a PR 5 stream is byte-identical): a
+// metrics-snapshot frame (full obs::MetricsRegistry snapshot — values plus
+// histogram buckets) and a spans frame (drained obs::TraceCollector spans).
+// Both start with a payload version byte and the agent's send wall clock,
+// and intern names into the same per-connection dictionary as batches.
+//
 // Two stream-stateful compressions keep hot records small:
 //  * Timestamps are delta-encoded (zigzag) against the previous record's
 //    timestamp in stream order — at a fixed monitoring period the delta is
@@ -47,6 +54,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "powerapi/messages.h"
 
 namespace powerapi::net {
@@ -59,9 +67,26 @@ inline constexpr std::size_t kFrameHeaderBytes = 14;
 inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
 
 enum class FrameType : std::uint8_t {
-  kHello = 1,  ///< First frame on a connection: protocol version + agent id.
-  kBatch = 2,  ///< Batched records.
-  kBye = 3,    ///< Orderly shutdown (empty payload).
+  kHello = 1,            ///< First frame on a connection: protocol version + agent id.
+  kBatch = 2,            ///< Batched records.
+  kBye = 3,              ///< Orderly shutdown (empty payload).
+  kMetricsSnapshot = 4,  ///< Full obs::MetricsRegistry snapshot (versioned payload).
+  kSpans = 5,            ///< Drained obs::TraceCollector spans (versioned payload).
+};
+
+/// Version byte leading every obs-frame payload (metrics snapshot / spans),
+/// independent of the frame header version: the obs payloads can evolve
+/// without a wire-wide version bump.
+inline constexpr std::uint8_t kObsPayloadVersion = 1;
+
+/// One decoded remote trace span. `name` views the decoder's dictionary and
+/// is only valid for the duration of the on_spans() callback.
+struct RemoteSpan {
+  std::string_view name;
+  std::uint32_t tid = 0;
+  std::int64_t ts_ns = 0;   ///< Agent-local wall_now_ns() clock.
+  std::int64_t dur_ns = 0;  ///< < 0 marks an instant event.
+  std::uint64_t seq = 0;
 };
 
 /// Receiver interface for decoded frames/records.
@@ -73,6 +98,13 @@ class WireSink {
   virtual void on_aggregated(const api::AggregatedPower& /*row*/) {}
   virtual void on_metric(std::string_view /*name*/, obs::MetricKind /*kind*/,
                          double /*value*/) {}
+  /// A full remote metrics snapshot; `send_wall_ns` is the agent's local
+  /// wall clock at emission (clock-offset estimation pairs it with the
+  /// receiver's clock at decode).
+  virtual void on_metrics_snapshot(std::int64_t /*send_wall_ns*/,
+                                   const obs::MetricsSnapshot& /*snapshot*/) {}
+  virtual void on_spans(std::int64_t /*send_wall_ns*/,
+                        const std::vector<RemoteSpan>& /*spans*/) {}
   virtual void on_bye() {}
 };
 
@@ -94,6 +126,20 @@ class WireEncoder {
   /// base persist — they are connection state, not batch state).
   std::vector<std::uint8_t> take_batch_frame();
 
+  /// Frames a full metrics snapshot (counters/gauges as values, histograms
+  /// with their bucket vectors), stamped with the agent's wall clock.
+  /// Precondition: no pending batch records — the snapshot interns names
+  /// into the shared connection dictionary, so its dict definitions must
+  /// not jump ahead of an unframed batch.
+  std::vector<std::uint8_t> take_metrics_frame(const obs::MetricsSnapshot& snapshot,
+                                               std::int64_t send_wall_ns);
+
+  /// Frames drained trace spans; `trace` resolves interned span names.
+  /// Same precondition as take_metrics_frame().
+  std::vector<std::uint8_t> take_spans_frame(
+      const std::vector<obs::TraceCollector::Span>& spans,
+      const obs::TraceCollector& trace, std::int64_t send_wall_ns);
+
   /// Forgets all connection state; the next batch re-emits dictionary
   /// entries and a full first timestamp. Call when (re)connecting.
   void reset();
@@ -111,6 +157,7 @@ class WireEncoder {
   std::size_t records_ = 0;
   std::map<std::string, std::uint64_t, std::less<>> dict_;
   std::int64_t last_ts_ = 0;
+  std::int64_t last_span_ts_ = 0;  ///< Span-stream delta base (separate clock).
 };
 
 /// Incremental frame decoder + per-connection decode state.
@@ -128,6 +175,8 @@ class FrameDecoder {
   bool failed() const noexcept { return failed_; }
   std::uint64_t frames_decoded() const noexcept { return frames_; }
   std::uint64_t records_decoded() const noexcept { return records_; }
+  std::uint64_t snapshots_decoded() const noexcept { return snapshots_; }
+  std::uint64_t spans_decoded() const noexcept { return spans_; }
   /// Bytes buffered waiting for the rest of a frame.
   std::size_t buffered_bytes() const noexcept { return buffer_.size() - consumed_; }
 
@@ -139,6 +188,9 @@ class FrameDecoder {
   bool decode_frame(FrameType type, const std::uint8_t* payload, std::size_t size,
                     WireSink& sink);
   bool decode_batch(const std::uint8_t* payload, std::size_t size, WireSink& sink);
+  bool decode_metrics_snapshot(const std::uint8_t* payload, std::size_t size,
+                               WireSink& sink);
+  bool decode_spans(const std::uint8_t* payload, std::size_t size, WireSink& sink);
 
   std::size_t max_frame_bytes_;
   std::vector<std::uint8_t> buffer_;
@@ -147,8 +199,11 @@ class FrameDecoder {
   std::string error_;
   std::uint64_t frames_ = 0;
   std::uint64_t records_ = 0;
+  std::uint64_t snapshots_ = 0;
+  std::uint64_t spans_ = 0;
   std::vector<std::string> dict_;
   std::int64_t last_ts_ = 0;
+  std::int64_t last_span_ts_ = 0;
 };
 
 }  // namespace powerapi::net

@@ -2,7 +2,8 @@
 
 namespace powerapi::obs {
 
-Observability::Observability() {
+Observability::Observability(std::size_t trace_capacity) : trace(trace_capacity) {
+  trace.set_drop_counter(&metrics.counter("obs.trace.spans_dropped"));
   self_collector_ = metrics.add_collector([this](SnapshotBuilder& builder) {
     const SelfMonitor::Usage usage = self.sample();
     builder.gauge("self.cpu_share_cores", usage.cpu_share_cores);

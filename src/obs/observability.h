@@ -20,7 +20,8 @@ namespace powerapi::obs {
 
 class Observability {
  public:
-  Observability();
+  /// `trace_capacity` bounds the retained trace spans (see TraceCollector).
+  explicit Observability(std::size_t trace_capacity = std::size_t{1} << 18);
   ~Observability();
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;

@@ -37,11 +37,14 @@ TraceCollector::NameId TraceCollector::intern(std::string_view name) {
   return id;
 }
 
-void TraceCollector::push(const Event& event) {
+void TraceCollector::push(const Span& event) {
   Shard& shard = shards_[shard_index() % kShardCount];
   std::lock_guard lock(shard.mutex);
   if (shard.events.size() >= shard_capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (Counter* counter = drop_counter_.load(std::memory_order_relaxed)) {
+      counter->add(1);
+    }
     return;
   }
   shard.events.push_back(event);
@@ -50,7 +53,7 @@ void TraceCollector::push(const Event& event) {
 void TraceCollector::complete(NameId name, std::int64_t start_ns,
                               std::int64_t duration_ns, std::uint64_t seq) {
   if (!enabled() || name == 0) return;
-  Event event;
+  Span event;
   event.name = name;
   event.tid = trace_thread_id();
   event.ts_ns = start_ns;
@@ -61,13 +64,29 @@ void TraceCollector::complete(NameId name, std::int64_t start_ns,
 
 void TraceCollector::instant(NameId name, std::int64_t at_ns, std::uint64_t seq) {
   if (!enabled() || name == 0) return;
-  Event event;
+  Span event;
   event.name = name;
   event.tid = trace_thread_id();
   event.ts_ns = at_ns;
   event.dur_ns = -1;
   event.seq = seq;
   push(event);
+}
+
+std::size_t TraceCollector::drain(std::vector<Span>& out) {
+  std::size_t drained = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    drained += shard.events.size();
+    out.insert(out.end(), shard.events.begin(), shard.events.end());
+    shard.events.clear();
+  }
+  return drained;
+}
+
+std::string TraceCollector::name_of(NameId id) const {
+  std::lock_guard lock(names_mutex_);
+  return id < names_.size() ? names_[id] : std::string();
 }
 
 std::size_t TraceCollector::size() const noexcept {
@@ -79,7 +98,7 @@ std::size_t TraceCollector::size() const noexcept {
   return total;
 }
 
-namespace {
+namespace detail {
 
 /// Event names are library-chosen identifiers, but escape defensively so a
 /// namespaced actor name can never produce malformed JSON.
@@ -102,16 +121,16 @@ void write_json_string(std::ostream& out, std::string_view text) {
   out << '"';
 }
 
-}  // namespace
+}  // namespace detail
 
 void TraceCollector::write_chrome_trace(std::ostream& out) const {
-  std::vector<Event> events;
+  std::vector<Span> events;
   for (const Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);
     events.insert(events.end(), shard.events.begin(), shard.events.end());
   }
   std::sort(events.begin(), events.end(),
-            [](const Event& a, const Event& b) { return a.ts_ns < b.ts_ns; });
+            [](const Span& a, const Span& b) { return a.ts_ns < b.ts_ns; });
 
   std::vector<std::string> names;
   {
@@ -128,9 +147,12 @@ void TraceCollector::write_chrome_trace(std::ostream& out) const {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
          "\"args\":{\"name\":\"powerapi-monitor\"}}";
-  for (const Event& event : events) {
+  // Truncation is never silent: the drop count rides along as metadata.
+  out << ",{\"name\":\"spans_dropped\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"dropped\":" << dropped() << "}}";
+  for (const Span& event : events) {
     out << ",{\"name\":";
-    write_json_string(out, event.name < names.size() ? names[event.name] : "?");
+    detail::write_json_string(out, event.name < names.size() ? names[event.name] : "?");
     out << ",\"cat\":\"powerapi\",\"pid\":1,\"tid\":" << event.tid;
     // Chrome trace timestamps are microseconds; keep ns resolution with
     // three decimals.

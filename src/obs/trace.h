@@ -34,10 +34,28 @@ std::int64_t wall_now_ns() noexcept;
 /// Chrome trace "tid".
 std::uint32_t trace_thread_id() noexcept;
 
+class Counter;
+
+namespace detail {
+/// Writes `text` as a quoted, escaped JSON string (shared by the Chrome
+/// trace writers).
+void write_json_string(std::ostream& out, std::string_view text);
+}  // namespace detail
+
 class TraceCollector {
  public:
   /// Interned name handle; 0 is reserved for "never interned".
   using NameId = std::uint32_t;
+
+  /// One recorded event, exposed for drain(): a complete span when
+  /// dur_ns >= 0, an instant event when dur_ns < 0.
+  struct Span {
+    NameId name = 0;
+    std::uint32_t tid = 0;
+    std::int64_t ts_ns = 0;
+    std::int64_t dur_ns = 0;  ///< < 0 marks an instant event.
+    std::uint64_t seq = 0;
+  };
 
   /// `capacity` bounds the total retained events across all shards.
   explicit TraceCollector(std::size_t capacity = std::size_t{1} << 18);
@@ -63,28 +81,36 @@ class TraceCollector {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Also bump this registry counter on every dropped event (non-owning;
+  /// must outlive the collector). Drop counts then surface in metrics
+  /// snapshots ("obs.trace.spans_dropped") instead of dying with the trace.
+  void set_drop_counter(Counter* counter) noexcept {
+    drop_counter_.store(counter, std::memory_order_relaxed);
+  }
+
+  /// Moves every buffered event into `out` (appending, in shard order) and
+  /// frees their capacity — the handoff for shipping spans over the wire.
+  /// Returns the number of events drained.
+  std::size_t drain(std::vector<Span>& out);
+
+  /// Resolves an interned id back to its name ("" for unknown ids).
+  std::string name_of(NameId id) const;
+
   /// Emits the Chrome trace_event JSON object ({"traceEvents": [...]}),
   /// events sorted by timestamp. Safe to call while recording continues
-  /// (the written set is a point-in-time copy).
+  /// (the written set is a point-in-time copy). Dropped-event counts are
+  /// emitted as a metadata event, so truncation is visible in the viewer.
   void write_chrome_trace(std::ostream& out) const;
 
  private:
-  struct Event {
-    NameId name = 0;
-    std::uint32_t tid = 0;
-    std::int64_t ts_ns = 0;
-    std::int64_t dur_ns = 0;  ///< < 0 marks an instant event.
-    std::uint64_t seq = 0;
-  };
-
   static constexpr std::size_t kShardCount = 16;
 
   struct alignas(64) Shard {
     mutable std::mutex mutex;
-    std::vector<Event> events;
+    std::vector<Span> events;
   };
 
-  void push(const Event& event);
+  void push(const Span& event);
 
   std::atomic<bool> enabled_{true};
   std::size_t shard_capacity_;
@@ -93,6 +119,7 @@ class TraceCollector {
   std::map<std::string, NameId, std::less<>> name_ids_;
   std::vector<std::string> names_;  ///< Indexed by NameId; [0] is "".
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<Counter*> drop_counter_{nullptr};
 };
 
 /// RAII span: records a complete event on destruction. Null-safe — pass a

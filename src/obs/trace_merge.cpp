@@ -1,0 +1,134 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace powerapi::obs {
+
+TraceMerger::SourceId TraceMerger::add_source(std::string label) {
+  std::lock_guard lock(mutex_);
+  const auto id = static_cast<SourceId>(sources_.size());
+  Source source;
+  source.label = std::move(label);
+  sources_.push_back(std::move(source));
+  return id;
+}
+
+void TraceMerger::set_label(SourceId source, std::string label) {
+  std::lock_guard lock(mutex_);
+  if (source < sources_.size()) sources_[source].label = std::move(label);
+}
+
+void TraceMerger::observe_offset(SourceId source, std::int64_t send_wall_ns,
+                                 std::int64_t recv_wall_ns) {
+  std::lock_guard lock(mutex_);
+  if (source >= sources_.size()) return;
+  Source& src = sources_[source];
+  // recv - send = clock offset + one-way transit; the minimum over many
+  // frames is the pair with the least transit, i.e. the tightest upper
+  // bound on the true offset.
+  const std::int64_t estimate = recv_wall_ns - send_wall_ns;
+  if (!src.has_offset || estimate < src.offset_ns) {
+    src.offset_ns = estimate;
+    src.has_offset = true;
+  }
+}
+
+void TraceMerger::set_offset(SourceId source, std::int64_t offset_ns) {
+  std::lock_guard lock(mutex_);
+  if (source >= sources_.size()) return;
+  sources_[source].offset_ns = offset_ns;
+  sources_[source].has_offset = true;
+}
+
+std::int64_t TraceMerger::offset_ns(SourceId source) const {
+  std::lock_guard lock(mutex_);
+  return source < sources_.size() ? sources_[source].offset_ns : 0;
+}
+
+bool TraceMerger::has_offset(SourceId source) const {
+  std::lock_guard lock(mutex_);
+  return source < sources_.size() && sources_[source].has_offset;
+}
+
+void TraceMerger::add_span(SourceId source, std::string_view name,
+                           std::uint32_t tid, std::int64_t ts_ns,
+                           std::int64_t dur_ns, std::uint64_t seq) {
+  std::lock_guard lock(mutex_);
+  if (source >= sources_.size()) return;
+  MergedSpan span;
+  span.source = source;
+  span.name = std::string(name);
+  span.tid = tid;
+  span.ts_ns = ts_ns;
+  span.dur_ns = dur_ns;
+  span.seq = seq;
+  spans_.push_back(std::move(span));
+}
+
+void TraceMerger::set_dropped(SourceId source, std::uint64_t dropped) {
+  std::lock_guard lock(mutex_);
+  if (source < sources_.size()) sources_[source].dropped = dropped;
+}
+
+std::size_t TraceMerger::size() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+void TraceMerger::write_chrome_trace(std::ostream& out) const {
+  std::vector<Source> sources;
+  std::vector<MergedSpan> spans;
+  {
+    std::lock_guard lock(mutex_);
+    sources = sources_;
+    spans = spans_;
+  }
+  // Re-base every span onto the collector clock, then sort the whole
+  // merged timeline.
+  for (MergedSpan& span : spans) {
+    span.ts_ns += sources[span.source].offset_ns;
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const MergedSpan& a, const MergedSpan& b) { return a.ts_ns < b.ts_ns; });
+
+  const std::ios::fmtflags saved_flags = out.flags();
+  const std::streamsize saved_precision = out.precision();
+  out << std::fixed << std::setprecision(3);
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (SourceId id = 0; id < sources.size(); ++id) {
+    const Source& source = sources[id];
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << id + 1
+        << ",\"tid\":0,\"args\":{\"name\":";
+    detail::write_json_string(out, source.label);
+    out << "}}";
+    out << ",{\"name\":\"spans_dropped\",\"ph\":\"M\",\"pid\":" << id + 1
+        << ",\"tid\":0,\"args\":{\"dropped\":" << source.dropped
+        << ",\"clock_offset_ns\":" << source.offset_ns << "}}";
+  }
+  for (const MergedSpan& span : spans) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":";
+    detail::write_json_string(out, span.name);
+    out << ",\"cat\":\"powerapi\",\"pid\":" << span.source + 1
+        << ",\"tid\":" << span.tid;
+    out << ",\"ts\":" << static_cast<double>(span.ts_ns) / 1000.0;
+    if (span.dur_ns < 0) {
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+    } else {
+      out << ",\"ph\":\"X\",\"dur\":" << static_cast<double>(span.dur_ns) / 1000.0;
+    }
+    out << ",\"args\":{\"seq\":" << span.seq << "}}";
+  }
+  out << "]}";
+  out.flags(saved_flags);
+  out.precision(saved_precision);
+}
+
+}  // namespace powerapi::obs

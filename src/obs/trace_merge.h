@@ -1,0 +1,94 @@
+// Merges trace spans from many clocks into one Chrome trace timeline.
+//
+// Each distributed agent records spans against its own process-local
+// steady clock (obs::wall_now_ns() is "nanoseconds since *my* process
+// start"), so spans shipped over the wire land at the collector with
+// timestamps that are mutually meaningless. TraceMerger re-bases every
+// source onto the collector's clock using a per-source offset estimated
+// from (send, recv) wall-clock pairs: each obs frame carries the agent's
+// send timestamp and the collector stamps its receive time, so
+// `recv - send = offset + transit`. Taking the minimum over many frames
+// converges on the pair with the least transit delay — the classic
+// one-way min-delay estimator — and each new frame can only refine the
+// estimate downward. write_chrome_trace() then emits a single JSON
+// timeline with one Chrome "process" per source, all on collector time.
+#pragma once
+
+#include "obs/trace.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace powerapi::obs {
+
+class TraceMerger {
+ public:
+  /// Dense handle for one span source (an agent connection, or the
+  /// collector itself). The Chrome trace pid is `SourceId + 1`.
+  using SourceId = std::uint32_t;
+
+  TraceMerger() = default;
+  TraceMerger(const TraceMerger&) = delete;
+  TraceMerger& operator=(const TraceMerger&) = delete;
+
+  /// Registers a span source; `label` becomes the Chrome process name.
+  SourceId add_source(std::string label);
+
+  /// Relabels a source (e.g. once an agent's hello names it).
+  void set_label(SourceId source, std::string label);
+
+  /// Feeds one (send, recv) timestamp pair into the source's clock-offset
+  /// estimate: offset <- min(offset, recv - send). Collector-local sources
+  /// that never observe a pair keep offset 0 (already on collector time).
+  void observe_offset(SourceId source, std::int64_t send_wall_ns,
+                      std::int64_t recv_wall_ns);
+
+  /// Pins the offset exactly (tests / externally synchronized clocks).
+  void set_offset(SourceId source, std::int64_t offset_ns);
+
+  std::int64_t offset_ns(SourceId source) const;
+  bool has_offset(SourceId source) const;
+
+  /// Buffers one span in source-local time; write_chrome_trace() applies
+  /// the offset. `dur_ns < 0` marks an instant event.
+  void add_span(SourceId source, std::string_view name, std::uint32_t tid,
+                std::int64_t ts_ns, std::int64_t dur_ns, std::uint64_t seq = 0);
+
+  /// Records how many spans the source dropped before they reached us
+  /// (emitted as per-process metadata so truncation is visible).
+  void set_dropped(SourceId source, std::uint64_t dropped);
+
+  std::size_t size() const;
+
+  /// Emits one merged Chrome trace_event JSON object: per-source
+  /// process_name + spans_dropped metadata, then every span sorted by
+  /// collector-time timestamp.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  struct Source {
+    std::string label;
+    std::int64_t offset_ns = 0;
+    bool has_offset = false;
+    std::uint64_t dropped = 0;
+  };
+
+  struct MergedSpan {
+    SourceId source = 0;
+    std::string name;
+    std::uint32_t tid = 0;
+    std::int64_t ts_ns = 0;
+    std::int64_t dur_ns = 0;  ///< < 0 marks an instant event.
+    std::uint64_t seq = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Source> sources_;
+  std::vector<MergedSpan> spans_;
+};
+
+}  // namespace powerapi::obs

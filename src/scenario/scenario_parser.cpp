@@ -226,6 +226,9 @@ class Parser {
     } else if (head == "calibration") {
       parse_calibration(tail, line.number);
       ++index_;
+    } else if (head == "observe") {
+      parse_observe(tail, line.number);
+      ++index_;
     } else if (head == "fleet") {
       parse_fleet(tail, line.number);
       ++index_;
@@ -547,6 +550,27 @@ class Parser {
       spec_.calibration.refit_interval = parse_duration(v, line);
     }
     reject_leftovers(kv, line, "calibration");
+  }
+
+  void parse_observe(const std::string& tail, std::size_t line) {
+    spec_.observe.enabled = true;  // Presence of the directive enables it.
+    auto kv = parse_args(tail, line);
+    if (auto v = take_arg(kv, "cadence", line); !v.empty()) {
+      spec_.observe.cadence = parse_duration(v, line);
+      if (spec_.observe.cadence <= 0) fail(line, "observe cadence must be positive");
+    }
+    if (auto v = take_arg(kv, "status_port", line); !v.empty()) {
+      const std::uint64_t port = parse_unsigned(v, line);
+      if (port > 65535) fail(line, "status_port out of range");
+      spec_.observe.status_port = static_cast<std::uint16_t>(port);
+    }
+    if (auto v = take_arg(kv, "self_watts_budget", line); !v.empty()) {
+      spec_.observe.self_watts_budget = parse_number(v, line);
+      if (spec_.observe.self_watts_budget < 0) {
+        fail(line, "self_watts_budget must be non-negative");
+      }
+    }
+    reject_leftovers(kv, line, "observe");
   }
 
   void parse_fleet(const std::string& tail, std::size_t line) {

@@ -10,6 +10,8 @@
 
 #include "hpc/events.h"
 #include "model/trainer.h"
+#include "net/collector_status.h"
+#include "net/watchdog.h"
 #include "os/system.h"
 #include "powerapi/fleet_monitor.h"
 #include "util/rng.h"
@@ -162,6 +164,37 @@ std::string hex_double(double value) {
   return buffer;
 }
 
+const char* kind_name(obs::MetricKind kind) {
+  switch (kind) {
+    case obs::MetricKind::kCounter: return "counter";
+    case obs::MetricKind::kGauge: return "gauge";
+    case obs::MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Status-listener payload: the live fleet metrics snapshot as text lines
+/// ("name kind value") or one flat JSON object.
+void render_metrics(std::ostream& out, obs::Observability& obs, bool json) {
+  const obs::MetricsSnapshot snapshot = obs.metrics.snapshot();
+  if (!json) {
+    for (const obs::MetricValue& metric : snapshot.metrics) {
+      out << metric.name << ' ' << kind_name(metric.kind) << ' ' << metric.value
+          << '\n';
+    }
+    return;
+  }
+  out << '{';
+  bool first = true;
+  for (const obs::MetricValue& metric : snapshot.metrics) {
+    if (!first) out << ',';
+    first = false;
+    obs::detail::write_json_string(out, metric.name);
+    out << ':' << metric.value;
+  }
+  out << "}\n";
+}
+
 }  // namespace
 
 void write_csv(std::ostream& out, const RunResult& result) {
@@ -259,6 +292,7 @@ RunResult ScenarioRunner::run(const RunOptions& options) {
   fleet_options.workers = spec_.workers;
   fleet_options.fleet_aggregation = spec_.fleet_aggregation;
   fleet_options.hosts_per_chunk = spec_.hosts_per_chunk;
+  fleet_options.with_observability = spec_.observe.enabled;
   api::FleetMonitor fleet(fleet_options);
 
   std::atomic<std::size_t> swaps{0};
@@ -294,6 +328,43 @@ RunResult ScenarioRunner::run(const RunOptions& options) {
   api::MemoryReporter* fleet_reporter =
       spec_.fleet_aggregation ? &fleet.add_fleet_reporter() : nullptr;
 
+  // --- Observability plane (observe directive) ---
+  // In-process there is no collector, so the watchdog probe synthesizes a
+  // single "fleet" agent from the monitor's own metrics: trace drops feed
+  // the drop-spike rule and the self-monitor gauge feeds the watts budget.
+  // last_activity_wall_ns stays 0, which disables the staleness rule (it
+  // only makes sense for remote agents).
+  net::WatchdogActor* watchdog = nullptr;
+  actors::ActorRef watchdog_ref;
+  std::unique_ptr<net::StatusListener> status_listener;
+  if (spec_.observe.enabled) {
+    obs::Observability* obs = fleet.observability();
+    net::WatchdogOptions watchdog_options;
+    watchdog_options.self_watts_budget = spec_.observe.self_watts_budget;
+    watchdog_options.obs = obs;
+    auto probe = [obs] {
+      net::WatchdogSample sample;
+      const obs::MetricsSnapshot snapshot = obs->metrics.snapshot();
+      sample.fleet_self_watts = snapshot.value_of("self.watts");
+      net::WatchdogSample::Agent agent;
+      agent.label = "fleet";
+      agent.connected = true;
+      agent.records_dropped = static_cast<std::uint64_t>(
+          snapshot.value_of("obs.trace.spans_dropped"));
+      sample.agents.push_back(std::move(agent));
+      return sample;
+    };
+    auto actor = std::make_unique<net::WatchdogActor>(fleet.bus(), std::move(probe),
+                                                      watchdog_options);
+    watchdog = actor.get();
+    watchdog_ref = fleet.actor_system().spawn("scenario-watchdog", std::move(actor));
+    if (spec_.observe.status_port != 0) {
+      status_listener = std::make_unique<net::StatusListener>(
+          spec_.observe.status_port,
+          [obs](std::ostream& out, bool json) { render_metrics(out, *obs, json); });
+    }
+  }
+
   // --- Simulate, pausing at injection times ---
   util::DurationNs duration = spec_.duration;
   if (options.max_duration > 0) duration = std::min(duration, options.max_duration);
@@ -327,20 +398,42 @@ RunResult ScenarioRunner::run(const RunOptions& options) {
     }
   };
 
+  // With the observe directive the run advances in cadence-sized chunks so
+  // the watchdog gets a tick (and the status listener a poll) at every
+  // cadence boundary, with now as the deterministic evaluation clock.
   util::TimestampNs now = 0;
+  auto advance = [&](util::DurationNs amount) {
+    while (amount > 0) {
+      util::DurationNs step = amount;
+      if (watchdog != nullptr && spec_.observe.cadence > 0) {
+        step = std::min(step, spec_.observe.cadence);
+      }
+      fleet.run_for(step);
+      now += step;
+      amount -= step;
+      if (watchdog != nullptr) {
+        fleet.actor_system().tell(watchdog_ref,
+                                  actors::Payload(net::WatchdogTick{now}));
+        if (options.mode == actors::ActorSystem::Mode::kManual) {
+          fleet.actor_system().drain();
+        } else {
+          fleet.actor_system().await_idle();
+        }
+      }
+      if (status_listener != nullptr) status_listener->poll_once(0);
+    }
+  };
+
   std::size_t next = 0;
   while (next < injections.size()) {
     const util::TimestampNs at = injections[next]->at;
-    if (at > now) {
-      fleet.run_for(at - now);
-      now = at;
-    }
+    if (at > now) advance(at - now);
     while (next < injections.size() && injections[next]->at == at) {
       apply(*injections[next]);
       ++next;
     }
   }
-  if (duration > now) fleet.run_for(duration - now);
+  if (duration > now) advance(duration - now);
   fleet.finish();
 
   // --- Collect ---
@@ -350,6 +443,10 @@ RunResult ScenarioRunner::run(const RunOptions& options) {
   }
   if (fleet_reporter) result.fleet = fleet_reporter->all();
   result.model_swaps = swaps.load();
+  if (fleet.observability() != nullptr) {
+    result.metrics = fleet.observability()->metrics.snapshot();
+  }
+  if (watchdog != nullptr) result.watchdog_alerts = watchdog->alerts_raised();
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "actors/actor_system.h"
+#include "obs/metrics.h"
 #include "powerapi/messages.h"
 #include "scenario/scenario_spec.h"
 
@@ -35,6 +36,11 @@ struct RunResult {
   std::vector<HostSeries> hosts;            ///< Expanded-declaration order.
   std::vector<api::AggregatedPower> fleet;  ///< "(fleet)" rows; may be empty.
   std::size_t model_swaps = 0;              ///< Calibration registry swaps.
+  /// Final fleet metrics snapshot; empty unless the spec's `observe`
+  /// directive enabled the observability plane.
+  obs::MetricsSnapshot metrics;
+  /// Alerts the fleet watchdog raised during the run (observe only).
+  std::uint64_t watchdog_alerts = 0;
 };
 
 /// Writes the result as CSV: host,formula,timestamp,pid,group,watts — watts

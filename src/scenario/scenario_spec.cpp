@@ -150,6 +150,12 @@ std::string serialize(const ScenarioSpec& spec) {
         << " refit_interval=" << spec.calibration.refit_interval << "\n";
   }
 
+  if (spec.observe.enabled) {
+    out << "observe cadence=" << spec.observe.cadence
+        << " status_port=" << spec.observe.status_port
+        << " self_watts_budget=" << num(spec.observe.self_watts_budget) << "\n";
+  }
+
   out << "fleet aggregation=" << onoff(spec.fleet_aggregation)
       << " workers=" << spec.workers << " chunk=" << spec.hosts_per_chunk << "\n";
 

@@ -162,6 +162,20 @@ struct CalibrationSpec {
   bool operator==(const CalibrationSpec&) const = default;
 };
 
+/// Observability plane: runtime metrics/trace collection plus the fleet
+/// watchdog ("observe" directive; presence enables it).
+struct ObserveSpec {
+  bool enabled = false;
+  /// Watchdog evaluation cadence (also the run-loop chunking grain).
+  util::DurationNs cadence = util::seconds_to_ns(1);
+  /// Line-oriented TCP status port (0 = no listener).
+  std::uint16_t status_port = 0;
+  /// Fleet self-monitoring watts budget for the watchdog (0 = rule off).
+  double self_watts_budget = 0.0;
+
+  bool operator==(const ObserveSpec&) const = default;
+};
+
 /// A timed fault/control injection.
 struct InjectDecl {
   util::TimestampNs at = 0;
@@ -191,6 +205,7 @@ struct ScenarioSpec {
   MonitorSpec monitor;
   FormulaSpec formula;
   CalibrationSpec calibration;
+  ObserveSpec observe;
 
   bool fleet_aggregation = true;
   std::size_t workers = 4;          ///< Threaded dispatch only.

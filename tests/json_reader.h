@@ -1,0 +1,114 @@
+// Minimal validating JSON reader shared by the observability tests: checks
+// that emitted trace / reporter / status output is one complete well-formed
+// JSON value. A validator, not a parser — tests that need field values grep
+// the raw text after validity is established.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace powerapi::testing {
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  /// Parses one complete JSON value and requires end-of-input after it.
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool string() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        ++pos_;
+      }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  bool peek(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool expect(char c) { return peek(c); }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace powerapi::testing

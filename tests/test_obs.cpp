@@ -22,6 +22,8 @@
 #include "workloads/behaviors.h"
 #include "workloads/stress.h"
 
+#include "json_reader.h"
+
 namespace powerapi::obs {
 namespace {
 
@@ -205,108 +207,9 @@ TEST(MetricsRegistry, SnapshotUnderConcurrentUpdatesNeverGoesBackwards) {
   for (auto& writer : writers) writer.join();
 }
 
-// --- Minimal validating JSON reader (for trace / reporter output) ---
+// --- JSON validation (tests/json_reader.h, shared with test_obs_net) ---
 
-class JsonReader {
- public:
-  explicit JsonReader(std::string_view text) : text_(text) {}
-
-  /// Parses one complete JSON value and requires end-of-input after it.
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek('}')) return true;
-    while (true) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (!expect(':')) return false;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek('}')) return true;
-      if (!expect(',')) return false;
-    }
-  }
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek(']')) return true;
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek(']')) return true;
-      if (!expect(',')) return false;
-    }
-  }
-  bool string() {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        ++pos_;
-      }
-    }
-    return false;
-  }
-  bool number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
-            text_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-  bool literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-  bool peek(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool expect(char c) { return peek(c); }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+using powerapi::testing::JsonReader;
 
 TEST(JsonReaderSelfCheck, AcceptsValidRejectsBroken) {
   EXPECT_TRUE(JsonReader(R"({"a":[1,2.5,-3e4],"b":"x\"y","c":null})").valid());
@@ -362,6 +265,25 @@ TEST(TraceCollector, CapacityOverflowDropsAndCounts) {
   std::ostringstream out;
   trace.write_chrome_trace(out);
   EXPECT_TRUE(JsonReader(out.str()).valid());
+}
+
+TEST(TraceCollector, DropsFeedTheCounterAndTraceMetadata) {
+  MetricsRegistry registry;
+  TraceCollector trace(/*capacity=*/32);
+  trace.set_drop_counter(&registry.counter("obs.trace.spans_dropped"));
+  const auto name = trace.intern("spam");
+  for (int i = 0; i < 200; ++i) trace.complete(name, i, 1);
+  ASSERT_GT(trace.dropped(), 0u);
+  // The registry counter mirrors the collector's own tally, so drops stay
+  // visible in metric snapshots (and over the wire) after the trace is gone.
+  EXPECT_EQ(registry.snapshot().value_of("obs.trace.spans_dropped"),
+            static_cast<double>(trace.dropped()));
+  // And the Chrome trace itself carries the count as metadata.
+  std::ostringstream out;
+  trace.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonReader(json).valid()) << json.substr(0, 200);
+  EXPECT_NE(json.find("spans_dropped"), std::string::npos) << json.substr(0, 200);
 }
 
 TEST(TraceCollector, DisabledRecordsNothing) {
@@ -434,6 +356,8 @@ TEST(Observability, DisableStopsTraceRecording) {
 
 namespace powerapi::api {
 namespace {
+
+using powerapi::testing::JsonReader;
 
 model::CpuPowerModel obs_test_model() {
   std::vector<model::FrequencyFormula> formulas;
@@ -533,7 +457,7 @@ TEST(PowerMeterObs, StampsSequencesAndRecordsPipelineMetrics) {
   EXPECT_GT(obs.trace.size(), 0u);
   std::ostringstream trace_json;
   obs.trace.write_chrome_trace(trace_json);
-  EXPECT_TRUE(obs::JsonReader(trace_json.str()).valid());
+  EXPECT_TRUE(JsonReader(trace_json.str()).valid());
   EXPECT_NE(trace_json.str().find("sensor-hpc"), std::string::npos);
 }
 
@@ -555,7 +479,7 @@ TEST(PowerMeterObs, JsonReporterEmitsOneValidObjectPerLine) {
   int parsed = 0;
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
-    EXPECT_TRUE(obs::JsonReader(line).valid()) << line.substr(0, 120);
+    EXPECT_TRUE(JsonReader(line).valid()) << line.substr(0, 120);
     EXPECT_EQ(line.rfind("{\"seq\":", 0), 0u);
     ++parsed;
   }
@@ -627,7 +551,7 @@ TEST(FleetMonitorObs, ThreadedFleetRecordsAndExports) {
 
   std::ostringstream trace_json;
   fleet.write_chrome_trace(trace_json);
-  EXPECT_TRUE(obs::JsonReader(trace_json.str()).valid());
+  EXPECT_TRUE(JsonReader(trace_json.str()).valid());
   // Namespaced stage spans from different hosts are present.
   EXPECT_NE(trace_json.str().find("h0/"), std::string::npos);
   EXPECT_NE(trace_json.str().find("h3/"), std::string::npos);
