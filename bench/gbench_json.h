@@ -33,6 +33,21 @@ class JsonTeeReporter final : public benchmark::ConsoleReporter {
       }
       metric.iterations = static_cast<std::uint64_t>(run.iterations);
       metrics_.push_back(std::move(metric));
+      // User-defined counters become their own metrics so deterministic
+      // quantities (e.g. the governor's joules-per-work delta) can be
+      // gated by bench_diff.py alongside the timing numbers.
+      for (const auto& [counter_name, counter] : run.counters) {
+        if (counter_name == "items_per_second" ||
+            counter_name == "bytes_per_second") {
+          continue;
+        }
+        BenchMetric extra;
+        extra.name = run.benchmark_name() + "/" + counter_name;
+        extra.value = counter;
+        extra.unit = "counter";
+        extra.iterations = static_cast<std::uint64_t>(run.iterations);
+        metrics_.push_back(std::move(extra));
+      }
     }
     ConsoleReporter::ReportRuns(runs);
   }

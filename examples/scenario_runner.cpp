@@ -175,6 +175,12 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.watchdog_alerts),
                   result.watchdog_alerts == 1 ? "" : "s");
     }
+    if (runner.spec().govern.enabled) {
+      std::printf("governor: budget %.1f W policy=%s -> %llu actuation%s\n",
+                  runner.spec().govern.budget_w, runner.spec().govern.policy.c_str(),
+                  static_cast<unsigned long long>(result.governor_actuations),
+                  result.governor_actuations == 1 ? "" : "s");
+    }
 
     if (!csv_path.empty()) {
       std::ofstream out(csv_path);

@@ -9,7 +9,11 @@ Two levels:
   --smoke          — additionally run each scenario twice under kManual
                      dispatch with a bounded duration and byte-compare the
                      CSV outputs: bit-identical files mean bit-identical
-                     runs (watts are serialized as C99 hexfloats).
+                     runs (watts are serialized as C99 hexfloats). For
+                     scenarios with a `govern` directive the smoke run must
+                     also report at least one governor actuation — the
+                     closed loop demonstrably closes within the smoke
+                     window.
 
 Usage:
   python3 scripts/check_scenarios.py --runner build/examples/scenario_runner
@@ -18,6 +22,7 @@ Usage:
 
 import argparse
 import pathlib
+import re
 import subprocess
 import sys
 import tempfile
@@ -41,11 +46,26 @@ def check_parse(runner: str, files: list[pathlib.Path]) -> bool:
     return proc.returncode == 0
 
 
+def declares_govern(path: pathlib.Path) -> bool:
+    """Does the scenario file carry a top-level `govern` directive?"""
+    for line in path.read_text().splitlines():
+        if line.strip().startswith("govern "):
+            return True
+    return False
+
+
+def governor_actuations(stdout: str) -> int:
+    """Actuation count from the runner's governor summary line, or -1."""
+    match = re.search(r"governor: .* -> (\d+) actuation", stdout)
+    return int(match.group(1)) if match else -1
+
+
 def check_smoke(runner: str, files: list[pathlib.Path]) -> bool:
     ok = True
     with tempfile.TemporaryDirectory(prefix="scenario_smoke_") as tmp:
         for f in files:
             csvs = []
+            stdout = ""
             for attempt in (1, 2):
                 out = pathlib.Path(tmp) / f"{f.stem}.{attempt}.csv"
                 proc = run([runner, "--smoke", "--csv", str(out), str(f)])
@@ -54,6 +74,7 @@ def check_smoke(runner: str, files: list[pathlib.Path]) -> bool:
                           f"{proc.returncode}\n{proc.stderr}", file=sys.stderr)
                     ok = False
                     break
+                stdout = proc.stdout
                 csvs.append(out.read_bytes())
             else:
                 if not csvs[0]:
@@ -64,9 +85,19 @@ def check_smoke(runner: str, files: list[pathlib.Path]) -> bool:
                     print(f"FAIL {f}: two kManual smoke runs are not "
                           "byte-identical", file=sys.stderr)
                     ok = False
+                elif declares_govern(f) and governor_actuations(stdout) <= 0:
+                    print(f"FAIL {f}: scenario declares `govern` but the "
+                          f"smoke run reported "
+                          f"{governor_actuations(stdout)} actuations — the "
+                          "loop never closed", file=sys.stderr)
+                    ok = False
                 else:
+                    extra = ""
+                    if declares_govern(f):
+                        extra = (f", {governor_actuations(stdout)} governor "
+                                 "actuations")
                     print(f"OK {f} smoke: {len(csvs[0])} CSV bytes, "
-                          "run-twice byte-identical")
+                          f"run-twice byte-identical{extra}")
     return ok
 
 

@@ -1,0 +1,219 @@
+#include "governor/governor.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "os/system.h"
+
+namespace powerapi::governor {
+
+namespace {
+
+/// Forwards one topic's machine-scope AggregatedPower rows to the governor,
+/// tagged with the host index the topic belongs to. AggregatedPower itself
+/// carries no host identity — the relay is where the topic namespace
+/// ("h3/...", "remote/agent7/...") is turned back into one.
+class SenseRelay final : public actors::Actor {
+ public:
+  SenseRelay(actors::ActorSystem& system, actors::ActorRef governor,
+             std::size_t host_index)
+      : system_(&system), governor_(governor), host_index_(host_index) {}
+
+  void receive(actors::Envelope& envelope) override {
+    const auto* row = envelope.payload.get<api::AggregatedPower>();
+    if (row == nullptr) return;
+    // Machine rows only: per-pid and per-group rows attribute, they don't
+    // meter the host; "(fleet)" rows are a different dimension. The group
+    // dimension tags its machine row "(machine)"; the other dimensions
+    // leave the group empty.
+    if (row->pid != api::kMachinePid) return;
+    const bool machine_scope = row->group == "(machine)";
+    if (!row->group.empty() && !machine_scope) return;
+    HostPower msg;
+    msg.host = host_index_;
+    msg.timestamp = row->timestamp;
+    msg.formula = row->formula;
+    msg.watts = row->watts;
+    msg.machine_scope = machine_scope;
+    system_->tell(governor_, actors::Payload(std::move(msg)), self());
+  }
+
+ private:
+  actors::ActorSystem* system_;
+  actors::ActorRef governor_;
+  std::size_t host_index_;
+};
+
+}  // namespace
+
+HostControl control_for(std::string label, os::System& system, double weight) {
+  HostControl control;
+  control.label = std::move(label);
+  control.cores = system.machine().spec().cores;
+  control.frequencies_ascending = system.machine().spec().frequencies_hz;
+  control.weight = weight;
+  os::System* sys = &system;
+  control.set_frequency = [sys](double hz) { return sys->pin_frequency(hz); };
+  control.set_parked = [sys](std::size_t cores) {
+    return sys->set_parked_cores(cores);
+  };
+  return control;
+}
+
+GovernorActor::GovernorActor(actors::EventBus& bus, GovernorOptions options,
+                             std::vector<HostControl> hosts)
+    : bus_(&bus),
+      options_(std::move(options)),
+      actuation_topic_(bus.intern("governor/actuation")) {
+  hosts_.reserve(hosts.size());
+  for (HostControl& control : hosts) {
+    HostState state;
+    state.ladder = build_rung_ladder(options_.policy, control.frequencies_ascending,
+                                     control.cores, options_.min_active_cores);
+    state.controller = StepController(StepController::Options{
+        options_.hysteresis_watts, options_.cooldown_ns, options_.max_step});
+    state.control = std::move(control);
+    hosts_.push_back(std::move(state));
+  }
+  if (options_.obs != nullptr) {
+    auto& metrics = options_.obs->metrics;
+    actuations_metric_ = &metrics.counter("governor.actuations");
+    steps_down_metric_ = &metrics.counter("governor.steps_down");
+    steps_up_metric_ = &metrics.counter("governor.steps_up");
+    ticks_metric_ = &metrics.counter("governor.ticks");
+    fleet_watts_metric_ = &metrics.gauge("governor.fleet_watts");
+    budget_watts_metric_ = &metrics.gauge("governor.budget_watts");
+    budget_watts_metric_->set(options_.budget_watts);
+    decide_span_ = options_.obs->trace.intern("governor/decide");
+  }
+}
+
+void GovernorActor::receive(actors::Envelope& envelope) {
+  if (const auto* power = envelope.payload.get<HostPower>()) {
+    on_host_power(*power);
+    return;
+  }
+  if (const auto* tick = envelope.payload.get<GovernorTick>()) {
+    evaluate(tick->now_ns);
+  }
+}
+
+actors::ActorRef GovernorActor::spawn_sense_relay(actors::ActorSystem& system,
+                                                  actors::EventBus& bus,
+                                                  actors::EventBus::TopicId topic,
+                                                  actors::ActorRef governor,
+                                                  std::size_t host_index,
+                                                  const std::string& name) {
+  const auto relay =
+      system.spawn_as<SenseRelay>(name, system, governor, host_index);
+  bus.subscribe(topic, relay);
+  return relay;
+}
+
+void GovernorActor::on_host_power(const HostPower& msg) {
+  if (msg.host >= hosts_.size()) return;
+  HostState& host = hosts_[msg.host];
+  Sample& sample = host.watts_by_formula[msg.formula];
+  // An empty-group row under the group dimension is the ungrouped-process
+  // sum, not the machine; never let it shadow a real "(machine)" reading.
+  if (sample.machine_scope && !msg.machine_scope) return;
+  sample.watts = msg.watts;
+  sample.machine_scope = msg.machine_scope;
+  host.last_sample_ns = msg.timestamp;
+}
+
+bool GovernorActor::sensed_watts(const HostState& host, double& out) const {
+  if (host.watts_by_formula.empty()) return false;
+  if (!options_.formula.empty()) {
+    const auto it = host.watts_by_formula.find(options_.formula);
+    if (it == host.watts_by_formula.end()) return false;
+    out = it->second.watts;
+    return true;
+  }
+  static constexpr std::array<const char*, 3> kPreference = {
+      "powerapi-hpc", "powerspy", "rapl"};
+  for (const char* formula : kPreference) {
+    const auto it = host.watts_by_formula.find(formula);
+    if (it != host.watts_by_formula.end()) {
+      out = it->second.watts;
+      return true;
+    }
+  }
+  out = host.watts_by_formula.begin()->second.watts;  // Deterministic: map order.
+  return true;
+}
+
+void GovernorActor::evaluate(util::TimestampNs now_ns) {
+  ++tick_count_;
+  const obs::ScopedSpan span(
+      options_.obs != nullptr ? &options_.obs->trace : nullptr, decide_span_,
+      tick_count_);
+  if (ticks_metric_ != nullptr) ticks_metric_->add();
+
+  const std::size_t n = hosts_.size();
+  weights_scratch_.resize(n);
+  watts_scratch_.resize(n);
+  sensed_scratch_.assign(n, 0);
+  double fleet_watts = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weights_scratch_[i] = hosts_[i].control.weight;
+    double watts = 0.0;
+    if (sensed_watts(hosts_[i], watts)) sensed_scratch_[i] = 1;
+    watts_scratch_[i] = watts;
+    fleet_watts += watts;
+  }
+  last_fleet_watts_ = fleet_watts;
+  if (fleet_watts_metric_ != nullptr) fleet_watts_metric_->set(fleet_watts);
+  if (options_.budget_watts <= 0.0) return;
+
+  compute_shares(options_.budget_watts, weights_scratch_, watts_scratch_,
+                 shares_scratch_);
+  for (std::size_t i = 0; i < n; ++i) {
+    HostState& host = hosts_[i];
+    // No reading yet (pipeline warm-up): hold rather than flail on zeros.
+    if (sensed_scratch_[i] == 0 || host.ladder.empty()) continue;
+    const std::size_t next = host.controller.decide(
+        host.rung, host.ladder.size() - 1, watts_scratch_[i], shares_scratch_[i],
+        now_ns);
+    if (next != host.rung) {
+      apply(host, i, next, host.controller.last_direction(), watts_scratch_[i],
+            shares_scratch_[i], now_ns);
+    }
+  }
+}
+
+void GovernorActor::apply(HostState& host, std::size_t /*host_index*/,
+                          std::size_t new_rung, int direction, double watts,
+                          double share, util::TimestampNs now_ns) {
+  const Rung& rung = host.ladder[new_rung];
+  host.rung = new_rung;
+  double applied_hz = rung.frequency_hz;
+  std::size_t applied_parked = rung.parked_cores;
+  if (host.control.set_frequency) applied_hz = host.control.set_frequency(rung.frequency_hz);
+  if (host.control.set_parked) applied_parked = host.control.set_parked(rung.parked_cores);
+
+  ++actuation_count_;
+  if (actuations_metric_ != nullptr) actuations_metric_->add();
+  if (direction < 0 && steps_down_metric_ != nullptr) steps_down_metric_->add();
+  if (direction > 0 && steps_up_metric_ != nullptr) steps_up_metric_->add();
+
+  Actuation actuation;
+  actuation.timestamp = now_ns;
+  actuation.host = host.control.label;
+  actuation.direction = direction;
+  actuation.rung = new_rung;
+  actuation.frequency_hz = applied_hz;
+  actuation.parked_cores = applied_parked;
+  actuation.host_watts = watts;
+  actuation.share_watts = share;
+  history_.push_back(actuation);
+  // Publishing to a topic nobody subscribed would count a dead letter per
+  // actuation; the governor works fine unobserved, so check first (cold
+  // path — one shared lock per actuation, not per message).
+  if (bus_->subscriber_count(actuation_topic_) > 0) {
+    bus_->publish(actuation_topic_, std::move(actuation), self());
+  }
+}
+
+}  // namespace powerapi::governor

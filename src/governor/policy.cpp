@@ -1,0 +1,109 @@
+#include "governor/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powerapi::governor {
+
+std::vector<Rung> build_rung_ladder(Policy policy,
+                                    std::span<const double> frequencies_ascending,
+                                    std::size_t cores, std::size_t min_active_cores) {
+  std::vector<Rung> rungs;
+  if (frequencies_ascending.empty() || cores == 0) return rungs;
+  min_active_cores = std::clamp<std::size_t>(min_active_cores, 1, cores);
+  const std::size_t max_parked = cores - min_active_cores;
+  const double f_max = frequencies_ascending.back();
+  const double f_min = frequencies_ascending.front();
+  const std::size_t levels = frequencies_ascending.size();
+
+  rungs.push_back({f_max, 0});
+  if (policy == Policy::kPaceToDeadline) {
+    // Frequency descent first (high → low, skipping the max already at
+    // rung 0), then parking at the ladder floor.
+    for (std::size_t i = levels - 1; i-- > 0;) {
+      rungs.push_back({frequencies_ascending[i], 0});
+    }
+    for (std::size_t p = 1; p <= max_parked; ++p) {
+      rungs.push_back({f_min, p});
+    }
+  } else {
+    // Parking first at full frequency, then frequency descent with maximum
+    // parking held.
+    for (std::size_t p = 1; p <= max_parked; ++p) {
+      rungs.push_back({f_max, p});
+    }
+    for (std::size_t i = levels - 1; i-- > 0;) {
+      rungs.push_back({frequencies_ascending[i], max_parked});
+    }
+  }
+  return rungs;
+}
+
+void compute_shares(double budget, std::span<const double> weights,
+                    std::span<const double> watts, std::vector<double>& out) {
+  const std::size_t n = weights.size();
+  out.assign(n, 0.0);
+  if (n == 0) return;
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += std::max(0.0, w);
+  if (weight_sum <= 0.0) weight_sum = static_cast<double>(n);
+
+  double surplus_sum = 0.0;
+  double deficit_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 1.0;
+    out[i] = budget * w / weight_sum;
+    const double gap = out[i] - watts[i];
+    if (gap > 0.0) {
+      surplus_sum += gap;
+    } else {
+      deficit_sum -= gap;
+    }
+  }
+  const double transfer = std::min(surplus_sum, deficit_sum);
+  if (transfer <= 0.0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gap = out[i] - watts[i];
+    if (gap > 0.0) {
+      out[i] -= transfer * gap / surplus_sum;
+    } else {
+      out[i] += transfer * -gap / deficit_sum;
+    }
+  }
+}
+
+std::size_t StepController::decide(std::size_t current_rung, std::size_t max_rung,
+                                   double watts, double share_watts,
+                                   util::TimestampNs now_ns) {
+  last_direction_ = 0;
+  const double band = std::max(options_.hysteresis_watts, 0.0);
+  const double overshoot = watts - share_watts;
+  if (overshoot > band) {
+    if (current_rung >= max_rung) return current_rung;
+    // Proportional descent: one rung per full hysteresis band of overshoot
+    // (a zero band degrades to single-stepping), capped at max_step.
+    std::size_t steps = 1;
+    if (band > 0.0) {
+      steps = static_cast<std::size_t>(overshoot / band);
+      steps = std::clamp<std::size_t>(steps, 1, std::max<std::size_t>(options_.max_step, 1));
+    }
+    const std::size_t next = std::min(current_rung + steps, max_rung);
+    last_actuation_ns_ = now_ns;
+    last_direction_ = -1;
+    return next;
+  }
+  if (overshoot < -band) {
+    if (current_rung == 0) return current_rung;
+    // Up-steps are single and rate-limited: recovering capacity too eagerly
+    // after a down-step is the classic pstate oscillation trigger.
+    if (last_actuation_ns_ >= 0 && now_ns - last_actuation_ns_ < options_.cooldown_ns) {
+      return current_rung;
+    }
+    last_actuation_ns_ = now_ns;
+    last_direction_ = 1;
+    return current_rung - 1;
+  }
+  return current_rung;
+}
+
+}  // namespace powerapi::governor

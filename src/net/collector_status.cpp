@@ -117,6 +117,8 @@ void CollectorStatus::on_metrics_snapshot(ConnId conn, std::int64_t send_wall_ns
         snapshot.value_of("net.client.records_dropped"));
     entry.status.reconnects =
         static_cast<std::uint64_t>(snapshot.value_of("net.client.reconnects"));
+    entry.status.governor_actuations =
+        static_cast<std::uint64_t>(snapshot.value_of("governor.actuations"));
     if (entry.has_source) {
       options_.merger->observe_offset(entry.source, send_wall_ns, recv_wall_ns);
       options_.merger->set_dropped(
@@ -204,8 +206,8 @@ void CollectorStatus::render_text(std::ostream& out) const {
     out << ": est=" << agent.estimates << " agg=" << agent.aggregated
         << " metrics=" << agent.metric_records << " snaps=" << agent.snapshots
         << " spans=" << agent.spans << " drops=" << agent.records_dropped
-        << " reconnects=" << agent.reconnects << " self_watts="
-        << agent.self_watts;
+        << " reconnects=" << agent.reconnects << " gov_act="
+        << agent.governor_actuations << " self_watts=" << agent.self_watts;
     if (agent.has_offset) {
       out << " clock_offset_ns=" << agent.clock_offset_ns;
     }
@@ -240,6 +242,7 @@ void CollectorStatus::render_json(std::ostream& out) const {
         << ",\"snapshots\":" << agent.snapshots << ",\"spans\":" << agent.spans
         << ",\"records_dropped\":" << agent.records_dropped
         << ",\"reconnects\":" << agent.reconnects
+        << ",\"governor_actuations\":" << agent.governor_actuations
         << ",\"self_watts\":" << agent.self_watts
         << ",\"clock_offset_ns\":" << agent.clock_offset_ns
         << ",\"has_offset\":" << (agent.has_offset ? "true" : "false");

@@ -58,6 +58,9 @@ class CollectorStatus final : public CollectorSink {
     double self_watts = 0.0;
     std::uint64_t records_dropped = 0;
     std::uint64_t reconnects = 0;
+    /// Governor actuations the agent has applied (its "governor.actuations"
+    /// counter); stays 0 for agents running uncapped.
+    std::uint64_t governor_actuations = 0;
     std::string disconnect_reason;  ///< Set once disconnected.
   };
 

@@ -16,6 +16,7 @@ std::string_view to_string(Alert::Kind kind) noexcept {
     case Alert::Kind::kReconnectStorm: return "reconnect_storm";
     case Alert::Kind::kStale: return "stale";
     case Alert::Kind::kSelfWattsBudget: return "self_watts_budget";
+    case Alert::Kind::kBudgetViolation: return "budget_violation";
   }
   return "?";
 }
@@ -88,6 +89,21 @@ void WatchdogActor::evaluate(std::int64_t now_ns) {
             << " W exceeds budget " << options_.self_watts_budget << " W";
     raise(Alert::Kind::kSelfWattsBudget, "", sample.fleet_self_watts,
           options_.self_watts_budget, now_ns, message.str());
+  }
+  if (sample.power_budget_watts > 0.0) {
+    if (sample.fleet_power_watts > sample.power_budget_watts) {
+      ++over_budget_ticks_;
+      if (over_budget_ticks_ >= options_.budget_violation_ticks) {
+        std::ostringstream message;
+        message << "fleet at " << sample.fleet_power_watts
+                << " W over governor budget " << sample.power_budget_watts
+                << " W for " << over_budget_ticks_ << " ticks";
+        raise(Alert::Kind::kBudgetViolation, "", sample.fleet_power_watts,
+              sample.power_budget_watts, now_ns, message.str());
+      }
+    } else {
+      over_budget_ticks_ = 0;  // Back under the cap: re-baseline.
+    }
   }
 }
 

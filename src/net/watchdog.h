@@ -14,7 +14,12 @@
 //   kStale           — a connected agent produced no records for longer
 //                      than `staleness_ns`;
 //   kSelfWattsBudget — fleet-wide self-monitoring watts exceed
-//                      `self_watts_budget` (the observer-effect cap).
+//                      `self_watts_budget` (the observer-effect cap);
+//   kBudgetViolation — sensed fleet power has exceeded the governor's watt
+//                      budget for `budget_violation_ticks` consecutive
+//                      ticks (the cap is being violated faster than the
+//                      governor can throttle — or actuation is pinned at
+//                      the ladder floor).
 //
 // Alerts are rate-limited per (kind, agent): repeats inside
 // `min_alert_interval_ns` are suppressed and counted, so a flapping agent
@@ -48,6 +53,10 @@ struct WatchdogSample {
   };
   std::vector<Agent> agents;
   double fleet_self_watts = 0.0;
+  /// Governor plane (0/0 when no governor runs): the sensed fleet draw and
+  /// the configured cap, as of this tick.
+  double fleet_power_watts = 0.0;
+  double power_budget_watts = 0.0;
 };
 
 /// Tick message: drives evaluation; `now_ns` is the evaluation clock.
@@ -64,6 +73,10 @@ struct WatchdogOptions {
   std::int64_t staleness_ns = 5'000'000'000;
   /// Fleet self-watts cap for kSelfWattsBudget (0 disables the rule).
   double self_watts_budget = 0.0;
+  /// Consecutive over-budget ticks before kBudgetViolation raises (the
+  /// governor gets this many ticks to throttle before the alarm; sample
+  /// power_budget_watts == 0 disables the rule).
+  std::uint64_t budget_violation_ticks = 3;
   /// Minimum spacing between repeats of the same (kind, agent) alert.
   std::int64_t min_alert_interval_ns = 1'000'000'000;
   /// Optional counters "obs.watchdog.alerts" / ".suppressed" (non-owning).
@@ -71,7 +84,13 @@ struct WatchdogOptions {
 };
 
 struct Alert {
-  enum class Kind { kDropSpike, kReconnectStorm, kStale, kSelfWattsBudget };
+  enum class Kind {
+    kDropSpike,
+    kReconnectStorm,
+    kStale,
+    kSelfWattsBudget,
+    kBudgetViolation,
+  };
 
   Kind kind = Kind::kDropSpike;
   std::string agent;  ///< Empty for fleet-wide alerts.
@@ -116,6 +135,10 @@ class WatchdogActor final : public actors::Actor {
 
   std::map<std::string, AgentBaseline> baselines_;
   std::map<std::pair<int, std::string>, std::int64_t> last_alert_ns_;
+  /// Consecutive ticks the sensed fleet power exceeded the budget; resets
+  /// to zero the moment a tick lands back under (re-baselining, like the
+  /// per-agent counters above).
+  std::uint64_t over_budget_ticks_ = 0;
   std::uint64_t alerts_raised_ = 0;
   std::uint64_t alerts_suppressed_ = 0;
   obs::Counter* obs_alerts_ = nullptr;

@@ -16,6 +16,10 @@ void place(std::span<Task* const> runnable, std::span<Task*> slots,
   std::size_t placed = 0;
   for (std::size_t slot : slot_order) {
     if (placed >= n) break;
+    // `slots` may be a prefix of the hardware threads when trailing cores
+    // are parked; slot orders still span the full topology, so skip any
+    // slot past the active range instead of indexing out of bounds.
+    if (slot >= slots.size()) continue;
     slots[slot] = runnable[r];
     r = (r + 1) % n;
     ++placed;

@@ -100,7 +100,13 @@ void System::tick() {
   const auto& runnable = runnable_tasks();
   slots_scratch_.assign(slots_n, nullptr);
   std::vector<Task*>& slots = slots_scratch_;
-  scheduler_->assign(runnable, slots, machine_.spec());
+  // Parked cores are invisible to the scheduler: it only sees the prefix of
+  // hardware-thread slots belonging to unparked cores (parking always takes
+  // the highest-indexed cores), so tasks pack onto what remains.
+  const std::size_t active_n =
+      slots_n - parked_cores_ * machine_.spec().threads_per_core;
+  scheduler_->assign(runnable, std::span<Task*>(slots.data(), active_n),
+                     machine_.spec());
 
   // Pull each placed task's demand; tasks may exit at this point.
   work_scratch_.assign(slots_n, simcpu::ThreadWork{});
@@ -258,6 +264,21 @@ double System::total_energy_joules() const noexcept {
 double System::pin_frequency(double hz) {
   governor_enabled_ = false;
   return machine_.set_frequency(hz);
+}
+
+double System::pin_cluster_frequency(std::size_t cluster, double hz) {
+  governor_enabled_ = false;
+  return machine_.set_cluster_frequency(cluster, hz);
+}
+
+std::size_t System::set_parked_cores(std::size_t count) {
+  const std::size_t cores = machine_.spec().cores;
+  count = std::min(count, cores - 1);  // At least one core stays awake.
+  for (std::size_t core = 0; core < cores; ++core) {
+    machine_.set_core_parked(core, core >= cores - count);
+  }
+  parked_cores_ = count;
+  return parked_cores_;
 }
 
 }  // namespace powerapi::os

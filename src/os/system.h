@@ -116,7 +116,18 @@ class System final : public MonitorableHost {
   /// Pins the package frequency (disables the governor for the call's
   /// duration — used by the model-training sampling phase).
   double pin_frequency(double hz);
+  /// Pins ONE cluster's frequency on a heterogeneous part (disables the
+  /// ondemand governor, which only knows the package ladder).
+  double pin_cluster_frequency(std::size_t cluster, double hz);
   void set_governor_enabled(bool enabled) noexcept { governor_enabled_ = enabled; }
+
+  // --- Core parking (governor actuation) ---
+  /// Parks the `count` highest-indexed cores (absolute, not incremental);
+  /// clamped so at least one core stays unparked. The scheduler stops
+  /// placing tasks on parked cores' hardware threads and the machine
+  /// power-gates them. Returns the applied parked count.
+  std::size_t set_parked_cores(std::size_t count);
+  std::size_t parked_cores() const noexcept { return parked_cores_; }
 
  private:
   const std::vector<Task*>& runnable_tasks();
@@ -129,6 +140,7 @@ class System final : public MonitorableHost {
   OndemandGovernor governor_;
   std::map<Pid, std::unique_ptr<Process>> processes_;
   Pid next_pid_ = 1;
+  std::size_t parked_cores_ = 0;
   double last_utilization_ = 0.0;
   std::optional<periph::DiskModel> disk_;
   std::optional<periph::NicModel> nic_;

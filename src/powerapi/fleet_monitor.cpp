@@ -182,6 +182,12 @@ void FleetMonitor::ensure_chunk_agents() {
 }
 
 void FleetMonitor::run_for(util::DurationNs duration) {
+  run_for(duration, {});
+}
+
+void FleetMonitor::run_for(
+    util::DurationNs duration,
+    const std::function<void(util::DurationNs advanced_ns)>& on_chunk) {
   if (finished_) throw std::logic_error("FleetMonitor::run_for after finish()");
   if (entries_.empty() || duration <= 0) return;
   ensure_chunk_agents();
@@ -199,6 +205,12 @@ void FleetMonitor::run_for(util::DurationNs duration) {
     }
     settle();  // Barrier: every host advanced, every pipeline drained.
     advanced += step;
+    if (on_chunk) {
+      // The fleet is quiescent here: callbacks may actuate hosts or tell
+      // actors; settle again so their effects land before the next chunk.
+      on_chunk(advanced);
+      settle();
+    }
   }
 }
 

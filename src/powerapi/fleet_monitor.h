@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -100,6 +101,14 @@ class FleetMonitor {
   /// period, firing due ticks per host per chunk. Hosts advance and their
   /// pipelines run concurrently in threaded mode.
   void run_for(util::DurationNs duration);
+
+  /// Like run_for, but invokes `on_chunk(advanced_ns)` after every chunk has
+  /// settled — the fleet is quiescent, so the callback may safely mutate
+  /// hosts (the governor's actuation channel) or inject messages; anything
+  /// it sends is processed before the next chunk advances. Deterministic in
+  /// kManual: chunk boundaries depend only on pipeline periods.
+  void run_for(util::DurationNs duration,
+               const std::function<void(util::DurationNs advanced_ns)>& on_chunk);
 
   /// Flushes every pipeline's pending aggregation groups, then the fleet
   /// aggregator's; call once after the last run_for.

@@ -229,6 +229,9 @@ class Parser {
     } else if (head == "observe") {
       parse_observe(tail, line.number);
       ++index_;
+    } else if (head == "govern") {
+      parse_govern(tail, line.number);
+      ++index_;
     } else if (head == "fleet") {
       parse_fleet(tail, line.number);
       ++index_;
@@ -573,6 +576,44 @@ class Parser {
     reject_leftovers(kv, line, "observe");
   }
 
+  void parse_govern(const std::string& tail, std::size_t line) {
+    if (spec_.govern.enabled) fail(line, "duplicate 'govern' directive");
+    spec_.govern.enabled = true;  // Presence of the directive enables it.
+    auto kv = parse_args(tail, line);
+    spec_.govern.budget_w =
+        parse_number(take_arg(kv, "budget_w", line, /*required=*/true), line);
+    if (spec_.govern.budget_w <= 0) fail(line, "govern budget_w must be positive");
+    if (auto v = take_arg(kv, "policy", line); !v.empty()) {
+      if (v != "pace" && v != "race") {
+        fail(line, "unknown govern policy '" + v + "' (expected pace or race)");
+      }
+      spec_.govern.policy = v;
+    }
+    if (auto v = take_arg(kv, "hysteresis_w", line); !v.empty()) {
+      spec_.govern.hysteresis_w = parse_number(v, line);
+      if (spec_.govern.hysteresis_w < 0) fail(line, "hysteresis_w must be non-negative");
+    }
+    if (auto v = take_arg(kv, "cooldown_ms", line); !v.empty()) {
+      spec_.govern.cooldown_ms = parse_number(v, line);
+      if (spec_.govern.cooldown_ms < 0) fail(line, "cooldown_ms must be non-negative");
+    }
+    if (auto v = take_arg(kv, "interval_ms", line); !v.empty()) {
+      spec_.govern.interval_ms = parse_number(v, line);
+      if (spec_.govern.interval_ms <= 0) fail(line, "interval_ms must be positive");
+    }
+    if (auto v = take_arg(kv, "max_step", line); !v.empty()) {
+      spec_.govern.max_step = parse_unsigned(v, line);
+      if (spec_.govern.max_step == 0) fail(line, "max_step must be at least 1");
+    }
+    if (auto v = take_arg(kv, "min_active_cores", line); !v.empty()) {
+      spec_.govern.min_active_cores = parse_unsigned(v, line);
+      if (spec_.govern.min_active_cores == 0) {
+        fail(line, "min_active_cores must be at least 1");
+      }
+    }
+    reject_leftovers(kv, line, "govern");
+  }
+
   void parse_fleet(const std::string& tail, std::size_t line) {
     auto kv = parse_args(tail, line);
     if (auto v = take_arg(kv, "aggregation", line); !v.empty()) {
@@ -593,6 +634,7 @@ class Parser {
     InjectDecl inj;
     inj.at = parse_duration(take_arg(kv, "at", line, /*required=*/true), line);
     inj.host = take_arg(kv, "host", line, /*required=*/true);
+    inj.cluster = take_arg(kv, "cluster", line);
     if (auto v = take_arg(kv, "frequency", line); !v.empty()) {
       inj.kind = "frequency";
       inj.frequency_hz = parse_frequency(v, line);
@@ -621,9 +663,59 @@ class Parser {
     } else {
       fail(line, "inject needs one of frequency=, spawn=, kill= or shift=");
     }
+    if (!inj.cluster.empty() && inj.kind != "frequency") {
+      fail(line, "inject cluster= is only valid with frequency=");
+    }
     reject_leftovers(kv, line, "inject");
     inject_lines_.push_back(line);
     spec_.injections.push_back(std::move(inj));
+  }
+
+  /// Does the expanded id `id` name an instance of `host`?
+  static bool host_matches(const HostDecl& host, const std::string& id) {
+    if (host.count <= 1) return id == host.id;
+    if (id.size() <= host.id.size() || id.compare(0, host.id.size(), host.id) != 0) {
+      return false;
+    }
+    // The suffix must be a valid instance index (< count).
+    const std::string suffix = id.substr(host.id.size());
+    std::size_t index = 0;
+    for (char c : suffix) {
+      if (c < '0' || c > '9') return false;
+      index = index * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return index < host.count;
+  }
+
+  /// Fails unless the host's CPU declares a frequency cluster named
+  /// `cluster` (cross-ref for `inject ... cluster=... frequency=...`).
+  void check_cluster(const HostDecl& host, const std::string& cluster,
+                     std::size_t line) {
+    const CpuDecl* cpu = nullptr;
+    for (const CpuDecl& decl : spec_.cpus) {
+      if (decl.id == host.cpu) { cpu = &decl; break; }
+    }
+    if (!cpu) return;  // Unknown cpu id is reported by the host checks.
+    std::vector<std::string> names;
+    if (cpu->preset == "big_little") {
+      names = {"big", "little"};
+    } else if (cpu->preset == "custom") {
+      for (const CpuDecl::Cluster& cl : cpu->clusters) names.push_back(cl.name);
+    }
+    if (names.empty()) {
+      fail(line, "inject cluster='" + cluster + "' but cpu '" + cpu->id +
+                     "' (host '" + host.id + "') declares no clusters");
+    }
+    for (const std::string& name : names) {
+      if (name == cluster) return;
+    }
+    std::string known;
+    for (const std::string& name : names) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    fail(line, "inject cluster='" + cluster + "' not found on cpu '" + cpu->id +
+                   "' (host '" + host.id + "'; clusters: " + known + ")");
   }
 
   void validate() {
@@ -646,6 +738,12 @@ class Parser {
       if (inj.at > spec_.duration) {
         fail(line, "injection at " + std::to_string(inj.at) +
                        "ns is beyond the scenario duration");
+      }
+      if (!inj.cluster.empty()) {
+        for (const HostDecl& host : spec_.hosts) {
+          if (inj.host != "all" && !host_matches(host, inj.host)) continue;
+          check_cluster(host, inj.cluster, line);
+        }
       }
     }
     if (spec_.calibration.enabled && spec_.formula.mode == "none") {

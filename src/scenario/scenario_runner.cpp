@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
 
+#include "governor/governor.h"
 #include "hpc/events.h"
 #include "model/trainer.h"
 #include "net/collector_status.h"
@@ -342,10 +344,16 @@ RunResult ScenarioRunner::run(const RunOptions& options) {
     net::WatchdogOptions watchdog_options;
     watchdog_options.self_watts_budget = spec_.observe.self_watts_budget;
     watchdog_options.obs = obs;
-    auto probe = [obs] {
+    const bool governing = spec_.govern.enabled;
+    auto probe = [obs, governing] {
       net::WatchdogSample sample;
       const obs::MetricsSnapshot snapshot = obs->metrics.snapshot();
       sample.fleet_self_watts = snapshot.value_of("self.watts");
+      if (governing) {
+        // The governor's gauges feed the budget-violation rule.
+        sample.fleet_power_watts = snapshot.value_of("governor.fleet_watts");
+        sample.power_budget_watts = snapshot.value_of("governor.budget_watts");
+      }
       net::WatchdogSample::Agent agent;
       agent.label = "fleet";
       agent.connected = true;
@@ -365,6 +373,40 @@ RunResult ScenarioRunner::run(const RunOptions& options) {
     }
   }
 
+  // --- Power governor (govern directive) ---
+  // One GovernorActor holds the fleet watt budget; each host gets a
+  // SenseRelay forwarding its machine-scope aggregated rows to the governor
+  // tagged with the host index. Decision ticks are sent between settled run
+  // chunks (see advance below), so both modes yield the same decisions.
+  governor::GovernorActor* gov = nullptr;
+  actors::ActorRef gov_ref;
+  if (spec_.govern.enabled) {
+    governor::GovernorOptions gov_options;
+    gov_options.budget_watts = spec_.govern.budget_w;
+    gov_options.policy = spec_.govern.policy == "race"
+                             ? governor::Policy::kRaceToIdle
+                             : governor::Policy::kPaceToDeadline;
+    gov_options.hysteresis_watts = spec_.govern.hysteresis_w;
+    gov_options.cooldown_ns =
+        static_cast<util::DurationNs>(spec_.govern.cooldown_ms * 1e6);
+    gov_options.max_step = spec_.govern.max_step;
+    gov_options.min_active_cores = spec_.govern.min_active_cores;
+    gov_options.obs = fleet.observability();
+    std::vector<governor::HostControl> controls;
+    for (Impl::Host& host : impl_->hosts) {
+      controls.push_back(governor::control_for(host.id, *host.system));
+    }
+    auto actor = std::make_unique<governor::GovernorActor>(
+        fleet.bus(), std::move(gov_options), std::move(controls));
+    gov = actor.get();
+    gov_ref = fleet.actor_system().spawn("scenario-governor", std::move(actor));
+    for (std::size_t i = 0; i < impl_->hosts.size(); ++i) {
+      governor::GovernorActor::spawn_sense_relay(
+          fleet.actor_system(), fleet.bus(), fleet.pipeline(i).aggregated_topic(),
+          gov_ref, i, "scenario-sense-" + impl_->hosts[i].id);
+    }
+  }
+
   // --- Simulate, pausing at injection times ---
   util::DurationNs duration = spec_.duration;
   if (options.max_duration > 0) duration = std::min(duration, options.max_duration);
@@ -380,7 +422,18 @@ RunResult ScenarioRunner::run(const RunOptions& options) {
     for (Impl::Host& host : impl_->hosts) {
       if (inj.host != "all" && inj.host != host.id) continue;
       if (inj.kind == "frequency") {
-        host.system->pin_frequency(inj.frequency_hz);
+        if (inj.cluster.empty()) {
+          host.system->pin_frequency(inj.frequency_hz);
+        } else {
+          // Validated cross-ref: the cluster name exists on this host's CPU.
+          const simcpu::CpuSpec& cpu = cpu_specs.at(host.decl->cpu);
+          for (std::size_t c = 0; c < cpu.clusters.size(); ++c) {
+            if (cpu.clusters[c].name == inj.cluster) {
+              host.system->pin_cluster_frequency(c, inj.frequency_hz);
+              break;
+            }
+          }
+        }
         continue;
       }
       if (inj.kind == "kill" || inj.kind == "shift") {
@@ -398,27 +451,47 @@ RunResult ScenarioRunner::run(const RunOptions& options) {
     }
   };
 
-  // With the observe directive the run advances in cadence-sized chunks so
-  // the watchdog gets a tick (and the status listener a poll) at every
-  // cadence boundary, with now as the deterministic evaluation clock.
+  // The run advances on event boundaries: each enabled control plane (the
+  // watchdog at the observe cadence, the governor at its decision interval)
+  // keeps a persistent next-fire timestamp, and every chunk runs the fleet
+  // exactly to the nearest boundary, settles, and fires the due ticks —
+  // governor first, so the watchdog's probe reads fresh fleet gauges. The
+  // timestamps persist across advance() calls, so injection pauses never
+  // shift the control-plane phase.
   util::TimestampNs now = 0;
+  constexpr util::TimestampNs kNever = std::numeric_limits<util::TimestampNs>::max();
+  const util::DurationNs governor_interval =
+      static_cast<util::DurationNs>(spec_.govern.interval_ms * 1e6);
+  util::TimestampNs next_watchdog =
+      (watchdog != nullptr && spec_.observe.cadence > 0) ? spec_.observe.cadence
+                                                         : kNever;
+  util::TimestampNs next_governor =
+      (gov != nullptr && governor_interval > 0) ? governor_interval : kNever;
+  auto settle = [&] {
+    if (options.mode == actors::ActorSystem::Mode::kManual) {
+      fleet.actor_system().drain();
+    } else {
+      fleet.actor_system().await_idle();
+    }
+  };
   auto advance = [&](util::DurationNs amount) {
-    while (amount > 0) {
-      util::DurationNs step = amount;
-      if (watchdog != nullptr && spec_.observe.cadence > 0) {
-        step = std::min(step, spec_.observe.cadence);
+    const util::TimestampNs until = now + amount;
+    while (now < until) {
+      const util::TimestampNs stop =
+          std::min(until, std::min(next_watchdog, next_governor));
+      fleet.run_for(stop - now);
+      now = stop;
+      if (now >= next_governor) {
+        fleet.actor_system().tell(gov_ref,
+                                  actors::Payload(governor::GovernorTick{now}));
+        settle();
+        next_governor += governor_interval;
       }
-      fleet.run_for(step);
-      now += step;
-      amount -= step;
-      if (watchdog != nullptr) {
+      if (now >= next_watchdog) {
         fleet.actor_system().tell(watchdog_ref,
                                   actors::Payload(net::WatchdogTick{now}));
-        if (options.mode == actors::ActorSystem::Mode::kManual) {
-          fleet.actor_system().drain();
-        } else {
-          fleet.actor_system().await_idle();
-        }
+        settle();
+        next_watchdog += spec_.observe.cadence;
       }
       if (status_listener != nullptr) status_listener->poll_once(0);
     }
@@ -447,6 +520,7 @@ RunResult ScenarioRunner::run(const RunOptions& options) {
     result.metrics = fleet.observability()->metrics.snapshot();
   }
   if (watchdog != nullptr) result.watchdog_alerts = watchdog->alerts_raised();
+  if (gov != nullptr) result.governor_actuations = gov->actuation_count();
   return result;
 }
 

@@ -41,6 +41,8 @@ struct RunResult {
   obs::MetricsSnapshot metrics;
   /// Alerts the fleet watchdog raised during the run (observe only).
   std::uint64_t watchdog_alerts = 0;
+  /// DVFS/parking steps the power governor applied (govern only).
+  std::uint64_t governor_actuations = 0;
 };
 
 /// Writes the result as CSV: host,formula,timestamp,pid,group,watts — watts

@@ -156,12 +156,23 @@ std::string serialize(const ScenarioSpec& spec) {
         << " self_watts_budget=" << num(spec.observe.self_watts_budget) << "\n";
   }
 
+  if (spec.govern.enabled) {
+    out << "govern budget_w=" << num(spec.govern.budget_w)
+        << " policy=" << spec.govern.policy
+        << " hysteresis_w=" << num(spec.govern.hysteresis_w)
+        << " cooldown_ms=" << num(spec.govern.cooldown_ms)
+        << " interval_ms=" << num(spec.govern.interval_ms)
+        << " max_step=" << spec.govern.max_step
+        << " min_active_cores=" << spec.govern.min_active_cores << "\n";
+  }
+
   out << "fleet aggregation=" << onoff(spec.fleet_aggregation)
       << " workers=" << spec.workers << " chunk=" << spec.hosts_per_chunk << "\n";
 
   for (const InjectDecl& inj : spec.injections) {
     out << "inject at=" << inj.at << " host=" << inj.host;
     if (inj.kind == "frequency") {
+      if (!inj.cluster.empty()) out << " cluster=" << inj.cluster;
       out << " frequency=" << num(inj.frequency_hz);
     } else if (inj.kind == "spawn") {
       out << " spawn=" << inj.workload << " name=" << inj.name;

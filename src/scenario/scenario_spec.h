@@ -176,15 +176,31 @@ struct ObserveSpec {
   bool operator==(const ObserveSpec&) const = default;
 };
 
+/// The closed-loop power governor ("govern" directive; presence enables).
+struct GovernSpec {
+  bool enabled = false;
+  double budget_w = 0.0;       ///< Fleet watt cap (required, > 0).
+  std::string policy = "pace"; ///< "pace" (DVFS first) or "race" (park first).
+  double hysteresis_w = 2.0;   ///< Dead band around each host's share.
+  double cooldown_ms = 1000.0; ///< Up-step cooldown after any actuation.
+  double interval_ms = 500.0;  ///< Decision cadence.
+  std::uint64_t max_step = 1;  ///< Max rungs per proportional down-step.
+  std::uint64_t min_active_cores = 1;  ///< Parking floor per host.
+
+  bool operator==(const GovernSpec&) const = default;
+};
+
 /// A timed fault/control injection.
 struct InjectDecl {
   util::TimestampNs at = 0;
   std::string host;       ///< Expanded host id, or "all".
-  /// "frequency" — pin the package DVFS set point;
+  /// "frequency" — pin the package DVFS set point (or, with `cluster` set,
+  ///               that one cluster's domain on a big.LITTLE part);
   /// "spawn"     — start `workload` as a process called `name`;
   /// "kill"      — kill every process called `name`;
   /// "shift"     — kill `name` then respawn it running `workload`.
   std::string kind;
+  std::string cluster;    ///< frequency kind: cluster name; empty = package.
   double frequency_hz = 0.0;
   std::string workload;
   std::string name;
@@ -206,6 +222,7 @@ struct ScenarioSpec {
   FormulaSpec formula;
   CalibrationSpec calibration;
   ObserveSpec observe;
+  GovernSpec govern;
 
   bool fleet_aggregation = true;
   std::size_t workers = 4;          ///< Threaded dispatch only.

@@ -58,6 +58,7 @@ Machine::Machine(CpuSpec spec, GroundTruthParams params)
       cluster_energy_.push_back(1.0);
     }
   }
+  core_parked_.assign(spec_.cores, 0);
   core_cluster_.resize(spec_.cores);
   for (std::size_t core = 0; core < spec_.cores; ++core) {
     core_cluster_[core] = static_cast<std::uint32_t>(spec_.cluster_of_core(core));
@@ -93,6 +94,32 @@ double Machine::set_cluster_frequency(std::size_t cluster, double hz) {
   return cluster_freq_hz_[cluster];
 }
 
+bool Machine::set_core_parked(std::size_t core, bool parked) {
+  if (core >= spec_.cores) {
+    throw std::invalid_argument("Machine::set_core_parked: no such core");
+  }
+  const bool was = core_parked_[core] != 0;
+  if (was == parked) return parked;
+  core_parked_[core] = parked ? 1 : 0;
+  if (parked) {
+    ++parked_count_;
+  } else {
+    --parked_count_;
+    // Waking from the power-gated state costs the C6 wake spike; charge it
+    // against the next tick's idle energy (a parked core's CoreCState is
+    // frozen, so the spike cannot come from advance()).
+    pending_wake_joules_ += params_.cstates.c6_wake_joules;
+  }
+  return parked;
+}
+
+bool Machine::core_parked(std::size_t core) const {
+  if (core >= spec_.cores) {
+    throw std::invalid_argument("Machine::core_parked: no such core");
+  }
+  return core_parked_[core] != 0;
+}
+
 const CounterBlock& Machine::thread_counters(std::size_t hw_thread) const {
   return thread_counters_.at(hw_thread);
 }
@@ -120,7 +147,7 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
     std::size_t busy_cores = 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (work[i].active && work[i].profile.active_fraction > 0.0 &&
-          !scratch_.core_has_work[i / tpc]) {
+          !core_parked_[i / tpc] && !scratch_.core_has_work[i / tpc]) {
         scratch_.core_has_work[i / tpc] = 1;
         ++busy_cores;
       }
@@ -148,7 +175,7 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
   std::vector<CacheDemand>& demands = scratch_.demands;
   for (std::size_t i = 0; i < n; ++i) {
     const auto& w = work[i];
-    if (!w.active || w.profile.active_fraction <= 0.0) continue;
+    if (!w.active || w.profile.active_fraction <= 0.0 || core_parked_[i / tpc]) continue;
     CacheDemand d;
     d.active = true;
     d.working_set_bytes = w.profile.working_set_bytes;
@@ -278,7 +305,18 @@ const TickResult& Machine::tick(std::span<const ThreadWork> work, util::Duration
   double idle_joules = 0.0;
   double dynamic_joules = 0.0;
   bool any_core_busy = false;
+  // C6 wake spikes from cores unparked since the last tick (guarded so an
+  // unparked machine's arithmetic is bit-identical to pre-parking builds).
+  if (pending_wake_joules_ != 0.0) {
+    idle_joules += pending_wake_joules_;
+    pending_wake_joules_ = 0.0;
+  }
   for (std::size_t core = 0; core < spec_.cores; ++core) {
+    if (core_parked_[core]) {
+      // Power-gated: burns the C6 residual, never promoted/demoted.
+      idle_joules += params_.cstates.c6_watts * dt_s;
+      continue;
+    }
     const bool busy = core_busy[core];
     any_core_busy = any_core_busy || busy;
     idle_joules += core_cstates_[core].advance(dt, busy);

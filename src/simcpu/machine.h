@@ -79,6 +79,16 @@ class Machine {
     return cluster_freq_hz_.at(cluster);
   }
 
+  // --- Core parking (governor actuation) ---
+  /// Parks or unparks one core. A parked core is power-gated: it executes
+  /// no work (ThreadWork on its hardware threads is ignored), contributes
+  /// no counter deltas, and burns the C6 residual instead of walking the
+  /// C-state ladder. Unparking charges the C6 wake spike on the next tick.
+  /// Parking is idempotent; returns the new parked state.
+  bool set_core_parked(std::size_t core, bool parked);
+  bool core_parked(std::size_t core) const;
+  std::size_t parked_core_count() const noexcept { return parked_count_; }
+
   /// Executes one quantum. `work.size()` must equal `spec().hw_threads()`.
   /// Returns a reference to an internal result buffer (reused every tick,
   /// so the hot path allocates nothing) — valid until the next tick() call;
@@ -136,6 +146,9 @@ class Machine {
   std::vector<double> cluster_dyn_scale_;
   std::vector<double> cluster_static_scale_;
   std::vector<double> cluster_dram_latency_cycles_;
+  std::vector<std::uint8_t> core_parked_;    ///< 1 = power-gated by the OS.
+  std::size_t parked_count_ = 0;
+  double pending_wake_joules_ = 0.0;  ///< Charged on the tick after unpark.
   double effective_hz_ = 0.0;
   double total_energy_joules_ = 0.0;
   double package_energy_joules_ = 0.0;
